@@ -1,0 +1,25 @@
+// Command mlc is the Intel Memory Latency Checker equivalent for the
+// simulated machine: it reports idle latency and peak bandwidth for the
+// local, cross-NUMA, and CXL memory tiers (the paper's §2.3 numbers).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"pathfinder/internal/experiments"
+	"pathfinder/internal/sim"
+)
+
+func main() {
+	machine := flag.String("machine", "spr", "machine model: spr or emr")
+	quick := flag.Bool("quick", false, "shorter, less precise sweep")
+	flag.Parse()
+
+	cfg := sim.SPR()
+	if *machine == "emr" {
+		cfg = sim.EMR()
+	}
+	res := experiments.RunMLC(cfg, *quick)
+	fmt.Print(res.Table())
+}

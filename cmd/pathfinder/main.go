@@ -1,0 +1,265 @@
+// Command pathfinder is the profiler CLI (Figure 5-a's task specification):
+// it runs applications from the catalog over the simulated machine with the
+// requested memory placement, performs snapshot-based path-driven profiling,
+// and prints the selected reports — path maps (PFBuilder), CXL-induced
+// stall breakdowns (PFEstimator), queue estimates and culprits
+// (PFAnalyzer), and cross-snapshot locality summaries (PFMaterializer).
+//
+// Example:
+//
+//	pathfinder -apps LBM:cxl,MCF:local -epochs 8 -report all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/mem"
+	"pathfinder/internal/mem/tier"
+	"pathfinder/internal/pmu"
+	"pathfinder/internal/report"
+	"pathfinder/internal/sim"
+	"pathfinder/internal/workload"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pathfinder: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// parsePlacement turns "local", "cxl", "remote" or "A:B" (local:CXL ratio)
+// into a placement policy.
+func parsePlacement(s string) (mem.Policy, error) {
+	switch s {
+	case "local":
+		return mem.Fixed(0), nil
+	case "remote":
+		return mem.Fixed(1), nil
+	case "cxl":
+		return mem.Fixed(2), nil
+	}
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) == 2 {
+		a, errA := strconv.Atoi(parts[0])
+		b, errB := strconv.Atoi(parts[1])
+		if errA == nil && errB == nil && a > 0 && b > 0 {
+			return mem.Interleave{A: 0, B: 2, RatioA: a, RatioB: b}, nil
+		}
+	}
+	return nil, fmt.Errorf("bad placement %q (want local, remote, cxl, or A:B)", s)
+}
+
+func main() {
+	machine := flag.String("machine", "spr", "machine model: spr or emr")
+	appsFlag := flag.String("apps", "LBM:cxl", "comma list of APP:PLACEMENT (placement: local, remote, cxl, or A:B local:CXL ratio)")
+	wsMB := flag.Uint64("ws-mb", 64, "working-set size per application in MiB")
+	epochs := flag.Int("epochs", 8, "profiling epochs (snapshots)")
+	epochK := flag.Uint64("epoch-kcycles", 2000, "scheduling-epoch length in kilocycles")
+	reports := flag.String("report", "all", "comma list of: paths, stalls, queues, locality, flows")
+	llcScale := flag.Int("llc-scale", 4, "shrink the LLC by this factor (faster profiling of scaled working sets)")
+	tpp := flag.Bool("tpp", false, "enable TPP page placement during the run")
+	listApps := flag.Bool("list-apps", false, "print the application catalog and exit")
+	listEvents := flag.Bool("list-events", false, "print the PMU event catalog and exit")
+	flag.Parse()
+
+	if *listEvents {
+		t := &report.Table{Title: "PMU event catalog (paper Tables 1-4)",
+			Cols: []string{"event", "unit", "scope", "kind", "description"}}
+		for _, name := range pmu.Default.Names() {
+			e, _ := pmu.Default.Lookup(name)
+			in := pmu.Default.Info(e)
+			t.AddRow(in.Name, in.Unit.String(), in.Scope.String(), in.Kind.String(), in.Desc)
+		}
+		fmt.Print(t)
+		return
+	}
+
+	if *listApps {
+		t := &report.Table{Title: "Application catalog (Table 6)",
+			Cols: []string{"code", "benchmark", "suite", "working set (MB)", "shape"}}
+		for _, a := range workload.Catalog() {
+			t.AddRow(a.Name, a.Full, a.Suite, report.Num(a.WorkingSetMB), a.Shape.String())
+		}
+		fmt.Print(t)
+		return
+	}
+
+	cfg := sim.SPR()
+	if *machine == "emr" {
+		cfg = sim.EMR()
+	}
+	if *llcScale > 1 {
+		cfg.LLCSize /= *llcScale
+		cfg.LLCSlices /= *llcScale
+		if cfg.LLCSlices < cfg.SNCClusters {
+			cfg.LLCSlices = cfg.SNCClusters
+		}
+	}
+
+	as := mem.NewAddressSpace(12, []mem.Node{
+		{ID: 0, Kind: mem.LocalDRAM, Capacity: 256 << 30},
+		{ID: 1, Kind: mem.RemoteDRAM, Socket: 1, Capacity: 256 << 30},
+		{ID: 2, Kind: mem.CXLDRAM, Device: 0, Capacity: 256 << 30},
+	})
+	m := sim.New(cfg, as)
+
+	var runs []core.AppRun
+	for i, spec := range strings.Split(*appsFlag, ",") {
+		parts := strings.SplitN(strings.TrimSpace(spec), ":", 2)
+		app, ok := workload.Lookup(parts[0])
+		if !ok {
+			fatalf("unknown application %q (try -list-apps)", parts[0])
+		}
+		placement := "cxl"
+		if len(parts) == 2 {
+			placement = parts[1]
+		}
+		pol, err := parsePlacement(placement)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		reg, err := as.Alloc(*wsMB<<20, pol)
+		if err != nil {
+			fatalf("allocating %s: %v", app.Name, err)
+		}
+		if i >= m.Cores() {
+			fatalf("more applications than cores (%d)", m.Cores())
+		}
+		runs = append(runs, core.AppRun{
+			Label: app.Name,
+			Core:  i,
+			Gen:   app.Generator(workload.Region{Base: reg.Base, Size: reg.Size}, uint64(i+1)),
+		})
+	}
+
+	var mgr *tier.Manager
+	if *tpp {
+		var err error
+		mgr, err = tier.NewManager(as, m, 0, 2, tier.DefaultConfig())
+		if err != nil {
+			fatalf("tiering: %v", err)
+		}
+		m.SetAccessHook(func(_ int, la uint64, _ bool) { mgr.ObserveAccess(la) })
+	}
+
+	p, err := core.NewProfiler(core.Spec{
+		Machine:     m,
+		Apps:        runs,
+		EpochCycles: sim.Cycles(*epochK) * 1000,
+		Epochs:      *epochs,
+		Mode:        core.ModeContinuous,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var last *core.EpochResult
+	for e := 0; e < *epochs; e++ {
+		r, err := p.Step()
+		if err != nil {
+			fatalf("epoch %d: %v", e, err)
+		}
+		last = r
+		if mgr != nil {
+			mgr.Tick()
+		}
+	}
+
+	want := map[string]bool{}
+	for _, r := range strings.Split(*reports, ",") {
+		want[strings.TrimSpace(r)] = true
+	}
+	all := want["all"]
+
+	for _, run := range runs {
+		label := run.Label
+		fmt.Printf("==== %s (core %d) ====\n", label, run.Core)
+		if all || want["flows"] {
+			for _, f := range p.Flows(label, last.PathMaps[label]) {
+				fmt.Println("mFlow:", f)
+			}
+			fmt.Println()
+		}
+		if all || want["paths"] {
+			t := &report.Table{Title: "PFBuilder path map (last epoch)",
+				Cols: []string{"level", "DRd", "RFO", "HW PF", "DWr"}}
+			pm := last.PathMaps[label]
+			for _, l := range core.Levels() {
+				if pm.LevelTotal(l) == 0 {
+					continue
+				}
+				t.AddRow(l.String(),
+					report.Num(pm.Load[core.PathDRd][l]), report.Num(pm.Load[core.PathRFO][l]),
+					report.Num(pm.Load[core.PathHWPF][l]), report.Num(pm.Load[core.PathDWr][l]))
+			}
+			fmt.Print(t)
+			fmt.Println()
+		}
+		if all || want["stalls"] {
+			bd := last.Stalls[label]
+			t := &report.Table{Title: "PFEstimator CXL-induced stall breakdown",
+				Cols: append([]string{"path"}, componentNames()...)}
+			for _, pt := range core.Paths() {
+				if bd.Total(pt) == 0 {
+					continue
+				}
+				row := []string{pt.String()}
+				for _, c := range core.Components() {
+					row = append(row, report.Pct(bd.Share(pt, c)))
+				}
+				t.AddRow(row...)
+			}
+			fmt.Print(t)
+			fmt.Println()
+		}
+		if all || want["queues"] {
+			qr := last.Queues[label]
+			t := &report.Table{Title: "PFAnalyzer queue estimates (culprit: " +
+				qr.CulpritPath.String() + " on " + qr.CulpritComp.String() + ")",
+				Cols: append([]string{"path"}, componentNames()...)}
+			for _, pt := range core.Paths() {
+				row := []string{pt.String()}
+				any := false
+				for _, c := range core.Components() {
+					if qr.Q[pt][c] > 0 {
+						any = true
+					}
+					row = append(row, report.Num(qr.Q[pt][c]))
+				}
+				if any {
+					t.AddRow(row...)
+				}
+			}
+			fmt.Print(t)
+			fmt.Println()
+		}
+		if all || want["locality"] {
+			ws := p.Materializer().LocalityWindows(label, core.LvlCXL, 0.4)
+			fmt.Printf("PFMaterializer: %d stable CXL-traffic windows\n", len(ws))
+			for i, w := range ws {
+				fmt.Printf("  window %d: epochs [%d,%d), mean CXL hits %.0f\n",
+					i, w.Segment.Start, w.Segment.End, w.MeanHits)
+			}
+			fmt.Println()
+		}
+	}
+	if mgr != nil {
+		st := mgr.Stats()
+		fmt.Printf("TPP: %d pages promoted, %d demoted, %d accesses sampled\n",
+			st.Promoted, st.Demoted, st.SampledAccesses)
+	}
+	// CXL 3.x QoS telemetry: the device's dominant DevLoad class.
+	fmt.Printf("CXL device QoS (DevLoad): %s\n", m.DevLoad(0))
+}
+
+func componentNames() []string {
+	var out []string
+	for _, c := range core.Components() {
+		out = append(out, c.String())
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+// Command pfbench regenerates the paper's tables and figures against the
+// simulated machines: one experiment per artifact, selected with -exp.
+// DESIGN.md's per-experiment index maps each name to its paper artifact;
+// EXPERIMENTS.md records paper-vs-measured values from full runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pathfinder/internal/experiments"
+	"pathfinder/internal/sim"
+)
+
+func main() {
+	exp := flag.String("exp", "all",
+		"experiment: mlc, fig2, fig3, fig4, emr, table7, fig6, fig78, fig910, fig11, fig12, fig13, overhead, or all")
+	machine := flag.String("machine", "spr", "machine model: spr or emr")
+	quick := flag.Bool("quick", false, "shorter runs (coarser numbers)")
+	flag.Parse()
+
+	cfg := sim.SPR()
+	if *machine == "emr" {
+		cfg = sim.EMR()
+	}
+
+	runners := map[string]func(){
+		"mlc": func() {
+			fmt.Print(experiments.RunMLC(cfg, *quick).Table())
+		},
+		"fig2": func() {
+			r := experiments.RunFig2(cfg, *quick)
+			fmt.Print(r.Main.Table())
+			fmt.Println()
+			fmt.Print(r.WrOnly.Table())
+		},
+		"fig3": func() {
+			fmt.Print(experiments.RunFig3(cfg, *quick).Table())
+		},
+		"fig4": func() {
+			fmt.Print(experiments.RunFig4(cfg, *quick).Table())
+		},
+		"emr": func() {
+			// Figures 14-16: the same characterization on the EMR machine.
+			emr := sim.EMR()
+			r := experiments.RunFig2(emr, *quick)
+			fmt.Print(r.Main.Table())
+			fmt.Println()
+			fmt.Print(r.WrOnly.Table())
+			fmt.Println()
+			fmt.Print(experiments.RunFig3(emr, *quick).Table())
+			fmt.Println()
+			fmt.Print(experiments.RunFig4(emr, *quick).Table())
+		},
+		"table7": func() {
+			r := experiments.RunTable7(cfg, *quick)
+			fmt.Print(r.Table())
+			fmt.Printf("\nFOTS hot core path: %v; hot uncore path: %v (%.1f%% of uncore traffic)\n",
+				r.FOTSHotCore, r.FOTSHotUncore, r.FOTSUncoreHWPF*100)
+			fmt.Printf("GCCS core-request growth snapshot2/snapshot1: %.1fx\n", r.GCCSReqGrowth)
+		},
+		"fig6": func() {
+			r := experiments.RunFig6(cfg, *quick)
+			fmt.Print(r.Table())
+			fmt.Printf("\nmean DRd FlexBus+MC + CXL DIMM stall share: %.1f%%\n",
+				r.DownstreamShare()*100)
+		},
+		"fig78": func() {
+			r := experiments.RunFig78(cfg, *quick)
+			fmt.Print(r.Stall)
+			fmt.Println()
+			fmt.Print(r.Queues)
+			fmt.Printf("\nin-core CXL-induced stall growth 20%%->100%%: %.2fx\n", r.CoreStallGrowth())
+		},
+		"fig910": func() {
+			r := experiments.RunFig910(cfg, *quick)
+			fmt.Print(r.Throughput)
+			fmt.Println()
+			fmt.Print(r.Stall)
+			fmt.Println()
+			fmt.Print(r.Latency)
+			fmt.Println()
+			fmt.Print(r.Queues)
+			fmt.Println("\nculprits per load step:", strings.Join(r.Culprits, "; "))
+			fmt.Printf("YCSB throughput drop: %.1f%%; FlexBus+MC latency growth: %.2fx\n",
+				r.ThroughputDrop()*100, r.FlexLatencyGrowth())
+		},
+		"fig11": func() {
+			for _, r := range experiments.RunFig11(cfg, *quick) {
+				fmt.Print(r.Table())
+				fmt.Println()
+			}
+		},
+		"fig12": func() {
+			fmt.Print(experiments.RunFig12(cfg, *quick).Table())
+		},
+		"fig13": func() {
+			r := experiments.RunFig13(cfg, *quick)
+			fmt.Print(r.Table())
+			ratio := 0.0
+			if r.ColloidOps > 0 {
+				ratio = r.GuidedOps / r.ColloidOps
+			}
+			fmt.Printf("\nTPP+Colloid vs PathFinder-guided (write-heavy): %.0f vs %.0f ops (%.2fx)\n",
+				r.ColloidOps, r.GuidedOps, ratio)
+		},
+		"overhead": func() {
+			fmt.Print(experiments.RunOverhead(cfg, *quick).Table())
+		},
+		// Extensions beyond the paper's artifacts.
+		"baseline": func() {
+			fmt.Print(experiments.RunTMABaseline(cfg, *quick).Table())
+		},
+		"pool": func() {
+			fmt.Print(experiments.RunPool(cfg, *quick).Table())
+		},
+	}
+
+	order := []string{"mlc", "fig2", "fig3", "fig4", "emr", "table7", "fig6",
+		"fig78", "fig910", "fig11", "fig12", "fig13", "overhead", "baseline", "pool"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			fmt.Printf("==== %s ====\n", name)
+			runners[name]()
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of: %s, all\n",
+			*exp, strings.Join(order, ", "))
+		os.Exit(2)
+	}
+	run()
+}

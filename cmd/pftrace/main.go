@@ -1,0 +1,190 @@
+// Command pftrace records, inspects, and replays memory-access traces:
+// the trace-driven methodology for feeding one captured op stream to many
+// simulated configurations.
+//
+//	pftrace record -app FOTS -ops 200000 -o fots.trc
+//	pftrace info   -i fots.trc
+//	pftrace replay -i fots.trc -node cxl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pathfinder/internal/mem"
+	"pathfinder/internal/pmu"
+	"pathfinder/internal/report"
+	"pathfinder/internal/sim"
+	"pathfinder/internal/workload"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pftrace: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fatalf("usage: pftrace record|info|replay [flags]")
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		fatalf("unknown subcommand %q", os.Args[1])
+	}
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	appName := fs.String("app", "LBM", "catalog application to record")
+	ops := fs.Uint64("ops", 100_000, "operations to record")
+	wsMB := fs.Uint64("ws-mb", 64, "working-set size in MiB")
+	out := fs.String("o", "app.trc", "output trace file")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	_ = fs.Parse(args)
+
+	app, ok := workload.Lookup(*appName)
+	if !ok {
+		fatalf("unknown application %q", *appName)
+	}
+	g := app.Generator(workload.Region{Base: 0, Size: *wsMB << 20}, *seed)
+	f, err := os.Create(*out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	if err := workload.WriteTrace(f, g, *ops); err != nil {
+		fatalf("recording: %v", err)
+	}
+	st, _ := f.Stat()
+	fmt.Printf("recorded %d ops of %s to %s (%d bytes, %.2f B/op)\n",
+		*ops, app.Name, *out, st.Size(), float64(st.Size())/float64(*ops))
+}
+
+func loadTrace(path string) []workload.Op {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	ops, err := workload.ReadTrace(f)
+	if err != nil {
+		fatalf("reading %s: %v", path, err)
+	}
+	return ops
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("i", "app.trc", "trace file")
+	_ = fs.Parse(args)
+
+	ops := loadTrace(*in)
+	var loads, stores, prefetches, deps int
+	lines := map[uint64]bool{}
+	var minA, maxA uint64 = ^uint64(0), 0
+	for _, op := range ops {
+		switch op.Kind {
+		case workload.Load:
+			loads++
+		case workload.Store:
+			stores++
+		case workload.Prefetch:
+			prefetches++
+		}
+		if op.Dep {
+			deps++
+		}
+		lines[op.Addr&^63] = true
+		if op.Addr < minA {
+			minA = op.Addr
+		}
+		if op.Addr > maxA {
+			maxA = op.Addr
+		}
+	}
+	t := &report.Table{Title: *in, Cols: []string{"property", "value"}}
+	t.AddRow("operations", fmt.Sprint(len(ops)))
+	t.AddRow("loads", fmt.Sprint(loads))
+	t.AddRow("stores", fmt.Sprint(stores))
+	t.AddRow("sw prefetches", fmt.Sprint(prefetches))
+	t.AddRow("dependent ops", fmt.Sprint(deps))
+	t.AddRow("distinct lines", fmt.Sprint(len(lines)))
+	t.AddRow("footprint", fmt.Sprintf("%.1f MiB", float64(len(lines))*64/(1<<20)))
+	t.AddRow("address span", fmt.Sprintf("%#x..%#x", minA, maxA))
+	fmt.Print(t)
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("i", "app.trc", "trace file")
+	node := fs.String("node", "cxl", "placement: local, remote, or cxl")
+	machine := fs.String("machine", "spr", "machine model: spr or emr")
+	_ = fs.Parse(args)
+
+	ops := loadTrace(*in)
+	var maxAddr uint64
+	for _, op := range ops {
+		if op.Addr > maxAddr {
+			maxAddr = op.Addr
+		}
+	}
+
+	cfg := sim.SPR()
+	if *machine == "emr" {
+		cfg = sim.EMR()
+	}
+	cfg.LLCSize /= 4
+	cfg.LLCSlices /= 4
+	as := mem.NewAddressSpace(12, []mem.Node{
+		{ID: 0, Kind: mem.LocalDRAM, Capacity: 256 << 30},
+		{ID: 1, Kind: mem.RemoteDRAM, Socket: 1, Capacity: 256 << 30},
+		{ID: 2, Kind: mem.CXLDRAM, Device: 0, Capacity: 256 << 30},
+	})
+	var id mem.NodeID
+	switch *node {
+	case "local":
+		id = 0
+	case "remote":
+		id = 1
+	case "cxl":
+		id = 2
+	default:
+		fatalf("bad node %q", *node)
+	}
+	if _, err := as.Alloc(maxAddr+4096, mem.Fixed(id)); err != nil {
+		fatalf("allocating trace footprint: %v", err)
+	}
+	m := sim.New(cfg, as)
+	m.Attach(0, workload.NewReplay(ops, false))
+	for m.Core(0).Running() {
+		m.Run(5_000_000)
+	}
+	m.Sync()
+
+	b := m.Core(0).Bank()
+	cycles := b.Read(pmu.CPUClkUnhalted)
+	t := &report.Table{Title: fmt.Sprintf("replay of %s on %s (%s)", *in, *node, cfg.Name),
+		Cols: []string{"metric", "value"}}
+	t.AddRow("cycles", fmt.Sprint(cycles))
+	t.AddRow("ns", report.Num(float64(cycles)/cfg.GHz))
+	t.AddRow("loads", fmt.Sprint(b.Read(pmu.MemInstAllLoads)))
+	t.AddRow("l1 hit rate", report.Pct(float64(b.Read(pmu.MemLoadL1Hit))/
+		maxf(float64(b.Read(pmu.MemInstAllLoads)), 1)))
+	lat := float64(b.Read(pmu.MemTransLoadLatency)) / maxf(float64(b.Read(pmu.MemTransLoadCount)), 1)
+	t.AddRow("avg load latency (cyc)", report.Num(lat))
+	fmt.Print(t)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,76 @@
+// Quickstart: assemble a CXL-equipped machine, run one application with
+// its working set on the CXL node, and profile it with PathFinder —
+// path map, stall breakdown, and the bottleneck culprit in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/mem"
+	"pathfinder/internal/sim"
+	"pathfinder/internal/workload"
+)
+
+func main() {
+	// 1. A Sapphire-Rapids-like machine with local DDR and a CXL Type-3
+	//    device, both exposed as NUMA nodes (the LLC is shrunk 4x so a
+	//    small working set behaves like a big one).
+	cfg := sim.SPR()
+	cfg.LLCSize /= 4
+	cfg.LLCSlices /= 4
+	as := mem.NewAddressSpace(12, []mem.Node{
+		{ID: 0, Kind: mem.LocalDRAM, Capacity: 16 << 30},
+		{ID: 1, Kind: mem.CXLDRAM, Device: 0, Capacity: 16 << 30},
+	})
+	machine := sim.New(cfg, as)
+
+	// 2. Place a 64 MiB working set on the CXL node and pick a workload
+	//    from the Table 6 catalog.
+	reg, err := as.Alloc(64<<20, mem.Fixed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, _ := workload.Lookup("LBM") // 519.lbm_r: a streaming stencil
+	gen := app.Generator(workload.Region{Base: reg.Base, Size: reg.Size}, 1)
+
+	// 3. Profile: snapshot every 2M cycles for 6 epochs.
+	prof, err := core.NewProfiler(core.Spec{
+		Machine:     machine,
+		Apps:        []core.AppRun{{Label: "lbm", Core: 0, Gen: gen}},
+		EpochCycles: 2_000_000,
+		Epochs:      6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := prof.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Inspect the last epoch.
+	last := results[len(results)-1]
+	pm := last.PathMaps["lbm"]
+	fmt.Println("PFBuilder path map (request hits per level):")
+	for _, l := range core.Levels() {
+		if total := pm.LevelTotal(l); total > 0 {
+			fmt.Printf("  %-12s %10.0f\n", l, total)
+		}
+	}
+	hot, share := pm.HotPathUncore()
+	fmt.Printf("hot uncore path: %v (%.0f%% of uncore traffic)\n", hot, share*100)
+
+	bd := last.Stalls["lbm"]
+	fmt.Println("\nPFEstimator CXL-induced DRd stall shares:")
+	for _, c := range core.Components() {
+		if s := bd.Share(core.PathDRd, c); s > 0 {
+			fmt.Printf("  %-12s %5.1f%%\n", c, s*100)
+		}
+	}
+
+	qr := last.Queues["lbm"]
+	fmt.Printf("\nPFAnalyzer culprit: %v on %v (queue length %.1f)\n",
+		qr.CulpritPath, qr.CulpritComp, qr.Q[qr.CulpritPath][qr.CulpritComp])
+}

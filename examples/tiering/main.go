@@ -1,0 +1,85 @@
+// Tiering: the paper's Case 7 as an API walkthrough.  A GUPS workload with
+// a hot set split across local and CXL memory runs twice — without and with
+// TPP page placement — and PathFinder shows the traffic shifting to the
+// local tier and the culprit queue draining.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/mem"
+	"pathfinder/internal/mem/tier"
+	"pathfinder/internal/pmu"
+	"pathfinder/internal/sim"
+	"pathfinder/internal/workload"
+)
+
+func run(tpp bool) (ops float64, cxlLoads, localLoads float64, promoted int) {
+	cfg := sim.SPR()
+	cfg.LLCSize /= 4
+	cfg.LLCSlices /= 4
+	as := mem.NewAddressSpace(12, []mem.Node{
+		{ID: 0, Kind: mem.LocalDRAM, Capacity: 16 << 30},
+		{ID: 1, Kind: mem.CXLDRAM, Device: 0, Capacity: 16 << 30},
+	})
+	machine := sim.New(cfg, as)
+
+	// A 72 MiB working set placed 4:1 local:CXL with a 24 MiB hot set —
+	// the shape of the paper's GUPS configuration.
+	reg, err := as.Alloc(72<<20, mem.Interleave{A: 0, B: 1, RatioA: 4, RatioB: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gups := workload.NewGUPS(workload.Region{Base: reg.Base, Size: reg.Size}, 2, 1.0/3.0, 0.9, 7)
+	gups.Batch = 8
+	counting := workload.NewCounting(gups)
+	machine.Attach(0, counting)
+
+	var mgr *tier.Manager
+	if tpp {
+		cfgT := tier.DefaultConfig()
+		cfgT.MaxMigrationsPerTick = 256
+		mgr, err = tier.NewManager(as, machine, 0, 1, cfgT)
+		if err != nil {
+			log.Fatal(err)
+		}
+		machine.SetAccessHook(func(_ int, la uint64, _ bool) { mgr.ObserveAccess(la) })
+	}
+
+	cap := core.NewCapturer(machine)
+	var snap *core.Snapshot
+	for e := 0; e < 16; e++ {
+		machine.Run(2_000_000)
+		snap = cap.Capture()
+		if mgr != nil {
+			mgr.Tick()
+		}
+	}
+	cxlLoads = snap.CoreFamilySum([]int{0}, pmu.OCRDemandDataRd, pmu.ScnMissCXL)
+	localLoads = snap.CoreFamilySum([]int{0}, pmu.OCRDemandDataRd, pmu.ScnMissLocalDDR)
+	if mgr != nil {
+		promoted = mgr.Stats().Promoted
+	}
+	return float64(counting.Total()), cxlLoads, localLoads, promoted
+}
+
+func main() {
+	opsOff, cxlOff, localOff, _ := run(false)
+	opsOn, cxlOn, localOn, promoted := run(true)
+
+	fmt.Printf("TPP off: %10.0f ops | DRd serves: local %6.0f, CXL %6.0f (last epoch)\n",
+		opsOff, localOff, cxlOff)
+	fmt.Printf("TPP on : %10.0f ops | DRd serves: local %6.0f, CXL %6.0f | %d pages promoted\n",
+		opsOn, localOn, cxlOn, promoted)
+	fmt.Printf("speedup: %.2fx; CXL demand-load traffic change: %+.0f%%\n",
+		opsOn/opsOff, (cxlOn/max(cxlOff, 1)-1)*100)
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module pathfinder
+
+go 1.22

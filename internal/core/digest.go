@@ -1,0 +1,192 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"pathfinder/internal/sim"
+)
+
+// Digest is the compact on-disk/in-memory form of a Snapshot — the
+// "memory-efficient data structure" PFMaterializer stores per scheduling
+// epoch (§4.2).  Counter vectors are sparse in practice (most events of
+// most banks are zero in any one epoch), so the encoding stores only
+// non-zero deltas as (varint event index gap, varint value) pairs per
+// bank, preceded by a small header.
+//
+// Format (all integers unsigned LEB128 varints unless noted):
+//
+//	magic   "PFSD" (4 bytes)
+//	version byte (1)
+//	seq, start, end
+//	bankCount
+//	per bank: nameLen, name bytes, pairCount, then pairCount x
+//	          (eventIndexDelta, value) with eventIndexDelta relative to
+//	          the previous non-zero index + 1
+type Digest []byte
+
+const digestMagic = "PFSD"
+const digestVersion = 1
+
+// EncodeDigest serializes a snapshot.
+func EncodeDigest(s *Snapshot) Digest {
+	var buf []byte
+	buf = append(buf, digestMagic...)
+	buf = append(buf, digestVersion)
+	buf = binary.AppendUvarint(buf, uint64(s.Seq))
+	buf = binary.AppendUvarint(buf, s.Start)
+	buf = binary.AppendUvarint(buf, s.End)
+
+	names := make([]string, 0, len(s.deltas))
+	for name := range s.deltas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+		vals := s.deltas[name]
+		nz := 0
+		for _, v := range vals {
+			if v != 0 {
+				nz++
+			}
+		}
+		buf = binary.AppendUvarint(buf, uint64(nz))
+		prev := -1
+		for i, v := range vals {
+			if v == 0 {
+				continue
+			}
+			buf = binary.AppendUvarint(buf, uint64(i-prev))
+			buf = binary.AppendUvarint(buf, v)
+			prev = i
+		}
+	}
+	return buf
+}
+
+// digestReader walks a digest buffer.
+type digestReader struct {
+	b   []byte
+	off int
+}
+
+var errDigestTruncated = errors.New("core: truncated digest")
+
+func (r *digestReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, errDigestTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *digestReader) bytes(n int) ([]byte, error) {
+	if r.off+n > len(r.b) {
+		return nil, errDigestTruncated
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+// DecodeDigest reconstructs a snapshot.  eventCount is the catalog size
+// the digest was produced against (pmu.Default.Len()); counter vectors are
+// materialized at that length.
+func DecodeDigest(d Digest, eventCount int) (*Snapshot, error) {
+	r := &digestReader{b: d}
+	magic, err := r.bytes(4)
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != digestMagic {
+		return nil, fmt.Errorf("core: bad digest magic %q", magic)
+	}
+	ver, err := r.bytes(1)
+	if err != nil {
+		return nil, err
+	}
+	if ver[0] != digestVersion {
+		return nil, fmt.Errorf("core: unsupported digest version %d", ver[0])
+	}
+	seq, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	start, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	end, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	nBanks, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{
+		Seq:    int(seq),
+		Start:  sim.Cycles(start),
+		End:    sim.Cycles(end),
+		deltas: make(map[string][]uint64, nBanks),
+	}
+	for b := uint64(0); b < nBanks; b++ {
+		nameLen, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		nameBytes, err := r.bytes(int(nameLen))
+		if err != nil {
+			return nil, err
+		}
+		name := string(nameBytes)
+		pairs, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]uint64, eventCount)
+		idx := -1
+		for p := uint64(0); p < pairs; p++ {
+			gap, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			v, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			idx += int(gap)
+			if idx >= eventCount {
+				return nil, fmt.Errorf("core: digest event index %d exceeds catalog size %d", idx, eventCount)
+			}
+			vals[idx] = v
+		}
+		s.deltas[name] = vals
+		s.countBank(name)
+	}
+	return s, nil
+}
+
+// countBank updates the bank census for a decoded bank name.
+func (s *Snapshot) countBank(name string) {
+	switch {
+	case hasPrefix(name, "core"):
+		s.nCores++
+	case hasPrefix(name, "cha"):
+		s.nCHA++
+	case hasPrefix(name, "imc"):
+		s.nIMC++
+	case hasPrefix(name, "cxl"):
+		s.nCXL++
+	}
+}
+
+func hasPrefix(s, p string) bool {
+	return len(s) >= len(p) && s[:len(p)] == p
+}

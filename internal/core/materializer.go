@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"pathfinder/internal/tsdb"
+)
+
+// Materializer is PFMaterializer (§4.6): it encapsulates each snapshot as a
+// compact record in the internal time-series database and answers
+// cross-snapshot questions — phase windows of stable locality, trends and
+// seasonality, and correlations between concurrent flows.
+type Materializer struct {
+	db *tsdb.DB
+}
+
+// NewMaterializer returns a materializer over a fresh database.
+func NewMaterializer() *Materializer { return &Materializer{db: tsdb.New()} }
+
+// DB exposes the underlying database for ad-hoc queries (the CLI surface).
+func (mt *Materializer) DB() *tsdb.DB { return mt.db }
+
+// RecordPathMap digests a snapshot's path map into the "path_set"
+// measurement: one point per (path, destination level) with the hit load,
+// tagged by application and snapshot time.
+func (mt *Materializer) RecordPathMap(app string, s *Snapshot, pm *PathMap) error {
+	for _, p := range Paths() {
+		for _, l := range Levels() {
+			v := pm.Load[p][l]
+			if v == 0 {
+				continue
+			}
+			err := mt.db.Insert("path_set", tsdb.Point{
+				Time: s.End,
+				Tags: map[string]string{
+					"app":  app,
+					"path": p.String(),
+					"dst":  l.String(),
+				},
+				Fields: map[string]float64{"hits": v},
+			})
+			if err != nil {
+				return fmt.Errorf("core: recording path map: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// RecordStalls digests a stall breakdown into the "stall" measurement.
+func (mt *Materializer) RecordStalls(app string, s *Snapshot, bd *StallBreakdown) error {
+	for _, p := range Paths() {
+		for _, c := range Components() {
+			v := bd.Stall[p][c]
+			if v == 0 {
+				continue
+			}
+			err := mt.db.Insert("stall", tsdb.Point{
+				Time: s.End,
+				Tags: map[string]string{
+					"app":  app,
+					"path": p.String(),
+					"comp": c.String(),
+				},
+				Fields: map[string]float64{"cycles": v},
+			})
+			if err != nil {
+				return fmt.Errorf("core: recording stalls: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// RecordQueues digests a queue report into the "queue" measurement.
+func (mt *Materializer) RecordQueues(app string, s *Snapshot, qr *QueueReport) error {
+	for _, p := range Paths() {
+		for _, c := range Components() {
+			v := qr.Q[p][c]
+			if v == 0 {
+				continue
+			}
+			err := mt.db.Insert("queue", tsdb.Point{
+				Time: s.End,
+				Tags: map[string]string{
+					"app":  app,
+					"path": p.String(),
+					"comp": c.String(),
+				},
+				Fields: map[string]float64{"len": v},
+			})
+			if err != nil {
+				return fmt.Errorf("core: recording queues: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// LocalityWindow is one stable-locality execution phase of an application.
+type LocalityWindow struct {
+	Segment tsdb.Segment
+	// MeanHits is the mean hit load of the window at the queried level.
+	MeanHits float64
+}
+
+// LocalityWindows partitions an application's hit history at one level
+// into phases of consistent locality (the paper's example query:
+// FROM "path_set" WHERE app AND dst=LLC, then time-series clustering).
+func (mt *Materializer) LocalityWindows(app string, dst Level, relTol float64) []LocalityWindow {
+	series := mt.db.Query("path_set").Where("app", app).Where("dst", dst.String()).Field("hits")
+	vals := series.Values()
+	if len(vals) == 0 {
+		return nil
+	}
+	segs := tsdb.Segments(vals, relTol, 1)
+	out := make([]LocalityWindow, len(segs))
+	for i, sg := range segs {
+		out[i] = LocalityWindow{Segment: sg, MeanHits: sg.Mean}
+	}
+	return out
+}
+
+// HitTrend returns the moving-average hit series of an application at one
+// destination level.
+func (mt *Materializer) HitTrend(app string, dst Level, window int) tsdb.Series {
+	return mt.db.Query("path_set").Where("app", app).Where("dst", dst.String()).
+		Field("hits").MovingAverage(window)
+}
+
+// Forecast predicts the next horizon snapshots of an application's hit
+// load at a level using Holt-Winters, detecting regular access patterns.
+func (mt *Materializer) Forecast(app string, dst Level, period, horizon int) ([]float64, error) {
+	vals := mt.db.Query("path_set").Where("app", app).Where("dst", dst.String()).
+		Field("hits").Values()
+	return tsdb.HoltWinters(vals, tsdb.HWParams{
+		Alpha: 0.5, Beta: 0.1, Gamma: 0.3, Period: period,
+	}, horizon)
+}
+
+// Anomalies flags epochs whose hit load at a level deviates from the local
+// trend by more than z standard deviations — the residual/anomaly arm of
+// the paper's time-series-analysis workflow.
+func (mt *Materializer) Anomalies(app string, dst Level, window int, z float64) []tsdb.Anomaly {
+	vals := mt.db.Query("path_set").Where("app", app).Where("dst", dst.String()).
+		Field("hits").Values()
+	return tsdb.Anomalies(vals, window, z)
+}
+
+// Correlate computes the Pearson correlation between two applications'
+// hit loads at the same level over their common snapshots — the
+// cross-flow locality-impact analysis of §4.6 and the bandwidth inference
+// of Case 5.
+func (mt *Materializer) Correlate(appA, appB string, dst Level) (float64, error) {
+	a := mt.db.Query("path_set").Where("app", appA).Where("dst", dst.String()).Field("hits")
+	b := mt.db.Query("path_set").Where("app", appB).Where("dst", dst.String()).Field("hits")
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n < 2 {
+		return 0, fmt.Errorf("core: not enough common snapshots (%d)", n)
+	}
+	return tsdb.Pearson(a[:n].Values(), b[:n].Values())
+}
+
+// CorrelateSeries correlates two raw sample vectors (utility for
+// request-frequency-vs-bandwidth analysis).
+func CorrelateSeries(a, b []float64) (float64, error) { return tsdb.Pearson(a, b) }

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"pathfinder/internal/tsdb"
+)
+
+// fakeSnapshot builds a minimal snapshot for materializer unit tests.
+func fakeSnapshot(seq int, end uint64) *Snapshot {
+	return &Snapshot{Seq: seq, Start: end - 100, End: end,
+		deltas: map[string][]uint64{}}
+}
+
+func pathMapWith(p PathType, l Level, v float64) *PathMap {
+	pm := &PathMap{}
+	pm.Load[p][l] = v
+	return pm
+}
+
+func TestMaterializerRecordAndQuery(t *testing.T) {
+	mt := NewMaterializer()
+	for i := 0; i < 10; i++ {
+		v := 100.0
+		if i >= 5 {
+			v = 900.0 // phase change halfway through
+		}
+		pm := pathMapWith(PathDRd, LvlCXL, v)
+		if err := mt.RecordPathMap("app", fakeSnapshot(i, uint64(1000+i*100)), pm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws := mt.LocalityWindows("app", LvlCXL, 0.3)
+	if len(ws) != 2 {
+		t.Fatalf("windows = %+v", ws)
+	}
+	if !(ws[0].MeanHits < 200 && ws[1].MeanHits > 800) {
+		t.Fatalf("window means: %+v", ws)
+	}
+	trend := mt.HitTrend("app", LvlCXL, 2)
+	if len(trend) != 10 {
+		t.Fatalf("trend points = %d", len(trend))
+	}
+	// Unknown app: no windows, no trend.
+	if mt.LocalityWindows("ghost", LvlCXL, 0.3) != nil {
+		t.Fatal("windows for unknown app")
+	}
+}
+
+func TestMaterializerZeroLoadsSkipped(t *testing.T) {
+	mt := NewMaterializer()
+	pm := &PathMap{} // all zeros
+	if err := mt.RecordPathMap("app", fakeSnapshot(0, 100), pm); err != nil {
+		t.Fatal(err)
+	}
+	if got := mt.DB().Query("path_set").Field("hits"); len(got) != 0 {
+		t.Fatalf("zero loads recorded: %d points", len(got))
+	}
+}
+
+func TestMaterializerStallsAndQueues(t *testing.T) {
+	mt := NewMaterializer()
+	bd := &StallBreakdown{}
+	bd.Stall[PathDRd][CompFlexBusMC] = 4000
+	if err := mt.RecordStalls("app", fakeSnapshot(0, 100), bd); err != nil {
+		t.Fatal(err)
+	}
+	qr := &QueueReport{}
+	qr.Q[PathHWPF][CompCXLDIMM] = 7.5
+	if err := mt.RecordQueues("app", fakeSnapshot(0, 100), qr); err != nil {
+		t.Fatal(err)
+	}
+	s := mt.DB().Query("stall").Where("comp", "FlexBus+MC").Field("cycles")
+	if s.Sum() != 4000 {
+		t.Fatalf("stall sum = %v", s.Sum())
+	}
+	q := mt.DB().Query("queue").Where("path", "HW PF").Field("len")
+	if q.Sum() != 7.5 {
+		t.Fatalf("queue sum = %v", q.Sum())
+	}
+}
+
+func TestMaterializerForecast(t *testing.T) {
+	mt := NewMaterializer()
+	// A seasonal hit pattern with period 4.
+	base := []float64{100, 300, 500, 300}
+	for i := 0; i < 16; i++ {
+		pm := pathMapWith(PathDRd, LvlCXL, base[i%4])
+		if err := mt.RecordPathMap("app", fakeSnapshot(i, uint64(100+i)), pm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fc, err := mt.Forecast("app", LvlCXL, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The forecast must preserve the seasonal peak position (slot 2).
+	if !(fc[2] > fc[0] && fc[2] > fc[3]) {
+		t.Fatalf("forecast lost seasonality: %v", fc)
+	}
+	if _, err := mt.Forecast("ghost", LvlCXL, 4, 2); err == nil {
+		t.Fatal("forecast for unknown app succeeded")
+	}
+}
+
+func TestMaterializerCorrelateErrors(t *testing.T) {
+	mt := NewMaterializer()
+	pm := pathMapWith(PathDRd, LvlCXL, 5)
+	_ = mt.RecordPathMap("only", fakeSnapshot(0, 100), pm)
+	if _, err := mt.Correlate("only", "missing", LvlCXL); err == nil {
+		t.Fatal("correlation with missing app succeeded")
+	}
+}
+
+func TestCorrelateSeries(t *testing.T) {
+	r, err := CorrelateSeries([]float64{1, 2, 3}, []float64{2, 4, 6})
+	if err != nil || r < 0.999 {
+		t.Fatalf("r=%v err=%v", r, err)
+	}
+}
+
+func TestMaterializerDBDirect(t *testing.T) {
+	mt := NewMaterializer()
+	if err := mt.DB().Insert("custom", tsdb.Point{Time: 1, Fields: map[string]float64{"v": 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := mt.DB().Query("custom").Field("v").Sum(); got != 2 {
+		t.Fatalf("direct insert sum = %v", got)
+	}
+}

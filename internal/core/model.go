@@ -1,0 +1,286 @@
+// Package core implements PathFinder itself: the Clos-network system model
+// over the server's architectural modules (§4.2 of the paper), snapshot
+// capture at scheduling-epoch boundaries, and the four analysis techniques —
+// PFBuilder (path-map construction, §4.3), PFEstimator (bottom-up
+// back-propagation of CXL-induced stall cycles, §4.4), PFAnalyzer
+// (Little's-law queue estimation and culprit detection, §4.5), and
+// PFMaterializer (cross-snapshot time-series analysis, §4.6).
+//
+// PathFinder observes the machine exclusively through PMU counters, exactly
+// as the hardware version does: every input to the algorithms below is a
+// counter delta from a Snapshot.
+package core
+
+import "fmt"
+
+// PathType is one of the four architectural request paths that yield
+// CXL.mem transactions (§2.2, Figure 1).
+type PathType uint8
+
+// The four CXL.mem data paths.
+const (
+	PathDRd  PathType = iota // demand data read
+	PathRFO                  // read for ownership
+	PathHWPF                 // hardware prefetch (L1 + L2 engines)
+	PathDWr                  // demand write / writeback
+	PathCount
+)
+
+// String returns the paper's path name.
+func (p PathType) String() string {
+	switch p {
+	case PathDRd:
+		return "DRd"
+	case PathRFO:
+		return "RFO"
+	case PathHWPF:
+		return "HW PF"
+	case PathDWr:
+		return "DWr"
+	}
+	return fmt.Sprintf("PathType(%d)", uint8(p))
+}
+
+// Paths lists all path types in display order.
+func Paths() []PathType { return []PathType{PathDRd, PathRFO, PathHWPF, PathDWr} }
+
+// Component is an on-path architectural module — the stall-breakdown and
+// queue-length columns of Figures 6-10.
+type Component uint8
+
+// Stall/queue components from SB down to the CXL DIMM.
+const (
+	CompSB Component = iota
+	CompL1D
+	CompLFB
+	CompL2
+	CompLLC       // the core-observed LLC level
+	CompCHA       // CHA/TOR queueing
+	CompFlexBusMC // M2PCIe + FlexBus link + device controller
+	CompCXLDIMM   // device queues and media
+	CompCount
+)
+
+// String returns the component name as used in the paper's figures.
+func (c Component) String() string {
+	switch c {
+	case CompSB:
+		return "SB"
+	case CompL1D:
+		return "L1D"
+	case CompLFB:
+		return "LFB"
+	case CompL2:
+		return "L2"
+	case CompLLC:
+		return "LLC"
+	case CompCHA:
+		return "CHA"
+	case CompFlexBusMC:
+		return "FlexBus+MC"
+	case CompCXLDIMM:
+		return "CXL DIMM"
+	}
+	return fmt.Sprintf("Component(%d)", uint8(c))
+}
+
+// Components lists all components in pipeline order (SB first).
+func Components() []Component {
+	return []Component{CompSB, CompL1D, CompLFB, CompL2, CompLLC, CompCHA, CompFlexBusMC, CompCXLDIMM}
+}
+
+// Level is a serve location in the path map — the rows of Table 7.
+type Level uint8
+
+// Path-map hit levels.
+const (
+	LvlSB Level = iota
+	LvlL1D
+	LvlLFB
+	LvlL2
+	LvlLocalLLC
+	LvlSNCLLC
+	LvlRemoteLLC
+	LvlLocalDRAM
+	LvlRemoteDRAM
+	LvlCXL
+	LevelCount
+)
+
+// String returns the Table 7 row label.
+func (l Level) String() string {
+	switch l {
+	case LvlSB:
+		return "SB"
+	case LvlL1D:
+		return "L1D"
+	case LvlLFB:
+		return "LFB"
+	case LvlL2:
+		return "L2"
+	case LvlLocalLLC:
+		return "local LLC"
+	case LvlSNCLLC:
+		return "snc LLC"
+	case LvlRemoteLLC:
+		return "remote LLC"
+	case LvlLocalDRAM:
+		return "local DRAM"
+	case LvlRemoteDRAM:
+		return "remote DRAM"
+	case LvlCXL:
+		return "CXL Memory"
+	}
+	return fmt.Sprintf("Level(%d)", uint8(l))
+}
+
+// Levels lists all serve levels in hierarchy order.
+func Levels() []Level {
+	return []Level{LvlSB, LvlL1D, LvlLFB, LvlL2, LvlLocalLLC, LvlSNCLLC,
+		LvlRemoteLLC, LvlLocalDRAM, LvlRemoteDRAM, LvlCXL}
+}
+
+// VertexKind classifies a node of the Clos system model.
+type VertexKind uint8
+
+// Vertex kinds of the system graph.
+const (
+	VtxCore VertexKind = iota
+	VtxSB
+	VtxLFB
+	VtxL1D
+	VtxL2
+	VtxCHA
+	VtxIMC
+	VtxM2PCIe
+	VtxCXLDIMM
+)
+
+// Vertex is one architectural module in the Clos model G = (V, E).
+type Vertex struct {
+	Kind  VertexKind
+	ID    int    // instance (core number, slice number, channel, device)
+	Label string // bank name where one exists
+}
+
+// Edge is a directed interconnect link between two vertices.
+type Edge struct {
+	From, To int // vertex indices
+}
+
+// Graph is the multi-stage Clos representation of the server (§4.2):
+// cores are the ingress stage, CXL DIMMs/IMCs the egress stage, and each
+// on-path module an intermediate switch.
+type Graph struct {
+	Vertices []Vertex
+	Edges    []Edge
+	adj      [][]int
+}
+
+// NewGraph builds the Clos model for a machine shape.
+func NewGraph(cores, slices, channels, cxlDevs int) *Graph {
+	g := &Graph{}
+	add := func(k VertexKind, id int, label string) int {
+		g.Vertices = append(g.Vertices, Vertex{Kind: k, ID: id, Label: label})
+		return len(g.Vertices) - 1
+	}
+	link := func(a, b int) { g.Edges = append(g.Edges, Edge{From: a, To: b}) }
+
+	chas := make([]int, slices)
+	for i := 0; i < slices; i++ {
+		chas[i] = add(VtxCHA, i, fmt.Sprintf("cha%d", i))
+	}
+	imcs := make([]int, channels)
+	for i := 0; i < channels; i++ {
+		imcs[i] = add(VtxIMC, i, fmt.Sprintf("imc%d", i))
+	}
+	var m2ps, dimms []int
+	for i := 0; i < cxlDevs; i++ {
+		m2ps = append(m2ps, add(VtxM2PCIe, i, fmt.Sprintf("m2pcie%d", i)))
+		dimms = append(dimms, add(VtxCXLDIMM, i, fmt.Sprintf("cxl%d", i)))
+		link(m2ps[i], dimms[i])
+	}
+	for c := 0; c < cores; c++ {
+		vc := add(VtxCore, c, fmt.Sprintf("core%d", c))
+		vsb := add(VtxSB, c, "")
+		vl1 := add(VtxL1D, c, "")
+		vlfb := add(VtxLFB, c, "")
+		vl2 := add(VtxL2, c, "")
+		link(vc, vsb)
+		link(vc, vl1)
+		link(vsb, vl1)
+		link(vl1, vlfb)
+		link(vlfb, vl2)
+		// Any core can reach any CHA (the mesh is the Clos middle stage).
+		for _, ch := range chas {
+			link(vl2, ch)
+		}
+	}
+	for _, ch := range chas {
+		for _, im := range imcs {
+			link(ch, im)
+		}
+		for _, mp := range m2ps {
+			link(ch, mp)
+		}
+	}
+	g.adj = make([][]int, len(g.Vertices))
+	for _, e := range g.Edges {
+		g.adj[e.From] = append(g.adj[e.From], e.To)
+	}
+	return g
+}
+
+// Succ returns the successor vertex indices of v.
+func (g *Graph) Succ(v int) []int { return g.adj[v] }
+
+// FindVertex returns the index of the first vertex of the given kind and
+// instance, or -1.
+func (g *Graph) FindVertex(k VertexKind, id int) int {
+	for i, v := range g.Vertices {
+		if v.Kind == k && v.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// ReachableDIMMs returns the CXL-DIMM vertex indices reachable from the
+// given core vertex — the destinations a mFlow from that core can have.
+func (g *Graph) ReachableDIMMs(core int) []int {
+	start := g.FindVertex(VtxCore, core)
+	if start < 0 {
+		return nil
+	}
+	seen := make([]bool, len(g.Vertices))
+	stack := []int{start}
+	var out []int
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		if g.Vertices[v].Kind == VtxCXLDIMM {
+			out = append(out, v)
+		}
+		stack = append(stack, g.adj[v]...)
+	}
+	return out
+}
+
+// MFlow is a memory flow: all load/store/prefetch traffic between one core
+// and one memory node over an application's lifetime (§4.2).  A flow is
+// application-dependent, location-sensitive, and bidirectional.
+type MFlow struct {
+	App    string // application label (the "pid" of the paper's queries)
+	Core   int
+	Target Level // LvlLocalDRAM, LvlRemoteDRAM, or LvlCXL
+	Device int   // CXL device for LvlCXL targets
+}
+
+// String formats the flow as Core_i <-> target.
+func (f MFlow) String() string {
+	return fmt.Sprintf("%s: core%d<->%s", f.App, f.Core, f.Target)
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"pathfinder/internal/sim"
+	"pathfinder/internal/workload"
+)
+
+// AppRun binds one application (or one thread of one) to a core — the
+// pinned-core running environment of the profiling task specification
+// (Figure 5-a).
+type AppRun struct {
+	Label string
+	Core  int
+	Gen   workload.Generator
+}
+
+// Mode selects how the profiler reports (Figure 5-a's profiler spec).
+type Mode uint8
+
+// Profiling modes.
+const (
+	ModeAggregated Mode = iota // analyze each epoch, keep all epoch results
+	ModeContinuous             // also stream records into the materializer
+)
+
+// Spec is the profiling task specification: applications with their
+// pinned cores, the machine, the snapshot granularity, and the run length.
+type Spec struct {
+	Machine     *sim.Machine
+	Apps        []AppRun
+	EpochCycles sim.Cycles // scheduling-epoch (snapshot) length
+	Epochs      int
+	CXLDevice   int
+	Mode        Mode
+}
+
+// EpochResult bundles one epoch's snapshot with the per-application
+// analyses produced from it.
+type EpochResult struct {
+	Snapshot *Snapshot
+	PathMaps map[string]*PathMap
+	Stalls   map[string]*StallBreakdown
+	Queues   map[string]*QueueReport
+}
+
+// Profiler drives snapshot-based path-driven profiling: run an epoch, snap
+// all PMUs, classify transactions by path, and analyze interleaving — the
+// workflow of Figure 5-c.
+type Profiler struct {
+	spec   Spec
+	cap    *Capturer
+	mat    *Materializer
+	consts Consts
+	cores  map[string][]int
+	gens   map[string]workload.Generator
+	graph  *Graph
+}
+
+// NewProfiler validates the spec and prepares a profiler.  Workloads are
+// attached to their cores immediately; the machine must not be running
+// other work on those cores.
+func NewProfiler(spec Spec) (*Profiler, error) {
+	if spec.Machine == nil {
+		return nil, errors.New("core: spec needs a machine")
+	}
+	if len(spec.Apps) == 0 {
+		return nil, errors.New("core: spec needs at least one application")
+	}
+	if spec.EpochCycles == 0 {
+		return nil, errors.New("core: epoch length must be positive")
+	}
+	if spec.Epochs <= 0 {
+		return nil, errors.New("core: need at least one epoch")
+	}
+	used := make(map[int]string)
+	cores := make(map[string][]int)
+	for _, a := range spec.Apps {
+		if a.Core < 0 || a.Core >= spec.Machine.Cores() {
+			return nil, fmt.Errorf("core: app %q pinned to invalid core %d", a.Label, a.Core)
+		}
+		if prev, busy := used[a.Core]; busy {
+			return nil, fmt.Errorf("core: core %d claimed by both %q and %q", a.Core, prev, a.Label)
+		}
+		used[a.Core] = a.Label
+		cores[a.Label] = append(cores[a.Label], a.Core)
+	}
+	cfg := spec.Machine.Config()
+	p := &Profiler{
+		spec:   spec,
+		mat:    NewMaterializer(),
+		consts: ConstsFor(cfg),
+		cores:  cores,
+		gens:   make(map[string]workload.Generator, len(spec.Apps)),
+		graph:  NewGraph(cfg.Cores, cfg.LLCSlices, cfg.DRAMChannels, cfg.CXLDevices),
+	}
+	for _, a := range spec.Apps {
+		spec.Machine.Attach(a.Core, a.Gen)
+		p.gens[a.Label] = a.Gen
+	}
+	p.cap = NewCapturer(spec.Machine)
+	return p, nil
+}
+
+// Graph returns the Clos system model of the profiled machine (§4.2).
+func (p *Profiler) Graph() *Graph { return p.graph }
+
+// Migrate moves an application's thread to another core, modeling the
+// location-sensitivity of mFlows (§4.2): the old flows end and new ones
+// begin at the next snapshot.  The target core must be free.
+func (p *Profiler) Migrate(label string, to int) error {
+	cores, ok := p.cores[label]
+	if !ok || len(cores) != 1 {
+		return fmt.Errorf("core: cannot migrate %q (unknown or multi-threaded)", label)
+	}
+	if to < 0 || to >= p.spec.Machine.Cores() {
+		return fmt.Errorf("core: migration target core %d out of range", to)
+	}
+	for other, cs := range p.cores {
+		for _, c := range cs {
+			if c == to && other != label {
+				return fmt.Errorf("core: core %d is running %q", to, other)
+			}
+		}
+	}
+	from := cores[0]
+	if from == to {
+		return nil
+	}
+	p.spec.Machine.Detach(from)
+	p.spec.Machine.Attach(to, p.gens[label])
+	p.cores[label] = []int{to}
+	return nil
+}
+
+// Consts returns the white-box constants in use.
+func (p *Profiler) Consts() Consts { return p.consts }
+
+// Materializer returns the cross-snapshot analysis store.
+func (p *Profiler) Materializer() *Materializer { return p.mat }
+
+// AppCores returns the cores running the labeled application.
+func (p *Profiler) AppCores(label string) []int { return p.cores[label] }
+
+// Step runs one scheduling epoch and returns its analyzed result.
+func (p *Profiler) Step() (*EpochResult, error) {
+	m := p.spec.Machine
+	m.Run(p.spec.EpochCycles)
+	snap := p.cap.Capture()
+	res := &EpochResult{
+		Snapshot: snap,
+		PathMaps: make(map[string]*PathMap, len(p.cores)),
+		Stalls:   make(map[string]*StallBreakdown, len(p.cores)),
+		Queues:   make(map[string]*QueueReport, len(p.cores)),
+	}
+	for label, cores := range p.cores {
+		pm := BuildPathMap(snap, cores)
+		res.PathMaps[label] = pm
+		res.Stalls[label] = EstimateStalls(snap, cores, p.spec.CXLDevice, p.consts)
+		res.Queues[label] = AnalyzeQueues(snap, cores, p.spec.CXLDevice, p.consts)
+		if err := p.mat.RecordPathMap(label, snap, pm); err != nil {
+			return nil, err
+		}
+		if err := p.mat.RecordStalls(label, snap, res.Stalls[label]); err != nil {
+			return nil, err
+		}
+		if err := p.mat.RecordQueues(label, snap, res.Queues[label]); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Run executes the configured number of epochs, returning every epoch's
+// result.
+func (p *Profiler) Run() ([]*EpochResult, error) {
+	out := make([]*EpochResult, 0, p.spec.Epochs)
+	for i := 0; i < p.spec.Epochs; i++ {
+		r, err := p.Step()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Flows derives the active mFlows of an application from a path map: one
+// flow per memory destination with traffic, bounded by cores x targets
+// (§4.2).
+func (p *Profiler) Flows(label string, pm *PathMap) []MFlow {
+	var flows []MFlow
+	for _, c := range p.cores[label] {
+		for _, tgt := range []Level{LvlLocalDRAM, LvlRemoteDRAM, LvlCXL} {
+			if pm.LevelTotal(tgt) > 0 {
+				f := MFlow{App: label, Core: c, Target: tgt}
+				if tgt == LvlCXL {
+					f.Device = p.spec.CXLDevice
+				}
+				flows = append(flows, f)
+			}
+		}
+	}
+	return flows
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pathfinder/internal/pmu"
+	"pathfinder/internal/sim"
+)
+
+// Snapshot is one scheduling-epoch observation: per-bank counter deltas
+// between two Sync points, tagged with the epoch window.  All PathFinder
+// analyses operate on snapshots — never on simulator internals.
+type Snapshot struct {
+	Seq        int
+	Start, End sim.Cycles
+	// deltas holds per-bank counter deltas for the epoch, keyed by bank
+	// name, each indexed by pmu.Event.
+	deltas map[string][]uint64
+
+	nCores, nCHA, nIMC, nCXL int
+}
+
+// Capturer produces snapshots from a machine by differencing bank totals
+// between epochs.
+type Capturer struct {
+	m    *sim.Machine
+	prev map[string][]uint64
+	seq  int
+	last sim.Cycles
+}
+
+// NewCapturer returns a capturer rebased at the machine's current time.
+func NewCapturer(m *sim.Machine) *Capturer {
+	c := &Capturer{m: m, prev: make(map[string][]uint64)}
+	m.Sync()
+	for _, b := range m.Banks() {
+		c.prev[b.Name()] = b.Values()
+	}
+	c.last = m.Now()
+	return c
+}
+
+// Capture takes a snapshot of the epoch since the previous Capture (or
+// since NewCapturer).
+func (c *Capturer) Capture() *Snapshot {
+	c.m.Sync()
+	now := c.m.Now()
+	s := &Snapshot{
+		Seq:    c.seq,
+		Start:  c.last,
+		End:    now,
+		deltas: make(map[string][]uint64, len(c.prev)),
+	}
+	c.seq++
+	c.last = now
+	for _, b := range c.m.Banks() {
+		name := b.Name()
+		cur := b.Values()
+		prev := c.prev[name]
+		d := make([]uint64, len(cur))
+		for i := range cur {
+			d[i] = cur[i] - prev[i]
+		}
+		s.deltas[name] = d
+		c.prev[name] = cur
+		switch {
+		case strings.HasPrefix(name, "core"):
+			s.nCores++
+		case strings.HasPrefix(name, "cha"):
+			s.nCHA++
+		case strings.HasPrefix(name, "imc"):
+			s.nIMC++
+		case strings.HasPrefix(name, "cxl"):
+			s.nCXL++
+		}
+	}
+	return s
+}
+
+// Cycles returns the epoch length in cycles.
+func (s *Snapshot) Cycles() float64 { return float64(s.End - s.Start) }
+
+// NumCores returns the number of core banks in the snapshot.
+func (s *Snapshot) NumCores() int { return s.nCores }
+
+// NumCHA returns the number of CHA banks.
+func (s *Snapshot) NumCHA() int { return s.nCHA }
+
+// NumCXL returns the number of CXL device banks.
+func (s *Snapshot) NumCXL() int { return s.nCXL }
+
+// bank returns the delta vector of a named bank, or nil.
+func (s *Snapshot) bank(name string) []uint64 { return s.deltas[name] }
+
+// read returns one event delta from a named bank (0 if absent).
+func (s *Snapshot) read(name string, e pmu.Event) float64 {
+	d := s.deltas[name]
+	if d == nil {
+		return 0
+	}
+	return float64(d[e])
+}
+
+// Core reads an event delta from core i's bank.
+func (s *Snapshot) Core(i int, e pmu.Event) float64 {
+	return s.read(fmt.Sprintf("core%d", i), e)
+}
+
+// CoreSum reads an event delta summed over the given cores (all cores when
+// the slice is nil).
+func (s *Snapshot) CoreSum(cores []int, e pmu.Event) float64 {
+	if cores == nil {
+		var t float64
+		for i := 0; i < s.nCores; i++ {
+			t += s.Core(i, e)
+		}
+		return t
+	}
+	var t float64
+	for _, i := range cores {
+		t += s.Core(i, e)
+	}
+	return t
+}
+
+// CHA reads an event delta from CHA slice i.
+func (s *Snapshot) CHA(i int, e pmu.Event) float64 {
+	return s.read(fmt.Sprintf("cha%d", i), e)
+}
+
+// CHASum reads an event delta summed over all CHA slices (the per-socket
+// scope of the paper's CHA counters).
+func (s *Snapshot) CHASum(e pmu.Event) float64 {
+	var t float64
+	for i := 0; i < s.nCHA; i++ {
+		t += s.CHA(i, e)
+	}
+	return t
+}
+
+// IMCSum reads an event delta summed over all IMC channels.
+func (s *Snapshot) IMCSum(e pmu.Event) float64 {
+	var t float64
+	for i := 0; i < s.nIMC; i++ {
+		t += s.read(fmt.Sprintf("imc%d", i), e)
+	}
+	return t
+}
+
+// M2P reads an event delta from the M2PCIe bank of CXL port dev.
+func (s *Snapshot) M2P(dev int, e pmu.Event) float64 {
+	return s.read(fmt.Sprintf("m2pcie%d", dev), e)
+}
+
+// CXL reads an event delta from the CXL device bank.
+func (s *Snapshot) CXL(dev int, e pmu.Event) float64 {
+	return s.read(fmt.Sprintf("cxl%d", dev), e)
+}
+
+// CoreFamilySum sums a whole OCR-style family scenario over cores.
+func (s *Snapshot) CoreFamilySum(cores []int, fam pmu.Family, scn int) float64 {
+	return s.CoreSum(cores, fam.At(scn))
+}

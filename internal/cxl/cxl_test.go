@@ -1,0 +1,338 @@
+package cxl
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func payload(b byte) []byte {
+	d := make([]byte, 64)
+	for i := range d {
+		d[i] = b + byte(i)
+	}
+	return d
+}
+
+func TestMessageValidate(t *testing.T) {
+	good := []Message{
+		NewRead(0x1000, 7),
+		NewWrite(0x2000, 8, payload(1)),
+		NewDataResponse(7, payload(2)),
+		NewCompletion(8),
+		{Op: MemSpecRd, Addr: 0, Tag: 0},
+	}
+	for i, m := range good {
+		if err := m.Validate(); err != nil {
+			t.Errorf("good[%d]: %v", i, err)
+		}
+	}
+	bad := []Message{
+		{Op: opcodeCount, Addr: 0},                  // bad opcode
+		{Op: MemRd, Addr: maxAddr},                  // address too wide
+		{Op: MemRd, Addr: 0x1001},                   // unaligned
+		{Op: MemRd, Addr: 0, Meta: metaCount},       // bad meta
+		{Op: MemRd, Addr: 0, Snp: snpCount},         // bad snoop
+		{Op: MemRd, Addr: 0, LDID: 16},              // LD-ID too wide
+		{Op: MemWr, Addr: 0, Data: payload(0)[:63]}, // short payload
+		{Op: MemRd, Addr: 0, Data: payload(0)},      // unexpected data
+		{Op: MemData, Tag: 1},                       // missing data
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad[%d] (%v) accepted", i, m.Op)
+		}
+	}
+}
+
+func TestOpcodeProperties(t *testing.T) {
+	if !MemRd.IsM2S() || !MemWr.IsM2S() || Cmp.IsM2S() || MemData.IsM2S() {
+		t.Fatal("direction classification")
+	}
+	if MemRd.HasData() || !MemWr.HasData() || !MemData.HasData() || Cmp.HasData() {
+		t.Fatal("payload classification")
+	}
+	if MemData.String() != "MemData" || CmpE.String() != "Cmp-E" {
+		t.Fatal("mnemonics")
+	}
+}
+
+func roundTrip(t *testing.T, msgs []Message) []Message {
+	t.Helper()
+	var p Packer
+	for i := range msgs {
+		if err := p.Push(msgs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var u Unpacker
+	var out []Message
+	for {
+		f, ok := p.Next()
+		if !ok {
+			break
+		}
+		if err := u.Feed(f); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, u.Drain()...)
+	}
+	return out
+}
+
+func TestFlitRoundTripHeaders(t *testing.T) {
+	msgs := []Message{
+		NewRead(0x4000, 1),
+		{Op: MemSpecRd, Addr: 0x8000, Tag: 2, Meta: MetaShared, Snp: SnpData, LDID: 5},
+		NewCompletion(3),
+		{Op: CmpE, Tag: 4},
+		NewRead(0x3ffffffffc0, 5), // max 46-bit address
+	}
+	got := roundTrip(t, msgs)
+	if len(got) != len(msgs) {
+		t.Fatalf("round-tripped %d of %d", len(got), len(msgs))
+	}
+	for i := range msgs {
+		g, w := got[i], msgs[i]
+		if g.Op != w.Op || g.Addr != w.Addr || g.Tag != w.Tag ||
+			g.Meta != w.Meta || g.Snp != w.Snp || g.LDID != w.LDID {
+			t.Fatalf("message %d: got %+v want %+v", i, g, w)
+		}
+	}
+}
+
+func TestFlitRoundTripData(t *testing.T) {
+	msgs := []Message{
+		NewWrite(0x1000, 1, payload(10)),
+		NewRead(0x2000, 2),
+		NewDataResponse(1, payload(20)),
+	}
+	got := roundTrip(t, msgs)
+	if len(got) != 3 {
+		t.Fatalf("got %d messages", len(got))
+	}
+	if !bytes.Equal(got[0].Data, payload(10)) || !bytes.Equal(got[2].Data, payload(20)) {
+		t.Fatal("payload corrupted")
+	}
+	if got[1].Data != nil {
+		t.Fatal("read acquired a payload")
+	}
+}
+
+func TestFlitPackingDensity(t *testing.T) {
+	// Four header-only messages fit one protocol flit.
+	var p Packer
+	for i := 0; i < 4; i++ {
+		if err := p.Push(NewRead(uint64(i)*64, uint16(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flits := 0
+	for {
+		if _, ok := p.Next(); !ok {
+			break
+		}
+		flits++
+	}
+	if flits != 1 {
+		t.Fatalf("4 reads used %d flits, want 1", flits)
+	}
+	// A write = 1 protocol flit + 1 all-data flit.
+	p = Packer{}
+	_ = p.Push(NewWrite(0, 0, payload(0)))
+	flits = 0
+	for {
+		if _, ok := p.Next(); !ok {
+			break
+		}
+		flits++
+	}
+	if flits != 2 {
+		t.Fatalf("1 write used %d flits, want 2", flits)
+	}
+}
+
+func TestUnpackerErrors(t *testing.T) {
+	var p Packer
+	_ = p.Push(NewRead(0, 1))
+	f, _ := p.Next()
+
+	// CRC corruption.
+	bad := f
+	bad[5] ^= 0xff
+	var u Unpacker
+	if err := u.Feed(bad); err == nil {
+		t.Fatal("corrupted flit accepted")
+	}
+
+	// Sequence gap.
+	var u2 Unpacker
+	if err := u2.Feed(f); err != nil {
+		t.Fatal(err)
+	}
+	gap := f
+	gap[1] = 99
+	crc := crc16(gap[:FlitSize-crcSize])
+	gap[FlitSize-2] = byte(crc)
+	gap[FlitSize-1] = byte(crc >> 8)
+	if err := u2.Feed(gap); err == nil {
+		t.Fatal("sequence gap accepted")
+	}
+
+	// Stray all-data flit.
+	var u3 Unpacker
+	var stray [FlitSize]byte
+	stray[0] = flitAllData
+	if err := u3.Feed(stray); err != ErrStrayData {
+		t.Fatalf("stray data: %v", err)
+	}
+
+	// Unknown flit type.
+	var u4 Unpacker
+	var junk [FlitSize]byte
+	junk[0] = 0x7
+	if err := u4.Feed(junk); err == nil {
+		t.Fatal("unknown flit type accepted")
+	}
+}
+
+func TestPushRejectsInvalid(t *testing.T) {
+	var p Packer
+	if err := p.Push(Message{Op: MemRd, Addr: 1}); err == nil {
+		t.Fatal("unaligned address accepted")
+	}
+	if p.Pending() != 0 {
+		t.Fatal("rejected message queued")
+	}
+}
+
+// Property: any valid message sequence round-trips losslessly.
+func TestFlitRoundTripProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var msgs []Message
+		for i, r := range raw {
+			if len(msgs) >= 40 {
+				break
+			}
+			addr := uint64(r) * 64 % maxAddr
+			tag := uint16(i)
+			switch r % 4 {
+			case 0:
+				msgs = append(msgs, NewRead(addr, tag))
+			case 1:
+				msgs = append(msgs, NewWrite(addr, tag, payload(byte(r))))
+			case 2:
+				msgs = append(msgs, NewCompletion(tag))
+			case 3:
+				msgs = append(msgs, NewDataResponse(tag, payload(byte(r))))
+			}
+		}
+		var p Packer
+		for i := range msgs {
+			if p.Push(msgs[i]) != nil {
+				return false
+			}
+		}
+		var u Unpacker
+		var out []Message
+		for {
+			flit, ok := p.Next()
+			if !ok {
+				break
+			}
+			if u.Feed(flit) != nil {
+				return false
+			}
+			out = append(out, u.Drain()...)
+		}
+		if len(out) != len(msgs) {
+			return false
+		}
+		for i := range msgs {
+			if out[i].Op != msgs[i].Op || out[i].Addr != msgs[i].Addr ||
+				out[i].Tag != msgs[i].Tag || !bytes.Equal(out[i].Data, msgs[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlitsFor(t *testing.T) {
+	cases := []struct{ hdr, data, want int }{
+		{1, 0, 1},
+		{4, 0, 1},
+		{5, 0, 2},
+		{1, 1, 2},
+		{8, 8, 10},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := FlitsFor(c.hdr, c.data); got != c.want {
+			t.Errorf("FlitsFor(%d, %d) = %d, want %d", c.hdr, c.data, got, c.want)
+		}
+	}
+	if BytesPerMessage(MemRd) != 17 {
+		t.Fatalf("read header bytes = %v", BytesPerMessage(MemRd))
+	}
+	if BytesPerMessage(MemWr) != 85 {
+		t.Fatalf("write bytes = %v", BytesPerMessage(MemWr))
+	}
+}
+
+func TestClassifyLoad(t *testing.T) {
+	cases := []struct {
+		occ  float64
+		want DevLoad
+	}{
+		{0, LightLoad},
+		{30, LightLoad},
+		{40, OptimalLoad},
+		{69, OptimalLoad},
+		{75, ModerateOverload},
+		{95, SevereOverload},
+		{100, SevereOverload},
+	}
+	for _, c := range cases {
+		if got := ClassifyLoad(c.occ, 100); got != c.want {
+			t.Errorf("ClassifyLoad(%v) = %v, want %v", c.occ, got, c.want)
+		}
+	}
+	if ClassifyLoad(5, 0) != LightLoad {
+		t.Fatal("zero capacity must be light")
+	}
+	if SevereOverload.String() != "Severe Overload" {
+		t.Fatal("class name")
+	}
+}
+
+func TestLoadTrackerIntegration(t *testing.T) {
+	tr := NewLoadTracker(10)
+	tr.Update(0, 2)  // light from 0
+	tr.Update(50, 5) // 7/10 -> moderate from 50
+	tr.Update(80, 3) // 10/10 -> severe from 80
+	tr.Advance(100)
+	if got := tr.Cycles(LightLoad); got != 50 {
+		t.Fatalf("light cycles = %d", got)
+	}
+	if got := tr.Cycles(ModerateOverload); got != 30 {
+		t.Fatalf("moderate cycles = %d", got)
+	}
+	if got := tr.Cycles(SevereOverload); got != 20 {
+		t.Fatalf("severe cycles = %d", got)
+	}
+	if tr.Dominant() != LightLoad {
+		t.Fatalf("dominant = %v", tr.Dominant())
+	}
+	if tr.Current() != SevereOverload {
+		t.Fatalf("current = %v", tr.Current())
+	}
+	// Draining below zero clamps.
+	tr.Update(110, -99)
+	if tr.Current() != LightLoad {
+		t.Fatal("negative occupancy not clamped")
+	}
+}

@@ -1,0 +1,257 @@
+package cxl
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Mode selects the flit format.  The CXL specification defines 68-byte
+// flits (CXL 1.1/2.0), 256-byte flits (CXL 3.x, with stronger FEC/CRC),
+// and the PBR variant of the 256-byte format for port-based routing
+// through fabrics; this package implements the first two.
+type Mode uint8
+
+// Flit modes.
+const (
+	Mode68  Mode = iota // 68B: 4B header, 4 slots, CRC-16
+	Mode256             // 256B: 6B header, 16 slots, 10B CRC/FEC area
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Mode68:
+		return "68B"
+	case Mode256:
+		return "256B"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// geometry describes a flit format.
+type geometry struct {
+	size        int // total flit bytes
+	header      int
+	slots       int // 15-byte message slots per protocol flit
+	crc         int
+	dataPerFlit int // 64B payloads per all-data flit
+	protoType   byte
+	dataType    byte
+}
+
+const (
+	flitProtocol256 = 0x3
+	flitAllData256  = 0x4
+)
+
+func geom(m Mode) geometry {
+	switch m {
+	case Mode256:
+		return geometry{size: 256, header: 6, slots: 16, crc: 10,
+			dataPerFlit: 3, protoType: flitProtocol256, dataType: flitAllData256}
+	default:
+		return geometry{size: FlitSize, header: headerSize, slots: slotCount, crc: crcSize,
+			dataPerFlit: 1, protoType: flitProtocol, dataType: flitAllData}
+	}
+}
+
+// ModePacker packs messages into flits of the selected mode; Mode68
+// behaves exactly like Packer.
+type ModePacker struct {
+	Mode Mode
+
+	pending []Message
+	data    [][]byte
+	seq     uint8
+}
+
+// Push queues a validated message.
+func (p *ModePacker) Push(m Message) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	p.pending = append(p.pending, m)
+	return nil
+}
+
+// Pending reports queued work.
+func (p *ModePacker) Pending() int { return len(p.pending) + len(p.data) }
+
+// Next emits one flit of the configured mode.
+func (p *ModePacker) Next() ([]byte, bool) {
+	g := geom(p.Mode)
+	if len(p.data) > 0 {
+		f := make([]byte, g.size)
+		f[0] = g.dataType
+		f[1] = p.seq
+		p.seq++
+		n := len(p.data)
+		if n > g.dataPerFlit {
+			n = g.dataPerFlit
+		}
+		f[2] = byte(n)
+		for i := 0; i < n; i++ {
+			copy(f[g.header+i*64:], p.data[i])
+		}
+		p.data = p.data[n:]
+		// 256B data flits carry header slots in their slack (the slot
+		// packing of the 3.x format): up to 3 slots fit after 3 payloads.
+		if slack := (g.size - g.crc - g.header - g.dataPerFlit*64) / slotSize; slack > 0 {
+			h := len(p.pending)
+			if h > slack {
+				h = slack
+			}
+			f[3] = byte(h)
+			base := g.header + g.dataPerFlit*64
+			for i := 0; i < h; i++ {
+				m := &p.pending[i]
+				encodeSlot(f[base+i*slotSize:base+(i+1)*slotSize], m)
+				if m.Op.HasData() {
+					p.data = append(p.data, m.Data)
+				}
+			}
+			p.pending = p.pending[h:]
+			crc := crc16(f[:g.size-g.crc])
+			binary.LittleEndian.PutUint16(f[g.size-g.crc:], crc)
+		}
+		return f, true
+	}
+	if len(p.pending) == 0 {
+		return nil, false
+	}
+	f := make([]byte, g.size)
+	f[0] = g.protoType
+	f[1] = p.seq
+	p.seq++
+	n := len(p.pending)
+	if n > g.slots {
+		n = g.slots
+	}
+	f[2] = byte(n)
+	for i := 0; i < n; i++ {
+		m := &p.pending[i]
+		encodeSlot(f[g.header+i*slotSize:g.header+(i+1)*slotSize], m)
+		if m.Op.HasData() {
+			p.data = append(p.data, m.Data)
+		}
+	}
+	p.pending = p.pending[n:]
+	crc := crc16(f[:g.size-g.crc])
+	binary.LittleEndian.PutUint16(f[g.size-g.crc:], crc)
+	return f, true
+}
+
+// ModeUnpacker reassembles a ModePacker stream; the mode is carried by
+// each flit's type byte, so a single unpacker handles either format.
+type ModeUnpacker struct {
+	out     []Message
+	owed    []int
+	nextSeq uint8
+	started bool
+}
+
+// Feed consumes one flit.
+func (u *ModeUnpacker) Feed(f []byte) error {
+	if len(f) < 3 {
+		return fmt.Errorf("cxl: flit too short (%d bytes)", len(f))
+	}
+	var g geometry
+	switch f[0] {
+	case flitProtocol, flitAllData:
+		g = geom(Mode68)
+	case flitProtocol256, flitAllData256:
+		g = geom(Mode256)
+	default:
+		return fmt.Errorf("%w: %#x", ErrBadFlitType, f[0])
+	}
+	if len(f) != g.size {
+		return fmt.Errorf("cxl: %v flit has %d bytes, want %d", Mode(f[0]/3), len(f), g.size)
+	}
+	if u.started && f[1] != u.nextSeq {
+		return fmt.Errorf("%w: got %d want %d", ErrBadSequence, f[1], u.nextSeq)
+	}
+	u.started = true
+	u.nextSeq = f[1] + 1
+
+	if f[0] == g.dataType {
+		n := int(f[2])
+		if n > g.dataPerFlit {
+			return fmt.Errorf("cxl: data flit claims %d payloads", n)
+		}
+		for i := 0; i < n; i++ {
+			if len(u.owed) == 0 {
+				return ErrStrayData
+			}
+			idx := u.owed[0]
+			u.owed = u.owed[1:]
+			data := make([]byte, 64)
+			copy(data, f[g.header+i*64:g.header+(i+1)*64])
+			u.out[idx].Data = data
+		}
+		// Slack header slots of 256B data flits.
+		if h := int(f[3]); h > 0 {
+			want := binary.LittleEndian.Uint16(f[g.size-g.crc:])
+			if crc16(f[:g.size-g.crc]) != want {
+				return ErrBadCRC
+			}
+			base := g.header + g.dataPerFlit*64
+			for i := 0; i < h; i++ {
+				m := decodeSlot(f[base+i*slotSize : base+(i+1)*slotSize])
+				u.out = append(u.out, m)
+				if m.Op.HasData() {
+					u.owed = append(u.owed, len(u.out)-1)
+				}
+			}
+		}
+		return nil
+	}
+
+	want := binary.LittleEndian.Uint16(f[g.size-g.crc:])
+	if crc16(f[:g.size-g.crc]) != want {
+		return ErrBadCRC
+	}
+	n := int(f[2])
+	if n > g.slots {
+		return fmt.Errorf("cxl: slot count %d exceeds %d", n, g.slots)
+	}
+	for i := 0; i < n; i++ {
+		m := decodeSlot(f[g.header+i*slotSize : g.header+(i+1)*slotSize])
+		u.out = append(u.out, m)
+		if m.Op.HasData() {
+			u.owed = append(u.owed, len(u.out)-1)
+		}
+	}
+	return nil
+}
+
+// Drain returns the fully reassembled messages so far.
+func (u *ModeUnpacker) Drain() []Message {
+	cut := len(u.out)
+	if len(u.owed) > 0 {
+		cut = u.owed[0]
+	}
+	done := make([]Message, cut)
+	copy(done, u.out[:cut])
+	u.out = u.out[cut:]
+	for i := range u.owed {
+		u.owed[i] -= cut
+	}
+	return done
+}
+
+// BytesPerMessageMode is BytesPerMessage for an arbitrary flit mode: the
+// amortized wire bytes of one message's header slot, plus its share of an
+// all-data flit for payload-carrying opcodes (net of the slack the 256B
+// data flit lends back to header slots).
+func BytesPerMessageMode(m Mode, op Opcode) float64 {
+	g := geom(m)
+	b := float64(g.size) / float64(g.slots)
+	if op.HasData() {
+		slack := g.size - g.crc - g.header - g.dataPerFlit*64
+		if slack < 0 {
+			slack = 0
+		}
+		b += float64(g.size-slack) / float64(g.dataPerFlit)
+	}
+	return b
+}

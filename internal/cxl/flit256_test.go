@@ -1,0 +1,169 @@
+package cxl
+
+import (
+	"bytes"
+	"testing"
+)
+
+func modeRoundTrip(t *testing.T, mode Mode, msgs []Message) []Message {
+	t.Helper()
+	p := ModePacker{Mode: mode}
+	for i := range msgs {
+		if err := p.Push(msgs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var u ModeUnpacker
+	var out []Message
+	flits := 0
+	for {
+		f, ok := p.Next()
+		if !ok {
+			break
+		}
+		flits++
+		if err := u.Feed(f); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, u.Drain()...)
+	}
+	t.Logf("mode %v: %d messages in %d flits", mode, len(msgs), flits)
+	return out
+}
+
+func mixedMessages(n int) []Message {
+	var msgs []Message
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			msgs = append(msgs, NewRead(uint64(i)*64, uint16(i)))
+		case 1:
+			msgs = append(msgs, NewWrite(uint64(i)*64, uint16(i), payload(byte(i))))
+		case 2:
+			msgs = append(msgs, NewCompletion(uint16(i)))
+		}
+	}
+	return msgs
+}
+
+func TestMode256RoundTrip(t *testing.T) {
+	msgs := mixedMessages(40)
+	got := modeRoundTrip(t, Mode256, msgs)
+	if len(got) != len(msgs) {
+		t.Fatalf("round-tripped %d of %d", len(got), len(msgs))
+	}
+	for i := range msgs {
+		if got[i].Op != msgs[i].Op || got[i].Addr != msgs[i].Addr ||
+			got[i].Tag != msgs[i].Tag || !bytes.Equal(got[i].Data, msgs[i].Data) {
+			t.Fatalf("message %d mismatch", i)
+		}
+	}
+}
+
+func TestMode68MatchesLegacyPacker(t *testing.T) {
+	msgs := mixedMessages(17)
+	got := modeRoundTrip(t, Mode68, msgs)
+	if len(got) != len(msgs) {
+		t.Fatalf("round-tripped %d of %d", len(got), len(msgs))
+	}
+}
+
+func TestMode256Density(t *testing.T) {
+	countFlits := func(mode Mode, msgs []Message) (flits, bytes int) {
+		p := ModePacker{Mode: mode}
+		for i := range msgs {
+			_ = p.Push(msgs[i])
+		}
+		for {
+			f, ok := p.Next()
+			if !ok {
+				return flits, bytes
+			}
+			flits++
+			bytes += len(f)
+		}
+	}
+	// 32 header-only reads: 68B mode needs 8 flits, 256B needs 2.
+	var reads []Message
+	for i := 0; i < 32; i++ {
+		reads = append(reads, NewRead(uint64(i)*64, uint16(i)))
+	}
+	f68, _ := countFlits(Mode68, reads)
+	f256, _ := countFlits(Mode256, reads)
+	if f68 != 8 || f256 != 2 {
+		t.Fatalf("flit counts: 68B=%d (want 8), 256B=%d (want 2)", f68, f256)
+	}
+	// 9 data responses: 68B needs 9 data flits; 256B needs 3.
+	var resp []Message
+	for i := 0; i < 9; i++ {
+		resp = append(resp, NewDataResponse(uint16(i), payload(byte(i))))
+	}
+	f68, b68 := countFlits(Mode68, resp)
+	f256, b256 := countFlits(Mode256, resp)
+	if f68 != 3+9 || f256 != 1+3 {
+		t.Fatalf("data flit counts: 68B=%d, 256B=%d", f68, f256)
+	}
+	// Pure data traffic: near parity in this layout (the real format
+	// reaches it through byte-granular slotting); within 30%.
+	if float64(b256) > float64(b68)*1.3 {
+		t.Fatalf("256B mode data overhead too large: %d vs %d wire bytes", b256, b68)
+	}
+	// At full occupancy the per-message wire cost is near parity: the
+	// 256B format's wins are FEC strength and PBR routing, not raw
+	// density.  Large header-only batches land within 10%.
+	var many []Message
+	for i := 0; i < 160; i++ {
+		many = append(many, NewCompletion(uint16(i)))
+	}
+	_, hb68 := countFlits(Mode68, many)
+	_, hb256 := countFlits(Mode256, many)
+	if r := float64(hb256) / float64(hb68); r < 0.85 || r > 1.1 {
+		t.Fatalf("full-flit header density diverges: 256B/68B = %.2f", r)
+	}
+}
+
+func TestMode256Errors(t *testing.T) {
+	p := ModePacker{Mode: Mode256}
+	_ = p.Push(NewRead(0, 1))
+	f, _ := p.Next()
+
+	var u ModeUnpacker
+	if err := u.Feed(f[:10]); err == nil {
+		t.Fatal("short flit accepted")
+	}
+	bad := append([]byte{}, f...)
+	bad[8] ^= 0xff
+	if err := u.Feed(bad); err != ErrBadCRC {
+		t.Fatalf("corrupted 256B flit: %v", err)
+	}
+	var junk [256]byte
+	junk[0] = 0x9
+	if err := u.Feed(junk[:]); err == nil {
+		t.Fatal("unknown flit type accepted")
+	}
+	var u2 ModeUnpacker
+	stray := make([]byte, 256)
+	stray[0] = flitAllData256
+	stray[2] = 1
+	if err := u2.Feed(stray); err != ErrStrayData {
+		t.Fatalf("stray 256B data flit: %v", err)
+	}
+}
+
+func TestBytesPerMessageMode(t *testing.T) {
+	if BytesPerMessageMode(Mode68, MemRd) != 17 {
+		t.Fatal("68B header bytes")
+	}
+	if got := BytesPerMessageMode(Mode256, MemRd); got != 16 {
+		t.Fatalf("256B header bytes = %v", got)
+	}
+	// Data responses: near parity between the modes in this layout.
+	d68 := BytesPerMessageMode(Mode68, MemData)
+	d256 := BytesPerMessageMode(Mode256, MemData)
+	if d256 > d68*1.3 || d68 > d256*1.3 {
+		t.Fatalf("data bytes diverge: 68B=%v 256B=%v", d68, d256)
+	}
+	if Mode256.String() != "256B" || Mode68.String() != "68B" {
+		t.Fatal("mode names")
+	}
+}

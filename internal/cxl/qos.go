@@ -1,0 +1,107 @@
+package cxl
+
+import "fmt"
+
+// DevLoad is the CXL 3.x QoS telemetry class a Type-3 device reports in
+// S2M responses, derived from its internal queue pressure.  The paper's
+// §3.5 notes the packing-buffer counters exist to derive it but that
+// shipping DIMMs do not populate it — this package does.
+type DevLoad uint8
+
+// Device-load classes of the specification.
+const (
+	LightLoad DevLoad = iota
+	OptimalLoad
+	ModerateOverload
+	SevereOverload
+	devLoadCount
+)
+
+// String returns the specification name.
+func (d DevLoad) String() string {
+	switch d {
+	case LightLoad:
+		return "Light Load"
+	case OptimalLoad:
+		return "Optimal Load"
+	case ModerateOverload:
+		return "Moderate Overload"
+	case SevereOverload:
+		return "Severe Overload"
+	}
+	return fmt.Sprintf("DevLoad(%d)", uint8(d))
+}
+
+// ClassifyLoad maps a device queue utilization (occupancy/capacity) to a
+// DevLoad class with the spec's intent: below ~35% the device has spare
+// headroom (light), up to ~70% it runs at its efficiency knee (optimal),
+// up to ~90% latency grows superlinearly (moderate overload), beyond that
+// requesters should throttle hard (severe overload).
+func ClassifyLoad(occupancy, capacity float64) DevLoad {
+	if capacity <= 0 {
+		return LightLoad
+	}
+	u := occupancy / capacity
+	switch {
+	case u < 0.35:
+		return LightLoad
+	case u < 0.70:
+		return OptimalLoad
+	case u < 0.90:
+		return ModerateOverload
+	default:
+		return SevereOverload
+	}
+}
+
+// LoadTracker integrates the time a device spends in each DevLoad class,
+// the way an occupancy tracker integrates queue depth: the simulator calls
+// Update on every queue transition and reads the per-class cycle totals at
+// snapshot time.
+type LoadTracker struct {
+	capacity float64
+	occ      float64
+	last     uint64
+	cycles   [devLoadCount]uint64
+}
+
+// NewLoadTracker returns a tracker for a queue of the given capacity.
+func NewLoadTracker(capacity int) *LoadTracker {
+	return &LoadTracker{capacity: float64(capacity)}
+}
+
+// Update integrates to cycle now and applies the occupancy delta.
+func (t *LoadTracker) Update(now uint64, delta int) {
+	t.Advance(now)
+	t.occ += float64(delta)
+	if t.occ < 0 {
+		t.occ = 0
+	}
+}
+
+// Advance integrates the class residency up to cycle now.
+func (t *LoadTracker) Advance(now uint64) {
+	if now > t.last {
+		t.cycles[t.Current()] += now - t.last
+		t.last = now
+	}
+}
+
+// Current returns the instantaneous class.
+func (t *LoadTracker) Current() DevLoad {
+	return ClassifyLoad(t.occ, t.capacity)
+}
+
+// Cycles returns the accumulated cycles spent in class d.
+func (t *LoadTracker) Cycles(d DevLoad) uint64 { return t.cycles[d] }
+
+// Dominant returns the class with the most accumulated cycles.
+func (t *LoadTracker) Dominant() DevLoad {
+	best := LightLoad
+	for d := LightLoad; d < devLoadCount; d++ {
+		if t.cycles[d] > t.cycles[best] {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"pathfinder/internal/core"
+	"pathfinder/internal/pmu"
+	"pathfinder/internal/sim"
+	"pathfinder/internal/workload"
+)
+
+// The six applications used by the paper's core/CHA characterization
+// figures (Figures 2-3 name 519.lbm_r, 541.leela_r, 554.roms_r,
+// 507.cactuBSSN_r among others).
+var charApps = []string{"LBM", "ROMS", "CAC", "BWA", "MCF", "LEE"}
+
+func coreMetric(e pmu.Event) Metric {
+	return Metric{Name: pmu.Default.Name(e), Get: func(s *core.Snapshot, cores []int) float64 {
+		return s.CoreSum(cores, e)
+	}}
+}
+
+func chaMetric(name string, e pmu.Event) Metric {
+	return Metric{Name: name, Get: func(s *core.Snapshot, cores []int) float64 {
+		return s.CHASum(e)
+	}}
+}
+
+// Fig2Result bundles the core-PMU characterization (Figure 2 on SPR,
+// Figure 14 on EMR): the RD+WR app comparison plus the write-only SB runs.
+type Fig2Result struct {
+	Main   *CompareResult // per-app core counters, RD+WR workloads
+	WrOnly *CompareResult // SB stalls under write-only streams
+}
+
+// RunFig2 reproduces Figure 2: core PMU counters when running on local vs
+// CXL memory — SB stalls (a), L1D execution/operations (b, c), LFB (d),
+// and L2 execution/operations (e, f).
+func RunFig2(cfg sim.Config, quick bool) *Fig2Result {
+	opt := defaultChar(cfg, quick)
+	main := RunCompare("Figure 2: core PMU, local vs CXL ("+cfg.Name+")", opt, charApps, []Metric{
+		// (a) store buffer: both SB-full flavors (loads in flight or not).
+		{Name: "sb_stalls", Get: func(s *core.Snapshot, cores []int) float64 {
+			return s.CoreSum(cores, pmu.ResourceStallsSB) + s.CoreSum(cores, pmu.ExeBoundOnStores)
+		}},
+		// (b) L1D execution.
+		coreMetric(pmu.StallsL1DMiss),
+		coreMetric(pmu.CyclesL1DMiss),
+		{Name: "load_resp_wait", Get: func(s *core.Snapshot, cores []int) float64 {
+			cnt := s.CoreSum(cores, pmu.MemTransLoadCount)
+			if cnt == 0 {
+				return 0
+			}
+			return s.CoreSum(cores, pmu.MemTransLoadLatency) / cnt
+		}},
+		// (c) L1D operations.
+		coreMetric(pmu.MemLoadL1Hit),
+		coreMetric(pmu.MemLoadL1Miss),
+		coreMetric(pmu.L1DReplacement),
+		// (d) LFB.
+		coreMetric(pmu.MemLoadFBHit),
+		coreMetric(pmu.L1DPendMissFBFull),
+		// (e) L2 execution.
+		coreMetric(pmu.StallsL2Miss),
+		coreMetric(pmu.CyclesL2Miss),
+		// (f) L2 operations.
+		coreMetric(pmu.L2DemandDataRdHit),
+		coreMetric(pmu.L2DemandDataRdMiss),
+		coreMetric(pmu.L2RFOHit),
+		coreMetric(pmu.L2RFOMiss),
+		coreMetric(pmu.L2HWPFHit),
+		coreMetric(pmu.L2HWPFMiss),
+		coreMetric(pmu.MemStoreL2Hit),
+	})
+
+	// Write-only scenario: exe_activity.bound_on_stores dominates when no
+	// loads are in flight (Figure 2-a's WR-only bars).
+	wrOpt := opt
+	wrOpt.genFor = func(app workload.App, r workload.Region) workload.Generator {
+		g := workload.NewStream(r, 1, 1.0, 7)
+		g.Reuse = 2
+		return g
+	}
+	wr := RunCompare("Figure 2-a (WR-only): SB stall share of cycles, local vs CXL ("+cfg.Name+")",
+		wrOpt, charApps, []Metric{
+			{Name: "sb_stall_frac", Get: func(s *core.Snapshot, cores []int) float64 {
+				clk := s.CoreSum(cores, pmu.CPUClkUnhalted)
+				if clk == 0 {
+					return 0
+				}
+				return (s.CoreSum(cores, pmu.ResourceStallsSB) +
+					s.CoreSum(cores, pmu.ExeBoundOnStores)) / clk
+			}},
+		})
+	return &Fig2Result{Main: main, WrOnly: wr}
+}
+
+// RunFig3 reproduces Figure 3: CHA PMU counters, local vs CXL — core LLC
+// stalls (a), hit/miss breakdown (b), miss serve locations (c), hit/miss
+// occupancy (d, e), and the LLC operation breakdown (f).
+func RunFig3(cfg sim.Config, quick bool) *CompareResult {
+	opt := defaultChar(cfg, quick)
+	metrics := []Metric{
+		// (a) core LLC stalls and DRd response.
+		coreMetric(pmu.StallsL3Miss),
+		{Name: "drd_l3_resp", Get: func(s *core.Snapshot, cores []int) float64 {
+			miss := s.CoreSum(cores, pmu.MemLoadL3Miss)
+			if miss == 0 {
+				return 0
+			}
+			return s.CoreSum(cores, pmu.OROL3MissDemandDataRd) / miss
+		}},
+		// (b) hit/miss per path.
+		{Name: "llc_hit_drd", Get: famScn(pmu.OCRDemandDataRd, pmu.ScnHit)},
+		{Name: "llc_miss_drd", Get: famScn(pmu.OCRDemandDataRd, pmu.ScnMiss)},
+		{Name: "llc_hit_rfo", Get: famScn(pmu.OCRRFO, pmu.ScnHit)},
+		{Name: "llc_miss_rfo", Get: famScn(pmu.OCRRFO, pmu.ScnMiss)},
+		{Name: "llc_hit_hwpf", Get: pfScnMetric(pmu.ScnHit)},
+		{Name: "llc_miss_hwpf", Get: pfScnMetric(pmu.ScnMiss)},
+		// (c) where misses are served.
+		{Name: "serve_local_dram", Get: famScn(pmu.OCRDemandDataRd, pmu.ScnMissLocalDDR)},
+		{Name: "serve_remote", Get: famScn(pmu.OCRDemandDataRd, pmu.ScnMissRemote)},
+		{Name: "serve_cxl", Get: famScn(pmu.OCRDemandDataRd, pmu.ScnMissCXL)},
+		// (d)/(e) TOR occupancy of hits and misses (socket scope).
+		chaMetric("tor_occ_drd_hit", pmu.TOROccupancyIADRd[pmu.ScnHit]),
+		chaMetric("tor_occ_drd_miss", pmu.TOROccupancyIADRd[pmu.ScnMiss]),
+		chaMetric("tor_occ_rfo_hit", pmu.TOROccupancyIARFO[pmu.RFOHit]),
+		chaMetric("tor_occ_rfo_miss", pmu.TOROccupancyIARFO[pmu.RFOMiss]),
+		chaMetric("tor_occ_pf_hit", pmu.TOROccupancyIADRdPref[pmu.ScnHit]),
+		chaMetric("tor_occ_pf_miss", pmu.TOROccupancyIADRdPref[pmu.ScnMiss]),
+		// (f) LLC operation breakdown.
+		chaMetric("tor_ins_drd", pmu.TORInsertsIADRd[pmu.ScnAny]),
+		chaMetric("tor_ins_rfo", pmu.TORInsertsIARFO[pmu.RFOAny]),
+		chaMetric("tor_ins_pf", pmu.TORInsertsIADRdPref[pmu.ScnAny]),
+		chaMetric("tor_ins_wb", pmu.TORInsertsIAWB[pmu.WBMToE]),
+	}
+	return RunCompare("Figure 3: CHA PMU, local vs CXL ("+cfg.Name+")", opt, charApps, metrics)
+}
+
+func famScn(f pmu.Family, scn int) func(*core.Snapshot, []int) float64 {
+	return func(s *core.Snapshot, cores []int) float64 {
+		return s.CoreFamilySum(cores, f, scn)
+	}
+}
+
+func pfScnMetric(scn int) func(*core.Snapshot, []int) float64 {
+	return func(s *core.Snapshot, cores []int) float64 {
+		return s.CoreFamilySum(cores, pmu.OCRL1DHWPF, scn) +
+			s.CoreFamilySum(cores, pmu.OCRL2HWPFDRd, scn) +
+			s.CoreFamilySum(cores, pmu.OCRL2HWPFRFO, scn)
+	}
+}
+
+// RunFig4 reproduces Figure 4: uncore PMU — IMC RPQ/WPQ occupancy (a) and
+// the per-device load/store command breakdown (b).  The paper's headline
+// observations: CXL streams leave the IMC queues empty (the device has its
+// own MC), and the same profiling window moves ~37% fewer commands on CXL.
+func RunFig4(cfg sim.Config, quick bool) *CompareResult {
+	opt := defaultChar(cfg, quick)
+	metrics := []Metric{
+		{Name: "imc_rpq_occ", Get: func(s *core.Snapshot, _ []int) float64 {
+			return s.IMCSum(pmu.RPQOccupancy)
+		}},
+		{Name: "imc_wpq_occ", Get: func(s *core.Snapshot, _ []int) float64 {
+			return s.IMCSum(pmu.WPQOccupancy)
+		}},
+		{Name: "loads_served", Get: func(s *core.Snapshot, _ []int) float64 {
+			// Local loads at the IMC plus CXL loads at the M2PCIe egress.
+			return s.IMCSum(pmu.CASCountRd) + s.M2P(0, pmu.M2PTxInsertsBL)
+		}},
+		{Name: "stores_served", Get: func(s *core.Snapshot, _ []int) float64 {
+			return s.IMCSum(pmu.CASCountWr) + s.M2P(0, pmu.M2PTxInsertsAK)
+		}},
+		{Name: "cxl_loads", Get: func(s *core.Snapshot, _ []int) float64 {
+			return s.M2P(0, pmu.M2PTxInsertsBL)
+		}},
+		{Name: "cxl_stores", Get: func(s *core.Snapshot, _ []int) float64 {
+			return s.M2P(0, pmu.M2PTxInsertsAK)
+		}},
+	}
+	return RunCompare("Figure 4: uncore PMU, local vs CXL ("+cfg.Name+")", opt, charApps, metrics)
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"pathfinder/internal/core"
+	"pathfinder/internal/mem"
+	"pathfinder/internal/report"
+	"pathfinder/internal/sim"
+	"pathfinder/internal/workload"
+)
+
+// Metric is one named counter-derived quantity extracted from a snapshot.
+type Metric struct {
+	Name string
+	Get  func(s *core.Snapshot, cores []int) float64
+}
+
+// CompareResult holds a local-vs-CXL counter characterization: one value
+// per (application, metric) for each placement.
+type CompareResult struct {
+	Title   string
+	Apps    []string
+	Metrics []Metric
+	Local   [][]float64 // [app][metric]
+	CXL     [][]float64
+}
+
+// MeanRatio returns the arithmetic-mean CXL/local ratio of a metric over
+// the applications where the local value is nonzero.
+func (r *CompareResult) MeanRatio(metric int) float64 {
+	var sum float64
+	n := 0
+	for a := range r.Apps {
+		if l := r.Local[a][metric]; l > 0 {
+			sum += r.CXL[a][metric] / l
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MetricIndex locates a metric by name (-1 if absent).
+func (r *CompareResult) MetricIndex(name string) int {
+	for i, m := range r.Metrics {
+		if m.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Table renders per-app local/CXL values and the mean ratio per metric.
+func (r *CompareResult) Table() *report.Table {
+	t := &report.Table{Title: r.Title,
+		Cols: []string{"metric"}}
+	for _, a := range r.Apps {
+		t.Cols = append(t.Cols, a+" local", a+" cxl")
+	}
+	t.Cols = append(t.Cols, "mean CXL/local")
+	for mi, m := range r.Metrics {
+		row := []string{m.Name}
+		for ai := range r.Apps {
+			row = append(row, report.Num(r.Local[ai][mi]), report.Num(r.CXL[ai][mi]))
+		}
+		row = append(row, report.Ratio(r.MeanRatio(mi)))
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// charOptions are the common knobs of a characterization run.
+type charOptions struct {
+	cfg sim.Config
+	ws  uint64 // working-set bytes per app
+	ops uint64 // fixed work per placement (the paper compares equal
+	//                  load/store counts between local and CXL runs)
+	maxCycles sim.Cycles // safety bound
+	genFor    func(app workload.App, r workload.Region) workload.Generator
+}
+
+func defaultChar(cfg sim.Config, quick bool) charOptions {
+	opt := charOptions{
+		cfg:       cfg,
+		ws:        64 * mb,
+		ops:       2_000_000,
+		maxCycles: 800_000_000,
+		genFor: func(app workload.App, r workload.Region) workload.Generator {
+			return app.Generator(r, 42)
+		},
+	}
+	// Shrink the LLC so the working set spills to memory in bounded time.
+	opt.cfg.LLCSize /= 4
+	opt.cfg.LLCSlices /= 4
+	if quick {
+		opt.ws = 32 * mb
+		opt.ops = 600_000
+		opt.maxCycles = 250_000_000
+		opt.cfg.LLCSize /= 2
+	}
+	return opt
+}
+
+// opsFor scales the work budget by access shape: dependent-chase apps cost
+// three orders of magnitude more cycles per op, so they get a smaller (but
+// still footprint-covering) budget.
+func (opt *charOptions) opsFor(app workload.App) uint64 {
+	switch app.Shape {
+	case workload.ShapeChase, workload.ShapeGUPS, workload.ShapeZipf, workload.ShapeGraph:
+		return opt.ops / 4
+	}
+	return opt.ops
+}
+
+// runPlacement runs one application for a fixed amount of work with its
+// working set on the given node and snapshots the whole run.
+func runPlacement(opt charOptions, app workload.App, node mem.NodeID) *core.Snapshot {
+	rig := NewRig(RigOptions{Config: opt.cfg})
+	reg := rig.Alloc(opt.ws, node)
+	cap := core.NewCapturer(rig.Machine)
+	rig.Machine.Attach(0, workload.NewLimit(opt.genFor(app, reg), opt.opsFor(app)))
+	deadline := rig.Machine.Now() + opt.maxCycles
+	for rig.Machine.Core(0).Running() && rig.Machine.Now() < deadline {
+		rig.Machine.Run(200_000)
+	}
+	return cap.Capture()
+}
+
+// RunCompare characterizes the named applications on local versus CXL
+// memory with the given metric set.
+func RunCompare(title string, opt charOptions, apps []string, metrics []Metric) *CompareResult {
+	res := &CompareResult{Title: title, Apps: apps, Metrics: metrics}
+	cores := []int{0}
+	for _, name := range apps {
+		app, ok := workload.Lookup(name)
+		if !ok {
+			panic("experiments: unknown app " + name)
+		}
+		sLocal := runPlacement(opt, app, 0)
+		sCXL := runPlacement(opt, app, 2)
+		lv := make([]float64, len(metrics))
+		cv := make([]float64, len(metrics))
+		for i, m := range metrics {
+			lv[i] = m.Get(sLocal, cores)
+			cv[i] = m.Get(sCXL, cores)
+		}
+		res.Local = append(res.Local, lv)
+		res.CXL = append(res.CXL, cv)
+	}
+	return res
+}

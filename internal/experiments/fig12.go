@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/mem"
+	"pathfinder/internal/pmu"
+	"pathfinder/internal/report"
+	"pathfinder/internal/sim"
+	"pathfinder/internal/workload"
+)
+
+// Fig12Run is one co-location scenario of Case 6: 503.bwaves_r observed by
+// PFMaterializer while co-runners launch mid-run.
+type Fig12Run struct {
+	Label      string
+	MissBefore float64 // BWA mean LLC misses per epoch before the launch
+	MissAfter  float64 // after
+	Windows    int     // locality windows detected across the run
+}
+
+// Fig12Result is the full data-locality case study.
+type Fig12Result struct {
+	Runs []Fig12Run
+}
+
+// RunFig12 reproduces Figure 12: 503.bwaves_r runs on CXL memory; halfway
+// through, a disturbance launches — (a) 519.lbm_r on local memory, (b)
+// 554.roms_r on CXL memory, (c) a combination of three applications on
+// both tiers — and PFMaterializer's cross-snapshot clustering reports the
+// locality change.
+func RunFig12(cfg sim.Config, quick bool) *Fig12Result {
+	opt := defaultChar(cfg, quick)
+	epochs := 24
+	epoch := sim.Cycles(1_500_000)
+	if quick {
+		epochs = 16
+		epoch = 600_000
+	}
+
+	type launch struct {
+		app  string
+		node mem.NodeID
+		frac uint64
+	}
+	scenarios := []struct {
+		label    string
+		launches []launch
+	}{
+		{"with 519.lbm_r (local)", []launch{{"LBM", 0, 2}}},
+		{"with 554.roms_r (CXL)", []launch{{"ROMS", 2, 2}}},
+		{"with lbm+mcf+roms (mixed)", []launch{{"LBM", 0, 4}, {"MCF", 0, 4}, {"ROMS", 2, 4}}},
+	}
+
+	out := &Fig12Result{}
+	for _, sc := range scenarios {
+		rig := NewRig(RigOptions{Config: opt.cfg})
+		// The observed app's working set is sized near the LLC so it has
+		// cache reuse for the co-runners to disturb.
+		bwaReg := rig.Alloc(uint64(opt.cfg.LLCSize), 2)
+		bwaApp, _ := workload.Lookup("BWA")
+		p, err := core.NewProfiler(core.Spec{
+			Machine:     rig.Machine,
+			Apps:        []core.AppRun{{Label: "BWA", Core: 0, Gen: bwaApp.Generator(bwaReg, 5)}},
+			EpochCycles: epoch,
+			Epochs:      epochs,
+		})
+		if err != nil {
+			panic(err)
+		}
+
+		var missSeries []float64
+		half := epochs / 2
+		for e := 0; e < epochs; e++ {
+			if e == half {
+				for i, l := range sc.launches {
+					app, _ := workload.Lookup(l.app)
+					reg := rig.Alloc(opt.ws/l.frac, l.node)
+					rig.Machine.Attach(1+i, app.Generator(reg, uint64(90+i)))
+				}
+			}
+			res, err := p.Step()
+			if err != nil {
+				panic(err)
+			}
+			pm := res.PathMaps["BWA"]
+			miss := pm.Load[core.PathDRd][core.LvlCXL] +
+				pm.Load[core.PathDRd][core.LvlLocalDRAM] +
+				pm.Load[core.PathHWPF][core.LvlCXL] +
+				pm.Load[core.PathHWPF][core.LvlLocalDRAM]
+			// Normalize per unit of BWA work so co-runner-induced
+			// slowdown does not masquerade as a locality change.
+			loads := res.Snapshot.Core(0, pmu.MemInstAllLoads)
+			if loads > 0 {
+				miss = miss / loads * 1000 // misses per kilo-load
+			}
+			missSeries = append(missSeries, miss)
+		}
+
+		run := Fig12Run{Label: sc.label}
+		for e, v := range missSeries {
+			if e < half {
+				run.MissBefore += v
+			} else {
+				run.MissAfter += v
+			}
+		}
+		run.MissBefore /= float64(half)
+		run.MissAfter /= float64(epochs - half)
+		run.Windows = len(p.Materializer().LocalityWindows("BWA", core.LvlCXL, 0.4))
+		out.Runs = append(out.Runs, run)
+	}
+	return out
+}
+
+// Table renders the locality-change summary.
+func (r *Fig12Result) Table() *report.Table {
+	t := &report.Table{
+		Title: "Figure 12: 503.bwaves_r LLC misses per kilo-load around co-runner launch",
+		Cols:  []string{"scenario", "miss/kload before", "miss/kload after", "change", "locality windows"},
+	}
+	for _, run := range r.Runs {
+		chg := 0.0
+		if run.MissBefore > 0 {
+			chg = run.MissAfter/run.MissBefore - 1
+		}
+		t.AddRow(run.Label, report.Num(run.MissBefore), report.Num(run.MissAfter),
+			fmt.Sprintf("%+.1f%%", chg*100), fmt.Sprint(run.Windows))
+	}
+	return t
+}

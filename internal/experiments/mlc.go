@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"pathfinder/internal/mem"
+	"pathfinder/internal/pmu"
+	"pathfinder/internal/report"
+	"pathfinder/internal/sim"
+	"pathfinder/internal/workload"
+)
+
+// MLCRow is one tier's latency/bandwidth measurement (the §2.3 numbers:
+// local 103.2 ns / 131.1 GB/s, NUMA 163.6 ns / 94.4 GB/s, CXL 355.3 ns /
+// 17.6 GB/s on the paper's SPR testbed).
+type MLCRow struct {
+	Tier        string
+	LatencyNS   float64
+	BandwidthGB float64
+}
+
+// MLCResult is the full Intel-MLC-equivalent sweep.
+type MLCResult struct {
+	Rows []MLCRow
+}
+
+// Table renders the result.
+func (r *MLCResult) Table() *report.Table {
+	t := &report.Table{
+		Title: "Intel MLC equivalent: idle latency and peak bandwidth per tier (paper §2.3)",
+		Cols:  []string{"tier", "latency (ns)", "bandwidth (GB/s)"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Tier, report.Num(row.LatencyNS), report.Num(row.BandwidthGB))
+	}
+	return t
+}
+
+// measureLatency runs a single-core dependent pointer chase over a region
+// on the given node and returns the average load-to-use latency in ns.
+func measureLatency(cfg sim.Config, node mem.NodeID, cycles sim.Cycles) float64 {
+	cfg.L1PFDegree, cfg.L2PFDegree = 0, 0 // latency sweep defeats prefetch anyway
+	rig := NewRig(RigOptions{Config: cfg})
+	reg := rig.Alloc(256*mb, node)
+	rig.Machine.Attach(0, workload.NewPointerChase(reg, 1, 7))
+	rig.Machine.Run(cycles)
+	rig.Machine.Sync()
+	b := rig.Machine.Core(0).Bank()
+	lat := float64(b.Read(pmu.MemTransLoadLatency))
+	cnt := float64(b.Read(pmu.MemTransLoadCount))
+	if cnt == 0 {
+		return 0
+	}
+	return rig.cyclesToNS(lat / cnt)
+}
+
+// measureBandwidth saturates a node with streaming loads from every core
+// and returns the delivered bandwidth in GB/s, measured at the serving
+// device's own counters (CAS / link inserts), the way MLC reports it.
+func measureBandwidth(cfg sim.Config, node mem.NodeID, cycles sim.Cycles) float64 {
+	rig := NewRig(RigOptions{Config: cfg})
+	m := rig.Machine
+	nCores := m.Config().Cores
+	for c := 0; c < nCores; c++ {
+		reg := rig.Alloc(32*mb, node)
+		g := workload.NewStream(reg, 0, 0, uint64(c+1))
+		m.Attach(c, g)
+	}
+	m.Run(cycles)
+	m.Sync()
+
+	var lines float64
+	switch node {
+	case rig.CXLNode:
+		lines = float64(m.Bank("cxl0").Read(pmu.CXLDevCASRd))
+	case rig.LocalNode:
+		for i := 0; i < m.Config().DRAMChannels; i++ {
+			lines += float64(m.Bank(bankName("imc", i)).Read(pmu.CASCountRd))
+		}
+	default:
+		// The remote path has no modeled counters; use core-side loads
+		// that missed to remote DRAM.
+		for c := 0; c < nCores; c++ {
+			b := m.Core(c).Bank()
+			lines += float64(b.Read(pmu.OCRDemandDataRd[pmu.ScnMissRemoteDDR]))
+			lines += float64(b.Read(pmu.OCRL1DHWPF[pmu.ScnMissRemoteDDR]))
+			lines += float64(b.Read(pmu.OCRL2HWPFDRd[pmu.ScnMissRemoteDDR]))
+		}
+	}
+	seconds := float64(cycles) / (m.Config().GHz * 1e9)
+	return lines * 64 / seconds / 1e9
+}
+
+func bankName(prefix string, i int) string {
+	// Small helper avoiding fmt in hot paths.
+	const digits = "0123456789"
+	if i < 10 {
+		return prefix + digits[i:i+1]
+	}
+	return prefix + digits[i/10:i/10+1] + digits[i%10:i%10+1]
+}
+
+// RunMLC performs the latency/bandwidth sweep for all three tiers.
+// quick shortens the run for test suites.
+func RunMLC(cfg sim.Config, quick bool) *MLCResult {
+	latCycles := sim.Cycles(4_000_000)
+	bwCycles := sim.Cycles(2_000_000)
+	if quick {
+		latCycles, bwCycles = 800_000, 500_000
+	}
+	res := &MLCResult{}
+	for _, tier := range []struct {
+		name string
+		node mem.NodeID
+	}{
+		{"local DDR", 0},
+		{"cross-NUMA DDR", 1},
+		{"CXL Type-3", 2},
+	} {
+		res.Rows = append(res.Rows, MLCRow{
+			Tier:        tier.name,
+			LatencyNS:   measureLatency(cfg, tier.node, latCycles),
+			BandwidthGB: measureBandwidth(cfg, tier.node, bwCycles),
+		})
+	}
+	return res
+}

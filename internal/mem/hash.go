@@ -1,0 +1,42 @@
+package mem
+
+// LineSize is the cache-line size of the simulated machines (64 bytes).
+const LineSize = 64
+
+// LineShift is log2(LineSize).
+const LineShift = 6
+
+// LineAddr returns the cache-line-aligned address of addr.
+func LineAddr(addr uint64) uint64 { return addr &^ (LineSize - 1) }
+
+// hashLine mixes the line address so that sequential lines still spread
+// across slices/channels the way the physical hash on Xeon parts does.
+// It is a 64-bit finalizer (splitmix64-style) over the line number.
+func hashLine(addr uint64) uint64 {
+	x := addr >> LineShift
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// SliceOf returns the LLC slice serving addr among nSlices slices.  Intel
+// parts hash the physical address over the CHA mesh stops; a multiplicative
+// hash preserves the uniform-spread property PFBuilder relies on.
+func SliceOf(addr uint64, nSlices int) int {
+	if nSlices <= 1 {
+		return 0
+	}
+	return int(hashLine(addr) % uint64(nSlices))
+}
+
+// ChannelOf returns the memory channel serving addr among nChannels
+// channels, interleaved at line granularity like the IMC.
+func ChannelOf(addr uint64, nChannels int) int {
+	if nChannels <= 1 {
+		return 0
+	}
+	return int((addr >> LineShift) % uint64(nChannels))
+}

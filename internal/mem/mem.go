@@ -1,0 +1,267 @@
+// Package mem models the physical memory layout of the simulated server:
+// NUMA nodes (local DDR5, the cross-socket node, and CPU-less CXL Type-3
+// nodes), page-granular placement of allocations across nodes, and the
+// address-hash functions that spread lines over LLC slices and memory
+// channels.
+//
+// The CXL node mirrors the paper's setup (§5.1): the Type-3 device "appears
+// as a CPU-less NUMA node", so placement policies (all-local, all-CXL,
+// ratio interleaving, hot/cold split) select which pages resolve to which
+// node, and the tiering layer (mem/tier) migrates pages between nodes at
+// run time.
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind classifies a NUMA node by its position in the memory hierarchy.
+type Kind uint8
+
+// Node kinds.
+const (
+	LocalDRAM  Kind = iota // DDR attached to the socket running the workload
+	RemoteDRAM             // DDR attached to the other socket (cross-NUMA)
+	CXLDRAM                // CXL Type-3 device memory behind FlexBus
+)
+
+// String returns the conventional name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case LocalDRAM:
+		return "local"
+	case RemoteDRAM:
+		return "remote"
+	case CXLDRAM:
+		return "cxl"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// NodeID identifies a NUMA node within an AddressSpace.
+type NodeID uint8
+
+// Node describes one NUMA node.
+type Node struct {
+	ID       NodeID
+	Kind     Kind
+	Socket   int    // owning socket for DRAM nodes; attach point for CXL
+	Device   int    // CXL device index for CXLDRAM nodes
+	Capacity uint64 // bytes
+}
+
+// Region is a contiguous allocation in the simulated physical space.
+type Region struct {
+	Base uint64
+	Size uint64
+}
+
+// End returns the first address past the region.
+func (r Region) End() uint64 { return r.Base + r.Size }
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint64) bool { return addr >= r.Base && addr < r.Base+r.Size }
+
+// Policy decides the initial node of each page of an allocation.
+type Policy interface {
+	// PlacePage returns the node for page index i of n total pages.
+	PlacePage(i, n int) NodeID
+}
+
+// Fixed places every page on a single node.
+type Fixed NodeID
+
+// PlacePage implements Policy.
+func (f Fixed) PlacePage(i, n int) NodeID { return NodeID(f) }
+
+// Interleave places pages on A and B in a repeating ratio of RatioA pages
+// on A followed by RatioB pages on B — e.g. the paper's "local/CXL memory
+// ratio of 4:1" (Case 7) is Interleave{A: local, B: cxl, RatioA: 4, RatioB: 1}.
+type Interleave struct {
+	A, B           NodeID
+	RatioA, RatioB int
+}
+
+// PlacePage implements Policy.
+func (iv Interleave) PlacePage(i, n int) NodeID {
+	period := iv.RatioA + iv.RatioB
+	if period <= 0 {
+		return iv.A
+	}
+	if i%period < iv.RatioA {
+		return iv.A
+	}
+	return iv.B
+}
+
+// HotCold places the first HotFrac of pages on Hot and the rest on Cold,
+// matching hot-set/total-working-set workload configurations such as the
+// paper's GUPS "24GB hot set, 72GB total" (Case 7).
+type HotCold struct {
+	Hot, Cold NodeID
+	HotFrac   float64
+}
+
+// PlacePage implements Policy.
+func (hc HotCold) PlacePage(i, n int) NodeID {
+	if n > 0 && float64(i) < hc.HotFrac*float64(n) {
+		return hc.Hot
+	}
+	return hc.Cold
+}
+
+// AddressSpace is the simulated physical memory map: a bump allocator over
+// a flat address range with page-granular node placement.
+type AddressSpace struct {
+	pageShift uint
+	nodes     []Node
+	pages     []NodeID // node of each allocated page
+	used      []uint64 // bytes resident per node
+	brk       uint64   // allocation high-water mark
+}
+
+// ErrNoCapacity is returned when an allocation or migration would exceed a
+// node's capacity.
+var ErrNoCapacity = errors.New("mem: node capacity exceeded")
+
+// NewAddressSpace returns an empty address space with the given page size
+// (1 << pageShift bytes) over the given nodes.  Node IDs must be dense and
+// match their slice index.
+func NewAddressSpace(pageShift uint, nodes []Node) *AddressSpace {
+	if pageShift < 6 || pageShift > 30 {
+		panic("mem: unreasonable page shift")
+	}
+	for i, n := range nodes {
+		if n.ID != NodeID(i) {
+			panic(fmt.Sprintf("mem: node %d has ID %d; IDs must be dense", i, n.ID))
+		}
+	}
+	ns := make([]Node, len(nodes))
+	copy(ns, nodes)
+	return &AddressSpace{
+		pageShift: pageShift,
+		nodes:     ns,
+		used:      make([]uint64, len(nodes)),
+	}
+}
+
+// PageSize returns the page size in bytes.
+func (as *AddressSpace) PageSize() uint64 { return 1 << as.pageShift }
+
+// Nodes returns the node table (shared; callers must not modify).
+func (as *AddressSpace) Nodes() []Node { return as.nodes }
+
+// Node returns the descriptor of node id.
+func (as *AddressSpace) Node(id NodeID) Node { return as.nodes[id] }
+
+// NodeByKind returns the first node of the given kind, or false.
+func (as *AddressSpace) NodeByKind(k Kind) (Node, bool) {
+	for _, n := range as.nodes {
+		if n.Kind == k {
+			return n, true
+		}
+	}
+	return Node{}, false
+}
+
+// Used returns the bytes currently resident on node id.
+func (as *AddressSpace) Used(id NodeID) uint64 { return as.used[id] }
+
+// Alloc reserves size bytes (rounded up to whole pages) placed per pol.
+// It fails with ErrNoCapacity if any target node would exceed its capacity.
+func (as *AddressSpace) Alloc(size uint64, pol Policy) (Region, error) {
+	if size == 0 {
+		return Region{}, errors.New("mem: zero-size allocation")
+	}
+	ps := as.PageSize()
+	n := int((size + ps - 1) / ps)
+
+	// Pre-check capacity so a failed allocation leaves no residue.
+	need := make([]uint64, len(as.nodes))
+	placement := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		id := pol.PlacePage(i, n)
+		if int(id) >= len(as.nodes) {
+			return Region{}, fmt.Errorf("mem: policy placed page on unknown node %d", id)
+		}
+		placement[i] = id
+		need[id] += ps
+	}
+	for id, nd := range as.nodes {
+		if as.used[id]+need[id] > nd.Capacity {
+			return Region{}, fmt.Errorf("%w: node %d (%s)", ErrNoCapacity, id, nd.Kind)
+		}
+	}
+
+	base := as.brk
+	as.brk += uint64(n) * ps
+	as.pages = append(as.pages, placement...)
+	for id := range as.nodes {
+		as.used[id] += need[NodeID(id)]
+	}
+	return Region{Base: base, Size: uint64(n) * ps}, nil
+}
+
+// pageIndex returns the page index of addr, panicking on unallocated
+// addresses: touching unmapped memory is a simulator bug.
+func (as *AddressSpace) pageIndex(addr uint64) int {
+	i := int(addr >> as.pageShift)
+	if i >= len(as.pages) {
+		panic(fmt.Sprintf("mem: access to unallocated address %#x", addr))
+	}
+	return i
+}
+
+// NodeOf returns the node currently backing addr.
+func (as *AddressSpace) NodeOf(addr uint64) NodeID {
+	return as.pages[as.pageIndex(addr)]
+}
+
+// KindOf returns the kind of the node backing addr.
+func (as *AddressSpace) KindOf(addr uint64) Kind {
+	return as.nodes[as.NodeOf(addr)].Kind
+}
+
+// PageBase returns the base address of the page containing addr.
+func (as *AddressSpace) PageBase(addr uint64) uint64 {
+	return addr &^ (as.PageSize() - 1)
+}
+
+// PageCount returns the number of allocated pages.
+func (as *AddressSpace) PageCount() int { return len(as.pages) }
+
+// MovePage migrates the page containing addr to node dst, updating
+// residency accounting.  It fails with ErrNoCapacity when dst is full.
+// Moving a page to its current node is a no-op.
+func (as *AddressSpace) MovePage(addr uint64, dst NodeID) error {
+	i := as.pageIndex(addr)
+	src := as.pages[i]
+	if src == dst {
+		return nil
+	}
+	ps := as.PageSize()
+	if as.used[dst]+ps > as.nodes[dst].Capacity {
+		return fmt.Errorf("%w: node %d (%s)", ErrNoCapacity, dst, as.nodes[dst].Kind)
+	}
+	as.pages[i] = dst
+	as.used[src] -= ps
+	as.used[dst] += ps
+	return nil
+}
+
+// ForEachPage calls fn for every page of r with the page base address and
+// its current node.
+func (as *AddressSpace) ForEachPage(r Region, fn func(pageBase uint64, node NodeID)) {
+	ps := as.PageSize()
+	for a := r.Base; a < r.End(); a += ps {
+		fn(a, as.pages[as.pageIndex(a)])
+	}
+}
+
+// ResidentPages counts the pages of r on each node, indexed by NodeID.
+func (as *AddressSpace) ResidentPages(r Region) []int {
+	out := make([]int, len(as.nodes))
+	as.ForEachPage(r, func(_ uint64, id NodeID) { out[id]++ })
+	return out
+}

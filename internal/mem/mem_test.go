@@ -1,0 +1,230 @@
+package mem
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testNodes() []Node {
+	return []Node{
+		{ID: 0, Kind: LocalDRAM, Socket: 0, Capacity: 1 << 30},
+		{ID: 1, Kind: RemoteDRAM, Socket: 1, Capacity: 1 << 30},
+		{ID: 2, Kind: CXLDRAM, Socket: 0, Device: 0, Capacity: 1 << 30},
+	}
+}
+
+func TestAllocFixed(t *testing.T) {
+	as := NewAddressSpace(12, testNodes())
+	r, err := as.Alloc(10*4096+1, Fixed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size != 11*4096 {
+		t.Fatalf("Size = %d, want 11 pages", r.Size)
+	}
+	if as.Used(2) != r.Size {
+		t.Fatalf("Used(cxl) = %d", as.Used(2))
+	}
+	for a := r.Base; a < r.End(); a += 4096 {
+		if as.NodeOf(a) != 2 || as.KindOf(a) != CXLDRAM {
+			t.Fatalf("page %#x on node %d", a, as.NodeOf(a))
+		}
+	}
+}
+
+func TestAllocSequentialRegions(t *testing.T) {
+	as := NewAddressSpace(12, testNodes())
+	r1, err := as.Alloc(4096, Fixed(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := as.Alloc(4096, Fixed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Base != r1.End() {
+		t.Fatalf("regions not contiguous: %#x vs %#x", r2.Base, r1.End())
+	}
+	if as.NodeOf(r1.Base) != 0 || as.NodeOf(r2.Base) != 1 {
+		t.Fatal("placement crossed regions")
+	}
+}
+
+func TestAllocZeroAndOverCapacity(t *testing.T) {
+	as := NewAddressSpace(12, testNodes())
+	if _, err := as.Alloc(0, Fixed(0)); err == nil {
+		t.Fatal("zero-size alloc succeeded")
+	}
+	if _, err := as.Alloc(2<<30, Fixed(0)); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("over-capacity alloc: err = %v", err)
+	}
+	// A failed alloc must leave no residue.
+	if as.Used(0) != 0 || as.PageCount() != 0 {
+		t.Fatal("failed alloc left residue")
+	}
+}
+
+func TestInterleavePolicy(t *testing.T) {
+	as := NewAddressSpace(12, testNodes())
+	r, err := as.Alloc(100*4096, Interleave{A: 0, B: 2, RatioA: 4, RatioB: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := as.ResidentPages(r)
+	if res[0] != 80 || res[2] != 20 {
+		t.Fatalf("4:1 interleave got %v", res)
+	}
+	// First four pages local, fifth CXL.
+	for i := 0; i < 4; i++ {
+		if as.NodeOf(r.Base+uint64(i)*4096) != 0 {
+			t.Fatalf("page %d not local", i)
+		}
+	}
+	if as.NodeOf(r.Base+4*4096) != 2 {
+		t.Fatal("page 4 not CXL")
+	}
+}
+
+func TestHotColdPolicy(t *testing.T) {
+	as := NewAddressSpace(12, testNodes())
+	r, err := as.Alloc(64*4096, HotCold{Hot: 0, Cold: 2, HotFrac: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := as.ResidentPages(r)
+	if res[0] != 16 || res[2] != 48 {
+		t.Fatalf("hot/cold split got %v", res)
+	}
+}
+
+func TestMovePage(t *testing.T) {
+	as := NewAddressSpace(12, testNodes())
+	r, err := as.Alloc(2*4096, Fixed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MovePage(r.Base+100, 0); err != nil {
+		t.Fatal(err)
+	}
+	if as.NodeOf(r.Base) != 0 {
+		t.Fatal("page not migrated")
+	}
+	if as.NodeOf(r.Base+4096) != 2 {
+		t.Fatal("wrong page migrated")
+	}
+	if as.Used(0) != 4096 || as.Used(2) != 4096 {
+		t.Fatalf("residency accounting: local=%d cxl=%d", as.Used(0), as.Used(2))
+	}
+	// No-op move.
+	if err := as.MovePage(r.Base, 0); err != nil {
+		t.Fatal(err)
+	}
+	if as.Used(0) != 4096 {
+		t.Fatal("no-op move changed accounting")
+	}
+}
+
+func TestMovePageCapacity(t *testing.T) {
+	nodes := testNodes()
+	nodes[0].Capacity = 4096
+	as := NewAddressSpace(12, nodes)
+	r, err := as.Alloc(2*4096, Fixed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MovePage(r.Base, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MovePage(r.Base+4096, 0); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("over-capacity move: err = %v", err)
+	}
+}
+
+func TestUnallocatedAccessPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unallocated access did not panic")
+		}
+	}()
+	as := NewAddressSpace(12, testNodes())
+	as.NodeOf(0)
+}
+
+func TestNodeByKind(t *testing.T) {
+	as := NewAddressSpace(12, testNodes())
+	n, ok := as.NodeByKind(CXLDRAM)
+	if !ok || n.ID != 2 {
+		t.Fatalf("NodeByKind(CXL) = %+v, %v", n, ok)
+	}
+	as2 := NewAddressSpace(12, testNodes()[:1])
+	if _, ok := as2.NodeByKind(CXLDRAM); ok {
+		t.Fatal("found CXL node in DRAM-only space")
+	}
+}
+
+// Property: page residency totals always equal allocation totals after any
+// sequence of moves.
+func TestResidencyConservation(t *testing.T) {
+	f := func(moves []uint16) bool {
+		as := NewAddressSpace(12, testNodes())
+		r, err := as.Alloc(32*4096, Interleave{A: 0, B: 2, RatioA: 1, RatioB: 1})
+		if err != nil {
+			return false
+		}
+		for _, m := range moves {
+			page := uint64(m%32) * 4096
+			dst := NodeID(m % 3)
+			_ = as.MovePage(r.Base+page, dst)
+		}
+		var total uint64
+		for id := range as.Nodes() {
+			total += as.Used(NodeID(id))
+		}
+		return total == r.Size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceSpread(t *testing.T) {
+	const nSlices = 32
+	counts := make([]int, nSlices)
+	for i := 0; i < 1<<16; i++ {
+		counts[SliceOf(uint64(i)*LineSize, nSlices)]++
+	}
+	want := float64(1<<16) / nSlices
+	for s, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.15 {
+			t.Fatalf("slice %d has %d lines, want ~%.0f (uneven spread)", s, c, want)
+		}
+	}
+	// Same address always hashes to the same slice.
+	if SliceOf(0x12340, nSlices) != SliceOf(0x12340, nSlices) {
+		t.Fatal("SliceOf not deterministic")
+	}
+	// Addresses within one line map to one slice.
+	if SliceOf(0x12340, nSlices) != SliceOf(0x1237f, nSlices) {
+		t.Fatal("SliceOf split a cache line")
+	}
+	if SliceOf(123, 1) != 0 {
+		t.Fatal("single slice must be 0")
+	}
+}
+
+func TestChannelInterleave(t *testing.T) {
+	if ChannelOf(0, 2) != 0 || ChannelOf(LineSize, 2) != 1 || ChannelOf(2*LineSize, 2) != 0 {
+		t.Fatal("channels not line-interleaved")
+	}
+	if ChannelOf(777, 1) != 0 {
+		t.Fatal("single channel must be 0")
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	if LineAddr(0x1234) != 0x1200 {
+		t.Fatalf("LineAddr = %#x", LineAddr(0x1234))
+	}
+}

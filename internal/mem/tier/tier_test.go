@@ -1,0 +1,204 @@
+package tier
+
+import (
+	"testing"
+
+	"pathfinder/internal/mem"
+)
+
+// fakeMigrator moves pages directly in the address space and records moves.
+type fakeMigrator struct {
+	as    *mem.AddressSpace
+	moves int
+	fail  bool
+}
+
+func (f *fakeMigrator) MigratePage(addr uint64, dst mem.NodeID) error {
+	if f.fail {
+		return mem.ErrNoCapacity
+	}
+	if err := f.as.MovePage(addr, dst); err != nil {
+		return err
+	}
+	f.moves++
+	return nil
+}
+
+func tierSpace(t *testing.T, localCap uint64) (*mem.AddressSpace, mem.Region) {
+	t.Helper()
+	as := mem.NewAddressSpace(12, []mem.Node{
+		{ID: 0, Kind: mem.LocalDRAM, Capacity: localCap},
+		{ID: 1, Kind: mem.CXLDRAM, Device: 0, Capacity: 1 << 30},
+	})
+	r, err := as.Alloc(64*4096, mem.Fixed(1)) // 64 pages, all CXL
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as, r
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	as, _ := tierSpace(t, 1<<30)
+	if _, err := NewManager(nil, &fakeMigrator{as: as}, 0, 1, DefaultConfig()); err == nil {
+		t.Fatal("nil space accepted")
+	}
+	if _, err := NewManager(as, nil, 0, 1, DefaultConfig()); err == nil {
+		t.Fatal("nil migrator accepted")
+	}
+	m, err := NewManager(as, &fakeMigrator{as: as}, 0, 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.cfg.PromoteThreshold != 2 || m.cfg.MaxMigrationsPerTick != 64 {
+		t.Fatalf("defaults not applied: %+v", m.cfg)
+	}
+}
+
+func TestTPPPromotesHotPages(t *testing.T) {
+	as, r := tierSpace(t, 1<<30)
+	mig := &fakeMigrator{as: as}
+	m, err := NewManager(as, mig, 0, 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch the first 4 pages repeatedly (hot), the rest once (cold).
+	for pass := 0; pass < 3; pass++ {
+		for p := uint64(0); p < 4; p++ {
+			m.ObserveAccess(r.Base + p*4096 + 64)
+		}
+	}
+	for p := uint64(4); p < 64; p++ {
+		m.ObserveAccess(r.Base + p*4096)
+	}
+	promoted, demoted := m.Tick()
+	if promoted != 4 {
+		t.Fatalf("promoted %d pages, want 4", promoted)
+	}
+	if demoted != 0 {
+		t.Fatalf("demoted %d with ample local capacity", demoted)
+	}
+	for p := uint64(0); p < 4; p++ {
+		if as.NodeOf(r.Base+p*4096) != 0 {
+			t.Fatalf("hot page %d not on local node", p)
+		}
+	}
+	if as.NodeOf(r.Base+10*4096) != 1 {
+		t.Fatal("cold page promoted")
+	}
+	if m.Stats().Promoted != 4 {
+		t.Fatalf("stats: %+v", m.Stats())
+	}
+}
+
+func TestPromotionBudget(t *testing.T) {
+	as, r := tierSpace(t, 1<<30)
+	cfg := DefaultConfig()
+	cfg.MaxMigrationsPerTick = 3
+	m, _ := NewManager(as, &fakeMigrator{as: as}, 0, 1, cfg)
+	for pass := 0; pass < 3; pass++ {
+		for p := uint64(0); p < 10; p++ {
+			m.ObserveAccess(r.Base + p*4096)
+		}
+	}
+	promoted, _ := m.Tick()
+	if promoted != 3 {
+		t.Fatalf("promoted %d, want budget 3", promoted)
+	}
+}
+
+func TestDemotionUnderPressure(t *testing.T) {
+	// Local node fits only 8 pages; fill it, then promote hot CXL pages.
+	as := mem.NewAddressSpace(12, []mem.Node{
+		{ID: 0, Kind: mem.LocalDRAM, Capacity: 8 * 4096},
+		{ID: 1, Kind: mem.CXLDRAM, Capacity: 1 << 30},
+	})
+	local, err := as.Alloc(8*4096, mem.Fixed(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cxl, err := as.Alloc(8*4096, mem.Fixed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewManager(as, &fakeMigrator{as: as}, 0, 1, DefaultConfig())
+
+	// Touch local pages (establish recency), then hot CXL pages.
+	for p := uint64(0); p < 8; p++ {
+		m.ObserveAccess(local.Base + p*4096)
+	}
+	for pass := 0; pass < 3; pass++ {
+		for p := uint64(0); p < 4; p++ {
+			m.ObserveAccess(cxl.Base + p*4096)
+		}
+	}
+	// First tick: local is at 100% > watermark -> demote coldest local
+	// pages, freeing room for promotion.
+	promoted, demoted := m.Tick()
+	if demoted == 0 {
+		t.Fatal("no demotion despite full local node")
+	}
+	if promoted == 0 {
+		t.Fatal("no promotion after demotion freed room")
+	}
+	// The demoted pages are the least recently touched ones (0, 1, ...).
+	if as.NodeOf(local.Base) != 1 {
+		t.Fatal("coldest local page not demoted")
+	}
+}
+
+func TestColloidGate(t *testing.T) {
+	as, r := tierSpace(t, 1<<30)
+	cfg := DefaultConfig()
+	cfg.Mode = ModeColloid
+	m, _ := NewManager(as, &fakeMigrator{as: as}, 0, 1, cfg)
+	for pass := 0; pass < 3; pass++ {
+		m.ObserveAccess(r.Base)
+	}
+	// Local latency exceeds CXL (contended local): promotion must pause.
+	m.SetLatencies(500, 355)
+	if p, _ := m.Tick(); p != 0 {
+		t.Fatalf("promoted %d while local is slower", p)
+	}
+	// Heat decays each tick, so re-heat and flip the balance.
+	for pass := 0; pass < 3; pass++ {
+		m.ObserveAccess(r.Base)
+	}
+	m.SetLatencies(103, 355)
+	if p, _ := m.Tick(); p != 1 {
+		t.Fatalf("promoted %d with CXL slower, want 1", p)
+	}
+}
+
+func TestHeatDecay(t *testing.T) {
+	as, r := tierSpace(t, 1<<30)
+	cfg := DefaultConfig()
+	cfg.PromoteThreshold = 4
+	m, _ := NewManager(as, &fakeMigrator{as: as}, 0, 1, cfg)
+	// Two touches per tick never reaches threshold 4 with decay 1.
+	for tick := 0; tick < 5; tick++ {
+		m.ObserveAccess(r.Base)
+		m.ObserveAccess(r.Base)
+		if p, _ := m.Tick(); p != 0 {
+			t.Fatalf("tick %d promoted a lukewarm page", tick)
+		}
+	}
+	// Four touches in one tick promotes.
+	for i := 0; i < 4; i++ {
+		m.ObserveAccess(r.Base)
+	}
+	if p, _ := m.Tick(); p != 1 {
+		t.Fatal("hot page not promoted")
+	}
+}
+
+func TestMigrationFailureStopsPromotion(t *testing.T) {
+	as, r := tierSpace(t, 1<<30)
+	mig := &fakeMigrator{as: as, fail: true}
+	m, _ := NewManager(as, mig, 0, 1, DefaultConfig())
+	for pass := 0; pass < 3; pass++ {
+		m.ObserveAccess(r.Base)
+	}
+	if p, _ := m.Tick(); p != 0 {
+		t.Fatal("promotion succeeded despite migrator failure")
+	}
+}

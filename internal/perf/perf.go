@@ -1,0 +1,211 @@
+// Package perf is the Linux-perf-like event interface over the simulated
+// machine's PMU banks: event specs name a module instance (or a glob over
+// instances) and a catalog event, sessions read deltas between epochs, and
+// per-unit counter-slot limits are tracked the way perf tracks
+// time_enabled/time_running under multiplexing.
+//
+// Spec syntax follows perf's pmu/event/ convention:
+//
+//	core0/mem_load_retired.l1_hit/
+//	cha*/unc_cha_tor_inserts.ia_drd.miss_cxl/
+//	cxl0/unc_cxlcm_rxc_pack_buf_inserts.mem_req/
+//
+// A glob in the instance part aggregates the event across every matching
+// bank (like perf's uncore unit aggregation).
+package perf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pathfinder/internal/pmu"
+	"pathfinder/internal/sim"
+)
+
+// Spec is one parsed event specification.
+type Spec struct {
+	Pattern string // bank-name pattern, possibly with a trailing '*'
+	Event   string // catalog event name
+}
+
+// String formats the spec in perf syntax.
+func (s Spec) String() string { return s.Pattern + "/" + s.Event + "/" }
+
+// ParseSpec parses "pattern/event/" (the trailing slash is optional).
+func ParseSpec(raw string) (Spec, error) {
+	t := strings.TrimSuffix(raw, "/")
+	i := strings.IndexByte(t, '/')
+	if i <= 0 || i == len(t)-1 {
+		return Spec{}, fmt.Errorf("perf: malformed event spec %q (want pmu/event/)", raw)
+	}
+	return Spec{Pattern: t[:i], Event: t[i+1:]}, nil
+}
+
+// matchPattern reports whether a bank name matches a pattern that is either
+// exact or has a single trailing '*'.
+func matchPattern(pattern, name string) bool {
+	if p, ok := strings.CutSuffix(pattern, "*"); ok {
+		return strings.HasPrefix(name, p)
+	}
+	return pattern == name
+}
+
+// slotLimits is the number of programmable counters per PMU unit on the
+// modeled parts; opening more events than slots on one bank forces
+// multiplexing, which the session surfaces via RunFraction.
+var slotLimits = map[pmu.Unit]int{
+	pmu.UnitCore:   8,
+	pmu.UnitCHA:    4,
+	pmu.UnitIMC:    4,
+	pmu.UnitM2PCIe: 4,
+	pmu.UnitCXL:    8,
+}
+
+// counter is one resolved (bank, event) pair of a session.
+type counter struct {
+	spec  int // index into Session.specs
+	bank  *pmu.Bank
+	event pmu.Event
+	last  uint64
+}
+
+// Session is an open set of event counters over a machine.
+type Session struct {
+	m        *sim.Machine
+	specs    []Spec
+	counters []counter
+	// groupsPerBank tracks multiplex pressure: bank name -> number of
+	// rotation groups needed for the events opened on it.
+	groupsPerBank map[string]int
+}
+
+// Open resolves the given event specs against the machine's banks.  Every
+// spec must match at least one bank and name a cataloged event whose unit
+// matches the bank.
+func Open(m *sim.Machine, specs ...string) (*Session, error) {
+	s := &Session{m: m, groupsPerBank: make(map[string]int)}
+	perBank := make(map[string]int)
+	for _, raw := range specs {
+		sp, err := ParseSpec(raw)
+		if err != nil {
+			return nil, err
+		}
+		ev, ok := pmu.Default.Lookup(sp.Event)
+		if !ok {
+			return nil, fmt.Errorf("perf: unknown event %q", sp.Event)
+		}
+		idx := len(s.specs)
+		s.specs = append(s.specs, sp)
+		matched := 0
+		for _, b := range m.Banks() {
+			if !matchPattern(sp.Pattern, b.Name()) {
+				continue
+			}
+			if !bankHostsUnit(b.Name(), pmu.Default.Info(ev).Unit) {
+				continue
+			}
+			s.counters = append(s.counters, counter{spec: idx, bank: b, event: ev})
+			perBank[b.Name()]++
+			matched++
+		}
+		if matched == 0 {
+			return nil, fmt.Errorf("perf: spec %q matched no PMU bank", raw)
+		}
+	}
+	for name, n := range perBank {
+		unit := unitOfBank(name)
+		slots := slotLimits[unit]
+		groups := 1
+		if slots > 0 && n > slots {
+			groups = (n + slots - 1) / slots
+		}
+		s.groupsPerBank[name] = groups
+	}
+	return s, nil
+}
+
+// unitOfBank infers the PMU unit from a bank instance name.
+func unitOfBank(name string) pmu.Unit {
+	switch {
+	case strings.HasPrefix(name, "core"):
+		return pmu.UnitCore
+	case strings.HasPrefix(name, "cha"):
+		return pmu.UnitCHA
+	case strings.HasPrefix(name, "imc"):
+		return pmu.UnitIMC
+	case strings.HasPrefix(name, "m2pcie"):
+		return pmu.UnitM2PCIe
+	default:
+		return pmu.UnitCXL
+	}
+}
+
+// bankHostsUnit reports whether the named bank belongs to the unit.
+func bankHostsUnit(name string, u pmu.Unit) bool { return unitOfBank(name) == u }
+
+// Specs returns the parsed specs in open order.
+func (s *Session) Specs() []Spec { return s.specs }
+
+// RunFraction returns the fraction of time the events on the named bank
+// are scheduled given counter-slot pressure (1.0 when no multiplexing is
+// needed), mirroring perf's time_running/time_enabled ratio.
+func (s *Session) RunFraction(bank string) float64 {
+	g := s.groupsPerBank[bank]
+	if g <= 1 {
+		return 1
+	}
+	return 1 / float64(g)
+}
+
+// MaxGroups returns the worst multiplex pressure across the session's
+// banks (1 = no multiplexing anywhere).
+func (s *Session) MaxGroups() int {
+	m := 1
+	for _, g := range s.groupsPerBank {
+		if g > m {
+			m = g
+		}
+	}
+	return m
+}
+
+// Read returns the current totals per spec, aggregated across all banks the
+// spec matched.  It synchronizes the machine's trackers first.
+func (s *Session) Read() []uint64 {
+	s.m.Sync()
+	out := make([]uint64, len(s.specs))
+	for i := range s.counters {
+		c := &s.counters[i]
+		out[c.spec] += c.bank.Read(c.event)
+	}
+	return out
+}
+
+// ReadDelta returns per-spec deltas since the previous ReadDelta (or since
+// Open), aggregated across matching banks.
+func (s *Session) ReadDelta() []uint64 {
+	s.m.Sync()
+	out := make([]uint64, len(s.specs))
+	for i := range s.counters {
+		c := &s.counters[i]
+		v := c.bank.Read(c.event)
+		out[c.spec] += v - c.last
+		c.last = v
+	}
+	return out
+}
+
+// Banks returns the sorted set of bank names the session touches.
+func (s *Session) Banks() []string {
+	seen := make(map[string]bool)
+	for i := range s.counters {
+		seen[s.counters[i].bank.Name()] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

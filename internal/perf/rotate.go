@@ -1,0 +1,124 @@
+package perf
+
+import (
+	"fmt"
+	"sort"
+
+	"pathfinder/internal/pmu"
+	"pathfinder/internal/sim"
+)
+
+// RotatedEstimate is one event's multiplexed measurement: the scaled
+// estimate, the raw count observed while its group was scheduled, and the
+// fraction of time it was scheduled — perf's count/time_enabled/
+// time_running triple.
+type RotatedEstimate struct {
+	Spec        Spec
+	Estimate    float64
+	Raw         uint64
+	RunFraction float64
+}
+
+// RunRotated drives the machine for total cycles while time-multiplexing
+// the given events across the per-unit counter slots, the way perf rotates
+// event groups on a real PMU: each rotation quantum only the scheduled
+// group's deltas are observed, and final counts are extrapolated by the
+// inverse run fraction.  Unlike Session.Read (which reads the simulator's
+// omniscient counters), the estimates carry genuine sampling error for
+// bursty workloads.
+func RunRotated(m *sim.Machine, total, quantum sim.Cycles, specs ...string) ([]RotatedEstimate, error) {
+	if quantum == 0 || total < quantum {
+		return nil, fmt.Errorf("perf: rotation needs 0 < quantum <= total")
+	}
+	s, err := Open(m, specs...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Assign each (bank, event) counter to a rotation group: counters on
+	// the same bank fill that unit's slots in spec order, wrapping into
+	// later groups.
+	type slotKey struct{ bank string }
+	groupOf := make([]int, len(s.counters))
+	used := map[slotKey]int{}
+	nGroups := 1
+	for i := range s.counters {
+		c := &s.counters[i]
+		k := slotKey{c.bank.Name()}
+		idx := used[k]
+		used[k] = idx + 1
+		slots := slotLimits[unitOfBank(c.bank.Name())]
+		g := 0
+		if slots > 0 {
+			g = idx / slots
+		}
+		groupOf[i] = g
+		if g+1 > nGroups {
+			nGroups = g + 1
+		}
+	}
+
+	raw := make([]uint64, len(s.counters))
+	scheduled := make([]sim.Cycles, len(s.counters))
+	prev := make([]uint64, len(s.counters))
+	snap := func() {
+		m.Sync()
+		for i := range s.counters {
+			prev[i] = s.counters[i].bank.Read(s.counters[i].event)
+		}
+	}
+	snap()
+
+	var elapsed sim.Cycles
+	for g := 0; elapsed < total; g++ {
+		step := quantum
+		if total-elapsed < step {
+			step = total - elapsed
+		}
+		m.Run(step)
+		m.Sync()
+		active := g % nGroups
+		for i := range s.counters {
+			cur := s.counters[i].bank.Read(s.counters[i].event)
+			if groupOf[i] == active {
+				raw[i] += cur - prev[i]
+				scheduled[i] += step
+			}
+			prev[i] = cur
+		}
+		elapsed += step
+	}
+
+	out := make([]RotatedEstimate, len(s.specs))
+	for i := range out {
+		out[i].Spec = s.specs[i]
+	}
+	for i := range s.counters {
+		c := &s.counters[i]
+		e := &out[c.spec]
+		e.Raw += raw[i]
+		frac := float64(scheduled[i]) / float64(total)
+		if frac > e.RunFraction {
+			e.RunFraction = frac
+		}
+		if frac > 0 {
+			e.Estimate += float64(raw[i]) / frac
+		}
+	}
+	return out, nil
+}
+
+// SortEstimates orders estimates by descending estimate (reporting helper).
+func SortEstimates(es []RotatedEstimate) {
+	sort.Slice(es, func(i, j int) bool { return es[i].Estimate > es[j].Estimate })
+}
+
+// groupCountFor reports how many rotation groups n events need on a unit
+// (exported for tests via the session; kept here for documentation).
+func groupCountFor(u pmu.Unit, n int) int {
+	slots := slotLimits[u]
+	if slots <= 0 || n <= slots {
+		return 1
+	}
+	return (n + slots - 1) / slots
+}

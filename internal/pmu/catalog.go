@@ -1,0 +1,522 @@
+package pmu
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Catalog is an immutable-after-init registry of PMU events.  A single
+// Default catalog mirrors the paper's counter tables; Banks are allocated
+// against a catalog and indexed by Event.
+type Catalog struct {
+	infos  []Info
+	byName map[string]Event
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{byName: make(map[string]Event)}
+}
+
+// Register adds an event to the catalog and returns its handle.  It panics
+// on duplicate names: the catalog is assembled at init time and a duplicate
+// is a programming error.
+func (c *Catalog) Register(name string, unit Unit, scope Scope, kind Kind, desc string) Event {
+	if _, dup := c.byName[name]; dup {
+		panic("pmu: duplicate event " + name)
+	}
+	e := Event(len(c.infos))
+	c.infos = append(c.infos, Info{Name: name, Unit: unit, Scope: scope, Kind: kind, Desc: desc})
+	c.byName[name] = e
+	return e
+}
+
+// Len reports the number of registered events.
+func (c *Catalog) Len() int { return len(c.infos) }
+
+// Info returns the metadata for e.
+func (c *Catalog) Info(e Event) Info { return c.infos[e] }
+
+// Name returns the event name for e.
+func (c *Catalog) Name(e Event) string { return c.infos[e].Name }
+
+// Lookup resolves an event by its catalog name.
+func (c *Catalog) Lookup(name string) (Event, bool) {
+	e, ok := c.byName[name]
+	return e, ok
+}
+
+// MustLookup resolves an event by name, panicking if it is unknown.
+func (c *Catalog) MustLookup(name string) Event {
+	e, ok := c.byName[name]
+	if !ok {
+		panic("pmu: unknown event " + name)
+	}
+	return e
+}
+
+// Names returns all registered event names in sorted order.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.infos))
+	for _, in := range c.infos {
+		out = append(out, in.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UnitEvents returns the events belonging to the given PMU block, in
+// registration order.
+func (c *Catalog) UnitEvents(u Unit) []Event {
+	var out []Event
+	for i, in := range c.infos {
+		if in.Unit == u {
+			out = append(out, Event(i))
+		}
+	}
+	return out
+}
+
+// Default is the catalog used throughout the simulator and profiler.  It is
+// populated below with the counters of the paper's Tables 1-4 plus the
+// sub-events those tables enumerate in parentheses.
+var Default = NewCatalog()
+
+func reg(name string, unit Unit, scope Scope, kind Kind, desc string) Event {
+	return Default.Register(name, unit, scope, kind, desc)
+}
+
+// Family is a group of sibling sub-events sharing a prefix, e.g. the nine
+// response scenarios of ocr.demand_data_rd.  Sub-events are addressed by a
+// small scenario index with named constants below.
+type Family []Event
+
+// At returns the i-th sub-event of the family.
+func (f Family) At(i int) Event { return f[i] }
+
+func regFamily(prefix string, unit Unit, scope Scope, kind Kind, subs []string, desc string) Family {
+	f := make(Family, len(subs))
+	for i, s := range subs {
+		f[i] = reg(prefix+"."+s, unit, scope, kind, fmt.Sprintf("%s (%s)", desc, s))
+	}
+	return f
+}
+
+// Response-scenario sub-event indices for the nine-way OCR / TOR DRd
+// families (Table 5): where a request was ultimately served from.
+const (
+	ScnAny           = iota // any type of response
+	ScnHit                  // hit LLC (or snooped on-socket core cache)
+	ScnMiss                 // missed LLC (all local caches)
+	ScnMissDDR              // miss, target any DDR
+	ScnMissLocal            // miss, target local (close SNC cluster)
+	ScnMissLocalDDR         // miss, target local DDR
+	ScnMissRemote           // miss, target remote (distant SNC cluster / socket)
+	ScnMissRemoteDDR        // miss, target remote DDR
+	ScnMissCXL              // miss, supplied by CXL DRAM
+	ScnCount
+)
+
+var drdSubs = []string{
+	"any", "hit_llc", "miss_llc", "miss_ddr", "miss_local",
+	"miss_local_ddr", "miss_remote", "miss_remote_ddr", "miss_cxl",
+}
+
+// Six-way RFO scenario indices (Table 5).
+const (
+	RFOAny = iota
+	RFOHit
+	RFOMiss
+	RFOMissLocal
+	RFOMissRemote
+	RFOMissCXL
+	RFOScnCount
+)
+
+var rfoSubs = []string{"any", "hit_llc", "miss_llc", "miss_local", "miss_remote", "miss_cxl"}
+
+// Write-back coherence-transition indices for unc_cha_tor_inserts.ia_wb.
+const (
+	WBEFToE = iota
+	WBEFToI
+	WBMToE
+	WBMToI
+	WBSToI
+	WBScnCount
+)
+
+var wbSubs = []string{"ef_to_e", "ef_to_i", "m_to_e", "m_to_i", "s_to_i"}
+
+// Four-way IA TOR scenario indices.
+const (
+	IAAll = iota
+	IAHit
+	IAMiss
+	IAMissCXL
+	IAScnCount
+)
+
+var iaSubs = []string{"all", "hit", "miss", "miss_cxl"}
+
+// ---------------------------------------------------------------------------
+// Core PMU (Table 1)
+// ---------------------------------------------------------------------------
+
+var (
+	// Fixed counters.
+	CPUClkUnhalted = reg("cpu_clk_unhalted.thread", UnitCore, PerCore, KindCycles,
+		"Core clock cycles while the thread is not halted")
+	InstRetiredAny = reg("inst_retired.any", UnitCore, PerCore, KindEvent,
+		"Retired instructions")
+
+	// Store buffer.
+	ResourceStallsSB = reg("resource_stalls.sb", UnitCore, PerCore, KindCycles,
+		"Stall cycles caused by the store buffer being full while loads are still issued")
+	ExeBoundOnStores = reg("exe_activity.bound_on_stores", UnitCore, PerCore, KindCycles,
+		"Cycles where the store buffer was full and no loads caused an execution stall")
+
+	// L1D.
+	CyclesL1DMiss = reg("cycle_activity.cycles_l1d_miss", UnitCore, PerCore, KindCycles,
+		"Cycles while an L1D miss demand load is outstanding")
+	StallsL1DMiss = reg("memory_activity.stalls_l1d_miss", UnitCore, PerCore, KindCycles,
+		"Execution stall cycles while an L1D miss demand load is outstanding")
+	L1DReplacement = reg("l1d.replacement", UnitCore, PerCore, KindEvent,
+		"L1D data line evictions")
+	MemLoadL1Hit = reg("mem_load_retired.l1_hit", UnitCore, PerCore, KindEvent,
+		"Retired load instructions that hit the L1D cache")
+	MemLoadL1Miss = reg("mem_load_retired.l1_miss", UnitCore, PerCore, KindEvent,
+		"Retired load instructions that missed the L1D cache")
+	MemLoadFBHit = reg("mem_load_retired.l1_fb_hit", UnitCore, PerCore, KindEvent,
+		"Retired loads that missed L1 but hit an LFB entry allocated by a preceding miss to the same line")
+
+	// Line fill buffer.
+	L1DPendMissFBFull = reg("l1d_pend_miss.fb_full", UnitCore, PerCore, KindCycles,
+		"Cycles a demand request waited because no line-fill-buffer entry was available")
+	L1DPendMissPending = reg("l1d_pend_miss.pending", UnitCore, PerCore, KindOccupancy,
+		"Outstanding L1D misses accumulated each cycle (LFB occupancy)")
+	L1DPendMissCycles = reg("l1d_pend_miss.pending_cycles", UnitCore, PerCore, KindCycles,
+		"Cycles with at least one outstanding L1D miss")
+
+	// L2.
+	MemLoadL2Hit = reg("mem_load_retired.l2_hit", UnitCore, PerCore, KindEvent,
+		"Retired load instructions with L2 cache hits as data source")
+	MemLoadL2Miss = reg("mem_load_retired.l2_miss", UnitCore, PerCore, KindEvent,
+		"Retired load instructions that missed the L2 cache")
+	MemStoreL2Hit = reg("mem_store_retired.l2_hit", UnitCore, PerCore, KindEvent,
+		"Retired store instructions that hit the L2 cache")
+	L2References = reg("l2_rqsts.references", UnitCore, PerCore, KindEvent,
+		"All requests that hit or true-missed the L2 cache")
+	L2AllDemandRefs = reg("l2_rqsts.all_demand_references", UnitCore, PerCore, KindEvent,
+		"Demand requests to the L2 cache")
+	L2AllDemandMiss = reg("l2_rqsts.all_demand_miss", UnitCore, PerCore, KindEvent,
+		"Demand requests that missed the L2 cache")
+	L2Miss = reg("l2_rqsts.miss", UnitCore, PerCore, KindEvent,
+		"Read requests of any type with a true miss in the L2 cache")
+	L2AllDemandDataRd = reg("l2_rqsts.all_demand_data_rd", UnitCore, PerCore, KindEvent,
+		"Demand data read requests accessing the L2 cache")
+	L2DemandDataRdHit = reg("l2_rqsts.demand_data_rd_hit", UnitCore, PerCore, KindEvent,
+		"Demand data read requests that hit the L2 cache")
+	L2DemandDataRdMiss = reg("l2_rqsts.demand_data_rd_miss", UnitCore, PerCore, KindEvent,
+		"Demand data read requests with a true miss in the L2 cache")
+	L2AllRFO = reg("l2_rqsts.all_rfo", UnitCore, PerCore, KindEvent,
+		"RFO requests to the L2 cache, including L1D RFO misses and prefetch RFOs")
+	L2RFOHit = reg("l2_rqsts.rfo_hit", UnitCore, PerCore, KindEvent,
+		"RFO requests that hit the L2 cache")
+	L2RFOMiss = reg("l2_rqsts.rfo_miss", UnitCore, PerCore, KindEvent,
+		"RFO requests that missed the L2 cache")
+	L2SWPFHit = reg("l2_rqsts.swpf_hit", UnitCore, PerCore, KindEvent,
+		"Software prefetch requests that hit the L2 cache")
+	L2SWPFMiss = reg("l2_rqsts.swpf_miss", UnitCore, PerCore, KindEvent,
+		"Software prefetch requests that missed the L2 cache")
+	L2HWPFHit = reg("l2_rqsts.hwpf_hit", UnitCore, PerCore, KindEvent,
+		"Hardware prefetch requests that hit the L2 cache")
+	L2HWPFMiss = reg("l2_rqsts.hwpf_miss", UnitCore, PerCore, KindEvent,
+		"Hardware prefetch requests that missed the L2 cache")
+	StallsL2Miss = reg("memory_activity.stalls_l2_miss", UnitCore, PerCore, KindCycles,
+		"Execution stalls while an L2 miss demand cacheable load is outstanding")
+	CyclesL2Miss = reg("cycle_activity.cycles_l2_miss", UnitCore, PerCore, KindCycles,
+		"Cycles while an L2 miss demand load is outstanding")
+
+	// Offcore request events.
+	OffcoreAllRequests = reg("offcore_requests.all_requests", UnitCore, PerCore, KindEvent,
+		"Memory transactions that reached the super queue")
+	OffcoreDataRd = reg("offcore_requests.data_rd", UnitCore, PerCore, KindEvent,
+		"Demand and prefetch data reads sent offcore")
+	OffcoreDemandDataRd = reg("offcore_requests.demand_data_rd", UnitCore, PerCore, KindEvent,
+		"Demand data read requests sent to the uncore")
+
+	// Offcore requests outstanding (latency events).
+	ORODataRd = reg("offcore_requests_outstanding.data_rd", UnitCore, PerCore, KindOccupancy,
+		"Outstanding data read requests accumulated each cycle")
+	OROCyclesDataRd = reg("offcore_requests_outstanding.cycles_with_data_rd", UnitCore, PerCore, KindCycles,
+		"Cycles with at least one outstanding data read request")
+	ORODemandDataRd = reg("offcore_requests_outstanding.demand_data_rd", UnitCore, PerCore, KindOccupancy,
+		"Outstanding demand data read requests accumulated each cycle")
+	OROCyclesDemandDataRd = reg("offcore_requests_outstanding.cycles_with_demand_data_rd", UnitCore, PerCore, KindCycles,
+		"Cycles with at least one outstanding demand data read request")
+	OROCyclesDemandRFO = reg("offcore_requests_outstanding.cycles_with_demand_rfo", UnitCore, PerCore, KindCycles,
+		"Cycles with at least one outstanding demand RFO request")
+
+	// Retired-transaction latency accumulation.
+	MemTransLoadLatency = reg("mem_trans_retired.load_latency", UnitCore, PerCore, KindLatency,
+		"Accumulated load latency from cache access until data return")
+	MemTransLoadCount = reg("mem_trans_retired.load_count", UnitCore, PerCore, KindEvent,
+		"Loads sampled by the load-latency facility")
+	MemTransStoreSample = reg("mem_trans_retired.store_sample", UnitCore, PerCore, KindLatency,
+		"Accumulated store latency from L1D access until write completion")
+	MemTransStoreCount = reg("mem_trans_retired.store_count", UnitCore, PerCore, KindEvent,
+		"Stores sampled by the store-latency facility")
+
+	// Instruction mix.
+	MemInstAllLoads = reg("mem_inst_retired.all_loads", UnitCore, PerCore, KindEvent,
+		"Retired load instructions")
+	MemInstAllStores = reg("mem_inst_retired.all_stores", UnitCore, PerCore, KindEvent,
+		"Retired store instructions")
+	SWPrefetchT0 = reg("sw_prefetch_access.t0", UnitCore, PerCore, KindEvent,
+		"PREFETCHT0 instructions executed")
+	SWPrefetchNTA = reg("sw_prefetch_access.nta", UnitCore, PerCore, KindEvent,
+		"PREFETCHNTA instructions executed")
+	SWPrefetchT1T2 = reg("sw_prefetch_access.t1_t2", UnitCore, PerCore, KindEvent,
+		"PREFETCHT1/T2 instructions executed")
+	SWPrefetchW = reg("sw_prefetch_access.prefetchw", UnitCore, PerCore, KindEvent,
+		"PREFETCHW instructions executed")
+)
+
+// ---------------------------------------------------------------------------
+// Core-scope LLC counters (Table 2, per-core rows)
+// ---------------------------------------------------------------------------
+
+var (
+	StallsL3Miss = reg("cycle_activity.stalls_l3_miss", UnitCore, PerCore, KindCycles,
+		"Execution stalls while an L3 miss demand load is outstanding")
+	OROL3MissDemandDataRd = reg("offcore_requests_outstanding.l3_miss_demand_data_rd", UnitCore, PerCore, KindOccupancy,
+		"Outstanding demand data reads known to have missed the L3, accumulated each cycle")
+	MemLoadL3Hit = reg("mem_load_retired.l3_hit", UnitCore, PerCore, KindEvent,
+		"Retired loads with at least one uop that hit in the L3")
+	MemLoadL3Miss = reg("mem_load_retired.l3_miss", UnitCore, PerCore, KindEvent,
+		"Retired loads with at least one uop that missed in the L3")
+	LongestLatCacheMiss = reg("longest_lat_cache.miss", UnitCore, PerCore, KindEvent,
+		"Core-originated cacheable requests that missed the L3")
+	LongestLatCacheRef = reg("longest_lat_cache.reference", UnitCore, PerCore, KindEvent,
+		"Core-originated cacheable requests to the L3")
+	OCRModifiedWriteAny = reg("ocr.modified_write.any_response", UnitCore, PerCore, KindEvent,
+		"Writebacks of modified cache lines and streaming stores with any response")
+
+	// mem_load_l3_hit_retired(4): where an L3 hit was served from.
+	MemLoadL3HitRetired = regFamily("mem_load_l3_hit_retired", UnitCore, PerCore, KindEvent,
+		[]string{"xsnp_none", "xsnp_miss", "xsnp_no_fwd", "xsnp_fwd"},
+		"Retired loads served by the L3 with the given cross-snoop outcome")
+
+	// mem_load_l3_miss_retired(4): where an L3 miss was served from.
+	MemLoadL3MissRetired = regFamily("mem_load_l3_miss_retired", UnitCore, PerCore, KindEvent,
+		[]string{"local_dram", "remote_dram", "remote_fwd", "remote_hitm"},
+		"Retired loads that missed the L3, by serving location")
+
+	// Offcore response matrices (nine response scenarios each, Table 5).
+	OCRDemandDataRd = regFamily("ocr.demand_data_rd", UnitCore, PerCore, KindEvent,
+		drdSubs, "Offcore demand data reads by response scenario")
+	OCRRFO = regFamily("ocr.rfo", UnitCore, PerCore, KindEvent,
+		drdSubs, "Offcore demand RFOs by response scenario")
+	OCRL1DHWPF = regFamily("ocr.l1d_hw_pf", UnitCore, PerCore, KindEvent,
+		drdSubs, "Offcore L1D hardware prefetches by response scenario")
+	OCRL2HWPFDRd = regFamily("ocr.l2_hw_pf_drd", UnitCore, PerCore, KindEvent,
+		drdSubs, "Offcore L2 hardware prefetch data reads by response scenario")
+	OCRL2HWPFRFO = regFamily("ocr.l2_hw_pf_rfo", UnitCore, PerCore, KindEvent,
+		drdSubs, "Offcore L2 hardware prefetch RFOs by response scenario")
+)
+
+// ---------------------------------------------------------------------------
+// CHA socket-scope counters (Table 2, per-socket rows)
+// ---------------------------------------------------------------------------
+
+var (
+	CHAClockticks = reg("unc_cha_clockticks", UnitCHA, PerSocket, KindCycles,
+		"CHA uncore clock ticks")
+
+	TORInsertsIA = regFamily("unc_cha_tor_inserts.ia", UnitCHA, PerSocket, KindEvent,
+		iaSubs, "TOR entries inserted from cores")
+	TORInsertsIADRd = regFamily("unc_cha_tor_inserts.ia_drd", UnitCHA, PerSocket, KindEvent,
+		drdSubs, "Demand data read TOR inserts from cores")
+	TORInsertsIADRdPref = regFamily("unc_cha_tor_inserts.ia_drd_pref", UnitCHA, PerSocket, KindEvent,
+		drdSubs, "Data read prefetch TOR inserts from cores")
+	TORInsertsIARFO = regFamily("unc_cha_tor_inserts.ia_rfo", UnitCHA, PerSocket, KindEvent,
+		rfoSubs, "RFO TOR inserts from cores")
+	TORInsertsIARFOPref = regFamily("unc_cha_tor_inserts.ia_rfo_pref", UnitCHA, PerSocket, KindEvent,
+		rfoSubs, "RFO prefetch TOR inserts from cores")
+	TORInsertsIAWB = regFamily("unc_cha_tor_inserts.ia_wb", UnitCHA, PerSocket, KindEvent,
+		wbSubs, "Write-back TOR inserts from cores, by coherence transition")
+
+	TOROccupancyIA = regFamily("unc_cha_tor_occupancy.ia", UnitCHA, PerSocket, KindOccupancy,
+		iaSubs, "Valid core-originated TOR entries accumulated each cycle")
+	TOROccupancyIADRd = regFamily("unc_cha_tor_occupancy.ia_drd", UnitCHA, PerSocket, KindOccupancy,
+		drdSubs, "Valid DRd TOR entries accumulated each cycle")
+	TOROccupancyIADRdPref = regFamily("unc_cha_tor_occupancy.ia_drd_pref", UnitCHA, PerSocket, KindOccupancy,
+		drdSubs, "Valid DRd prefetch TOR entries accumulated each cycle")
+	TOROccupancyIARFO = regFamily("unc_cha_tor_occupancy.ia_rfo", UnitCHA, PerSocket, KindOccupancy,
+		rfoSubs, "Valid RFO TOR entries accumulated each cycle")
+	TOROccupancyIARFOPref = regFamily("unc_cha_tor_occupancy.ia_rfo_pref", UnitCHA, PerSocket, KindOccupancy,
+		rfoSubs, "Valid RFO prefetch TOR entries accumulated each cycle")
+	TOROccupancyIAWBMToI = reg("unc_cha_tor_occupancy.ia_wbmtoi", UnitCHA, PerSocket, KindOccupancy,
+		"Valid write-back M-to-I TOR entries accumulated each cycle")
+
+	TORCyclesNEIA = regFamily("unc_cha_tor_cycles_ne.ia", UnitCHA, PerSocket, KindCycles,
+		iaSubs, "Cycles the TOR held core-originated entries of the given class")
+	TORCyclesNEIADRd = regFamily("unc_cha_tor_cycles_ne.ia_drd", UnitCHA, PerSocket, KindCycles,
+		drdSubs, "Cycles the TOR held DRd entries of the given class")
+	TORCyclesNEIADRdPref = regFamily("unc_cha_tor_cycles_ne.ia_drd_pref", UnitCHA, PerSocket, KindCycles,
+		drdSubs, "Cycles the TOR held DRd prefetch entries of the given class")
+	TORCyclesNEIARFO = regFamily("unc_cha_tor_cycles_ne.ia_rfo", UnitCHA, PerSocket, KindCycles,
+		rfoSubs, "Cycles the TOR held RFO entries of the given class")
+	TORCyclesNEIARFOPref = regFamily("unc_cha_tor_cycles_ne.ia_rfo_pref", UnitCHA, PerSocket, KindCycles,
+		rfoSubs, "Cycles the TOR held RFO prefetch entries of the given class")
+
+	// LLC lookup / victim events.
+	LLCLookupDataRead = reg("unc_cha_llc_lookup.data_read", UnitCHA, PerSocket, KindEvent,
+		"LLC lookups for data reads")
+	LLCLookupWrite = reg("unc_cha_llc_lookup.write", UnitCHA, PerSocket, KindEvent,
+		"LLC lookups for writes")
+	LLCLookupRFO = reg("unc_cha_llc_lookup.rfo", UnitCHA, PerSocket, KindEvent,
+		"LLC lookups for RFOs")
+	LLCLookupPrefetch = reg("unc_cha_llc_lookup.prefetch", UnitCHA, PerSocket, KindEvent,
+		"LLC lookups for prefetches")
+	LLCLookupAll = reg("unc_cha_llc_lookup.all", UnitCHA, PerSocket, KindEvent,
+		"All LLC lookups")
+	LLCVictimsM = reg("unc_cha_llc_victims.m_state", UnitCHA, PerSocket, KindEvent,
+		"LLC victims in M state (dirty writebacks)")
+	LLCVictimsE = reg("unc_cha_llc_victims.e_state", UnitCHA, PerSocket, KindEvent,
+		"LLC victims in E state")
+	LLCVictimsS = reg("unc_cha_llc_victims.s_state", UnitCHA, PerSocket, KindEvent,
+		"LLC victims in S state")
+	LLCVictimsTotal = reg("unc_cha_llc_victims.total", UnitCHA, PerSocket, KindEvent,
+		"All LLC victims")
+
+	// Cache-coherence event counters (the paper's "10 event counters
+	// monitoring cache coherence").
+	SnoopsSentLocal = reg("unc_cha_snoops_sent.local", UnitCHA, PerSocket, KindEvent,
+		"Snoops sent to cores in the local SNC cluster")
+	SnoopsSentRemote = reg("unc_cha_snoops_sent.remote", UnitCHA, PerSocket, KindEvent,
+		"Snoops sent across SNC clusters or sockets")
+	SnoopRespHitFwd = reg("unc_cha_snoop_resp.hit_fwd", UnitCHA, PerSocket, KindEvent,
+		"Snoop responses that hit clean and forwarded data")
+	SnoopRespHitM = reg("unc_cha_snoop_resp.hitm", UnitCHA, PerSocket, KindEvent,
+		"Snoop responses that hit modified data")
+	SnoopRespMiss = reg("unc_cha_snoop_resp.miss", UnitCHA, PerSocket, KindEvent,
+		"Snoop responses that missed")
+	SFEvictionM = reg("unc_cha_sf_eviction.m_state", UnitCHA, PerSocket, KindEvent,
+		"Snoop-filter evictions of M-state lines")
+	SFEvictionE = reg("unc_cha_sf_eviction.e_state", UnitCHA, PerSocket, KindEvent,
+		"Snoop-filter evictions of E-state lines")
+	SFEvictionS = reg("unc_cha_sf_eviction.s_state", UnitCHA, PerSocket, KindEvent,
+		"Snoop-filter evictions of S-state lines")
+	DirUpdateHA = reg("unc_cha_dir_update.ha", UnitCHA, PerSocket, KindEvent,
+		"Coherence-directory updates from the home agent")
+	DirUpdateTOR = reg("unc_cha_dir_update.tor", UnitCHA, PerSocket, KindEvent,
+		"Coherence-directory updates from TOR pipeline passes")
+)
+
+// ---------------------------------------------------------------------------
+// Uncore IMC counters (Table 3).  One bank is allocated per memory channel,
+// so the names are unsuffixed; the pseudo-channel is the bank identity.
+// ---------------------------------------------------------------------------
+
+var (
+	IMCClockticks = reg("unc_m_clockticks", UnitIMC, PerChannel, KindCycles,
+		"IMC DCLK ticks")
+	RPQCyclesNE = reg("unc_m_rpq_cycles_ne", UnitIMC, PerChannel, KindCycles,
+		"Cycles the read pending queue is not empty")
+	RPQInserts = reg("unc_m_rpq_inserts", UnitIMC, PerChannel, KindEvent,
+		"Allocations into the read pending queue")
+	RPQOccupancy = reg("unc_m_rpq_occupancy", UnitIMC, PerChannel, KindOccupancy,
+		"Read-pending-queue occupancy accumulated each cycle")
+	WPQCyclesNE = reg("unc_m_wpq_cycles_ne", UnitIMC, PerChannel, KindCycles,
+		"Cycles the write pending queue is not empty")
+	WPQInserts = reg("unc_m_wpq_inserts", UnitIMC, PerChannel, KindEvent,
+		"Allocations into the write pending queue")
+	WPQOccupancy = reg("unc_m_wpq_occupancy", UnitIMC, PerChannel, KindOccupancy,
+		"Write-pending-queue occupancy accumulated each cycle")
+	CASCountAll = reg("unc_m_cas_count.all", UnitIMC, PerChannel, KindEvent,
+		"All DRAM CAS commands issued")
+	CASCountRd = reg("unc_m_cas_count.rd", UnitIMC, PerChannel, KindEvent,
+		"DRAM read CAS commands issued")
+	CASCountWr = reg("unc_m_cas_count.wr", UnitIMC, PerChannel, KindEvent,
+		"DRAM write CAS commands issued")
+)
+
+// ---------------------------------------------------------------------------
+// Uncore M2PCIe / FlexBus counters (Table 3).  One bank per FlexBus root
+// port (per attached CXL device).
+// ---------------------------------------------------------------------------
+
+var (
+	M2PClockticks = reg("unc_m2p_clockticks", UnitM2PCIe, PerSocket, KindCycles,
+		"M2PCIe uncore clock ticks")
+	M2PRxCyclesNE = reg("unc_m2p_rxc_cycles_ne.all", UnitM2PCIe, PerSocket, KindCycles,
+		"Cycles the M2PCIe ingress queue is not empty")
+	M2PRxInserts = reg("unc_m2p_rxc_inserts.all", UnitM2PCIe, PerSocket, KindEvent,
+		"Entries inserted into the M2PCIe ingress queue from the mesh")
+	M2PRxOccupancy = reg("unc_m2p_rxc_occupancy.all", UnitM2PCIe, PerSocket, KindOccupancy,
+		"M2PCIe ingress-queue occupancy accumulated each cycle")
+	M2PTxInsertsAK = reg("unc_m2p_txc_inserts.ak", UnitM2PCIe, PerSocket, KindEvent,
+		"Acknowledgement entries inserted into the M2PCIe egress queue (CXL store acks)")
+	M2PTxInsertsBL = reg("unc_m2p_txc_inserts.bl", UnitM2PCIe, PerSocket, KindEvent,
+		"Block-data entries inserted into the M2PCIe egress queue (CXL load data)")
+	M2PTxCyclesNE = reg("unc_m2p_txc_cycles_ne.all", UnitM2PCIe, PerSocket, KindCycles,
+		"Cycles the M2PCIe egress queue is not empty")
+)
+
+// ---------------------------------------------------------------------------
+// CXL Type-3 device counters (Table 4) plus the device-side memory
+// controller queues the paper references in §3.4/§4.4.  One bank per device.
+// ---------------------------------------------------------------------------
+
+var (
+	CXLClockticks = reg("unc_cxlcm_clockticks", UnitCXL, PerDevice, KindCycles,
+		"CXL link-layer clock ticks")
+
+	CXLRxPackBufInsertsReq = reg("unc_cxlcm_rxc_pack_buf_inserts.mem_req", UnitCXL, PerDevice, KindEvent,
+		"Allocations to the Mem Request ingress packing buffer (M2S Req)")
+	CXLRxPackBufInsertsData = reg("unc_cxlcm_rxc_pack_buf_inserts.mem_data", UnitCXL, PerDevice, KindEvent,
+		"Allocations to the Mem Data ingress packing buffer (M2S RwD)")
+	CXLRxPackBufFullReq = reg("unc_cxlcm_rxc_pack_buf_full.mem_req", UnitCXL, PerDevice, KindCycles,
+		"Cycles the Mem Request packing buffer is full")
+	CXLRxPackBufFullData = reg("unc_cxlcm_rxc_pack_buf_full.mem_data", UnitCXL, PerDevice, KindCycles,
+		"Cycles the Mem Data packing buffer is full")
+	CXLRxPackBufNEReq = reg("unc_cxlcm_rxc_pack_buf_ne.mem_req", UnitCXL, PerDevice, KindCycles,
+		"Cycles the Mem Request packing buffer is not empty")
+	CXLRxPackBufNEData = reg("unc_cxlcm_rxc_pack_buf_ne.mem_data", UnitCXL, PerDevice, KindCycles,
+		"Cycles the Mem Data packing buffer is not empty")
+	CXLTxPackBufInsertsReq = reg("unc_cxlcm_txc_pack_buf_inserts.mem_req", UnitCXL, PerDevice, KindEvent,
+		"Allocations to the Mem Request egress packing buffer (S2M NDR)")
+	CXLTxPackBufInsertsData = reg("unc_cxlcm_txc_pack_buf_inserts.mem_data", UnitCXL, PerDevice, KindEvent,
+		"Allocations to the Mem Data egress packing buffer (S2M DRS)")
+
+	CXLRxPackBufOccReq = reg("unc_cxlcm_rxc_pack_buf_occupancy.mem_req", UnitCXL, PerDevice, KindOccupancy,
+		"Mem Request packing-buffer occupancy accumulated each cycle")
+	CXLRxPackBufOccData = reg("unc_cxlcm_rxc_pack_buf_occupancy.mem_data", UnitCXL, PerDevice, KindOccupancy,
+		"Mem Data packing-buffer occupancy accumulated each cycle")
+
+	// Device-side memory-controller queues (the CXL DIMM "encloses
+	// device-side command queues", §3.4).
+	CXLDevRPQInserts = reg("unc_cxldimm_rpq_inserts", UnitCXL, PerDevice, KindEvent,
+		"Allocations into the device-side read pending queue")
+	CXLDevRPQOccupancy = reg("unc_cxldimm_rpq_occupancy", UnitCXL, PerDevice, KindOccupancy,
+		"Device-side read-pending-queue occupancy accumulated each cycle")
+	CXLDevRPQCyclesNE = reg("unc_cxldimm_rpq_cycles_ne", UnitCXL, PerDevice, KindCycles,
+		"Cycles the device-side read pending queue is not empty")
+	CXLDevWPQInserts = reg("unc_cxldimm_wpq_inserts", UnitCXL, PerDevice, KindEvent,
+		"Allocations into the device-side write pending queue")
+	CXLDevWPQOccupancy = reg("unc_cxldimm_wpq_occupancy", UnitCXL, PerDevice, KindOccupancy,
+		"Device-side write-pending-queue occupancy accumulated each cycle")
+	CXLDevWPQCyclesNE = reg("unc_cxldimm_wpq_cycles_ne", UnitCXL, PerDevice, KindCycles,
+		"Cycles the device-side write pending queue is not empty")
+	CXLDevCASRd = reg("unc_cxldimm_cas_count.rd", UnitCXL, PerDevice, KindEvent,
+		"Device media read commands issued")
+	CXLDevCASWr = reg("unc_cxldimm_cas_count.wr", UnitCXL, PerDevice, KindEvent,
+		"Device media write commands issued")
+
+	// QoS telemetry residency (CXL 3.x DevLoad classes, derived from the
+	// packing-buffer and device-queue pressure — §3.5's future work).
+	CXLQoS = regFamily("unc_cxlcm_qos", UnitCXL, PerDevice, KindCycles,
+		[]string{"light", "optimal", "moderate", "severe"},
+		"Cycles the device reported the given DevLoad class")
+)

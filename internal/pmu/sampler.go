@@ -1,0 +1,35 @@
+package pmu
+
+// Sampler implements the PMU sampling mode (§3.1 of the paper): a counter
+// is armed with a period and fires an overflow callback every time the
+// counter advances past another period boundary.  The profiler uses this
+// for load-latency style sampling; the continuous mode is plain Bank reads.
+type Sampler struct {
+	period   uint64
+	next     uint64
+	overflow func(total uint64)
+	fired    uint64
+}
+
+// NewSampler returns a sampler that invokes overflow each time the observed
+// counter crosses a multiple of period.  period must be positive.
+func NewSampler(period uint64, overflow func(total uint64)) *Sampler {
+	if period == 0 {
+		panic("pmu: sampler period must be positive")
+	}
+	return &Sampler{period: period, next: period, overflow: overflow}
+}
+
+// Fired reports how many overflow interrupts the sampler has delivered.
+func (s *Sampler) Fired() uint64 { return s.fired }
+
+// observe is called by the owning bank with the counter's new total.
+func (s *Sampler) observe(total uint64) {
+	for total >= s.next {
+		s.fired++
+		if s.overflow != nil {
+			s.overflow(total)
+		}
+		s.next += s.period
+	}
+}

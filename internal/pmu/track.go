@@ -1,0 +1,118 @@
+package pmu
+
+// OccTracker integrates the occupancy of a queue-like structure over time,
+// feeding three counter flavors at once: an occupancy accumulator
+// (occupancy x cycles), a not-empty cycle counter, and an optional full
+// cycle counter.  This is how the "*_occupancy", "*_cycles_ne" and
+// "*_pack_buf_full" families are produced without per-cycle ticking: the
+// simulator calls Update at every arrival/departure and the tracker
+// integrates the piecewise-constant occupancy between updates.
+type OccTracker struct {
+	bank *Bank
+	occ  Event // occupancy accumulator; <0 disables
+	ne   Event // not-empty cycles; <0 disables
+	full Event // full cycles; <0 disables
+
+	capacity int // for full detection; 0 means unbounded
+	cur      int
+	last     uint64 // cycle of the previous update
+}
+
+// NewOccTracker returns a tracker over bank feeding the given events.  Pass
+// -1 for any event the caller does not need.  capacity 0 disables full
+// tracking.
+func NewOccTracker(bank *Bank, occ, ne, full Event, capacity int) *OccTracker {
+	return &OccTracker{bank: bank, occ: occ, ne: ne, full: full, capacity: capacity}
+}
+
+// Len returns the current queue occupancy.
+func (t *OccTracker) Len() int { return t.cur }
+
+// Full reports whether the queue is at capacity (always false when the
+// tracker is unbounded).
+func (t *OccTracker) Full() bool { return t.capacity > 0 && t.cur >= t.capacity }
+
+// Advance integrates the counters up to cycle now without changing the
+// occupancy.
+func (t *OccTracker) Advance(now uint64) {
+	if now <= t.last {
+		return
+	}
+	d := now - t.last
+	t.last = now
+	if t.cur > 0 {
+		if t.occ >= 0 {
+			t.bank.Add(t.occ, uint64(t.cur)*d)
+		}
+		if t.ne >= 0 {
+			t.bank.Add(t.ne, d)
+		}
+		if t.full >= 0 && t.capacity > 0 && t.cur >= t.capacity {
+			t.bank.Add(t.full, d)
+		}
+	}
+}
+
+// Update integrates up to now and then applies delta to the occupancy.
+// A negative resulting occupancy indicates a simulator bug and panics.
+func (t *OccTracker) Update(now uint64, delta int) {
+	t.Advance(now)
+	t.cur += delta
+	if t.cur < 0 {
+		panic("pmu: negative queue occupancy")
+	}
+}
+
+// Reset clears the occupancy and rebases the tracker at cycle now.
+func (t *OccTracker) Reset(now uint64) {
+	t.cur = 0
+	t.last = now
+}
+
+// BusyTracker accumulates cycles during which a condition holds (e.g. a
+// core is stalled on an L1D miss).  The simulator brackets each busy
+// interval with Begin/End; overlapping intervals are reference-counted so
+// concurrent causes of the same condition are not double counted.
+type BusyTracker struct {
+	bank  *Bank
+	event Event
+	depth int
+	since uint64
+}
+
+// NewBusyTracker returns a tracker feeding event on bank.
+func NewBusyTracker(bank *Bank, event Event) *BusyTracker {
+	return &BusyTracker{bank: bank, event: event}
+}
+
+// Active reports whether the condition currently holds.
+func (t *BusyTracker) Active() bool { return t.depth > 0 }
+
+// Begin marks the condition as holding from cycle now.
+func (t *BusyTracker) Begin(now uint64) {
+	if t.depth == 0 {
+		t.since = now
+	}
+	t.depth++
+}
+
+// End marks one cause of the condition as cleared at cycle now, accumulating
+// the busy interval when the last cause clears.
+func (t *BusyTracker) End(now uint64) {
+	if t.depth == 0 {
+		panic("pmu: BusyTracker.End without Begin")
+	}
+	t.depth--
+	if t.depth == 0 && now > t.since {
+		t.bank.Add(t.event, now-t.since)
+	}
+}
+
+// Flush accumulates any open interval up to now and restarts it, so that
+// snapshots taken mid-interval observe the cycles spent so far.
+func (t *BusyTracker) Flush(now uint64) {
+	if t.depth > 0 && now > t.since {
+		t.bank.Add(t.event, now-t.since)
+		t.since = now
+	}
+}

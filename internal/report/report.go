@@ -1,0 +1,124 @@
+// Package report renders experiment results as aligned ASCII tables and
+// series — the textual equivalents of the paper's tables and figures that
+// cmd/pfbench and the benchmark harness print.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid with a header row.
+type Table struct {
+	Title string
+	Cols  []string
+	Rows  [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Cols)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Series is figure-style data: a shared X axis and one or more named Y
+// columns.
+type Series struct {
+	Title string
+	XName string
+	Names []string
+	X     []float64
+	Y     [][]float64 // Y[i] aligns with Names[i]; each aligns with X
+}
+
+// Add appends one X point with its Y values (one per named column).
+func (s *Series) Add(x float64, ys ...float64) {
+	s.X = append(s.X, x)
+	if s.Y == nil {
+		s.Y = make([][]float64, len(ys))
+	}
+	for i, y := range ys {
+		s.Y[i] = append(s.Y[i], y)
+	}
+}
+
+// String renders the series as aligned columns.
+func (s *Series) String() string {
+	t := Table{Title: s.Title, Cols: append([]string{s.XName}, s.Names...)}
+	for i, x := range s.X {
+		row := []string{Num(x)}
+		for j := range s.Names {
+			v := 0.0
+			if j < len(s.Y) && i < len(s.Y[j]) {
+				v = s.Y[j][i]
+			}
+			row = append(row, Num(v))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// Num formats a value compactly: fixed-point for small magnitudes,
+// scientific (Table 7 style) for large ones.
+func Num(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e6:
+		return fmt.Sprintf("%.1E", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Pct formats a ratio as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// Ratio formats a multiplicative factor ("2.1x").
+func Ratio(v float64) string { return fmt.Sprintf("%.2fx", v) }

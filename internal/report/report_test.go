@@ -1,0 +1,77 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "demo", Cols: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("a-much-longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "demo" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Fatalf("separator = %q", lines[2])
+	}
+	// Column alignment: "value" starts at the same offset in every row.
+	off := strings.Index(lines[1], "value")
+	if lines[3][off:off+1] != "1" && lines[4][off:off+2] != "22" {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := &Table{Cols: []string{"x"}}
+	tb.AddRow("1")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Fatal("leading newline without title")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Title: "sweep", XName: "load", Names: []string{"a", "b"}}
+	s.Add(0.2, 1, 10)
+	s.Add(0.4, 2, 20)
+	out := s.String()
+	if !strings.Contains(out, "load") || !strings.Contains(out, "0.4000") {
+		t.Fatalf("series output:\n%s", out)
+	}
+	if len(s.X) != 2 || s.Y[1][1] != 20 {
+		t.Fatalf("series data: %+v", s)
+	}
+}
+
+func TestNumFormats(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{0.1234, "0.1234"},
+		{5.5, "5.50"},
+		{123, "123"},
+		{1.5e8, "1.5E+08"},
+		{-2e6, "-2.0E+06"},
+	}
+	for _, c := range cases {
+		if got := Num(c.in); got != c.want {
+			t.Errorf("Num(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPctRatio(t *testing.T) {
+	if got := Pct(0.427); got != "42.7%" {
+		t.Fatalf("Pct = %q", got)
+	}
+	if got := Ratio(2.145); got != "2.15x" {
+		t.Fatalf("Ratio = %q", got)
+	}
+}

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"fmt"
+
+	"pathfinder/internal/mem"
+)
+
+// State is a MESIF coherence state.
+type State uint8
+
+// Coherence states of the Intel-style MESIF protocol (§2.2).
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+	Forward
+)
+
+// String returns the single-letter state name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	case Forward:
+		return "F"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Line is one cache line's bookkeeping: tag, coherence state, an LRU stamp,
+// and — in the LLC, which doubles as the snoop filter — a presence bitmap of
+// cores holding a private copy.
+type Line struct {
+	Tag      uint64 // line address (full address, line aligned)
+	State    State
+	Presence uint64 // cores with a private copy (LLC/SF only)
+	stamp    uint64
+}
+
+// Cache is a set-associative, write-back cache over line-granular tags.
+// It is purely functional (no timing): the machine composes timing around
+// lookups and fills.
+type Cache struct {
+	ways    int
+	setMask uint64
+	lines   []Line // sets * ways, set-major
+	stamp   uint64
+
+	// Victim carries eviction results out of Insert without allocating.
+	Victim    Line
+	HasVictim bool
+}
+
+// NewCache builds a cache of the given total size in bytes and
+// associativity.  The set count is forced to a power of two (sizes round
+// down), matching hardware indexing.
+func NewCache(size, ways int) *Cache {
+	if size <= 0 || ways <= 0 {
+		panic("sim: cache needs positive size and ways")
+	}
+	sets := size / (mem.LineSize * ways)
+	if sets < 1 {
+		sets = 1
+	}
+	// Round down to a power of two.
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	sets = p
+	return &Cache{
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		lines:   make([]Line, sets*ways),
+	}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return len(c.lines) / c.ways }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// setOf returns the slice of ways for the set containing line address la.
+func (c *Cache) setOf(la uint64) []Line {
+	set := (la >> mem.LineShift) & c.setMask
+	base := int(set) * c.ways
+	return c.lines[base : base+c.ways]
+}
+
+// Lookup returns the line holding la, bumping its LRU recency, or nil on
+// miss.  la must be line aligned.
+func (c *Cache) Lookup(la uint64) *Line {
+	set := c.setOf(la)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Tag == la {
+			c.stamp++
+			set[i].stamp = c.stamp
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Peek returns the line holding la without touching recency, or nil.
+func (c *Cache) Peek(la uint64) *Line {
+	set := c.setOf(la)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Tag == la {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Insert places la with the given state, evicting the LRU way if the set is
+// full.  The evicted line, if any, is exposed via Victim/HasVictim (valid
+// until the next Insert).  Inserting an already-present line updates its
+// state in place.  It returns the inserted line.
+func (c *Cache) Insert(la uint64, st State) *Line {
+	c.HasVictim = false
+	set := c.setOf(la)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Tag == la {
+			set[i].State = st
+			c.stamp++
+			set[i].stamp = c.stamp
+			return &set[i]
+		}
+	}
+	// Miss: evict the first invalid way, else the least recently used.
+	var victim *Line
+	for i := range set {
+		w := &set[i]
+		if w.State == Invalid {
+			victim = w
+			break
+		}
+		if victim == nil || w.stamp < victim.stamp {
+			victim = w
+		}
+	}
+	if victim.State != Invalid {
+		c.Victim = *victim
+		c.HasVictim = true
+	}
+	c.stamp++
+	*victim = Line{Tag: la, State: st, stamp: c.stamp}
+	return victim
+}
+
+// Invalidate removes la, returning its previous state and whether it was
+// present.
+func (c *Cache) Invalidate(la uint64) (State, bool) {
+	set := c.setOf(la)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Tag == la {
+			st := set[i].State
+			set[i] = Line{}
+			return st, true
+		}
+	}
+	return Invalid, false
+}
+
+// Occupied counts valid lines (test and introspection helper).
+func (c *Cache) Occupied() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].State != Invalid {
+			n++
+		}
+	}
+	return n
+}

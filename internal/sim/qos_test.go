@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+
+	"pathfinder/internal/cxl"
+	"pathfinder/internal/mem"
+	"pathfinder/internal/pmu"
+	"pathfinder/internal/workload"
+)
+
+func TestQoSTelemetryClasses(t *testing.T) {
+	as := testSpace(t)
+	r, _ := as.Alloc(32<<20, mem.Fixed(2))
+	cfg := smallConfig()
+	cfg.LFBEntries = 64
+	cfg.PFMaxInFlight = 64
+	m := New(cfg, as)
+
+	// Idle device: light load.
+	m.Run(10_000)
+	m.Sync()
+	if got := m.DevLoad(0); got != cxl.LightLoad {
+		t.Fatalf("idle DevLoad = %v", got)
+	}
+	if m.Bank("cxl0").Read(pmu.CXLQoS[0]) == 0 {
+		t.Fatal("no light-load residency recorded")
+	}
+
+	// Saturate: all cores stream from CXL with wide MLP.
+	for c := 0; c < cfg.Cores; c++ {
+		g := workload.NewStream(workload.Region{Base: r.Base + uint64(c)*(4<<20), Size: 4 << 20}, 0, 0, uint64(c+1))
+		m.Attach(c, g)
+	}
+	m.Run(4_000_000)
+	m.Sync()
+	b := m.Bank("cxl0")
+	heavy := b.Read(pmu.CXLQoS[2]) + b.Read(pmu.CXLQoS[3]) // moderate + severe
+	if heavy == 0 {
+		t.Fatal("saturated device never left light/optimal load")
+	}
+	// Residency totals account for all synced time.
+	var total uint64
+	for _, ev := range pmu.CXLQoS {
+		total += b.Read(ev)
+	}
+	if total != uint64(m.Now()) {
+		t.Fatalf("QoS residency %d != elapsed %d", total, m.Now())
+	}
+}
+
+func TestFlitBandwidthAsymmetry(t *testing.T) {
+	// Reads move ~17B up + ~85B down; writes move ~85B up + ~17B down.
+	// With a link much slower than the media, a read-only stream is bound
+	// by the response direction and a write-only stream by the request
+	// direction — throughput should be roughly symmetric, and far below
+	// what a header-only accounting would allow.
+	run := func(storeFrac float64) uint64 {
+		as := testSpace(t)
+		r, _ := as.Alloc(32<<20, mem.Fixed(2))
+		cfg := smallConfig()
+		cfg.FlexBusGBs = 4 // make the link the bottleneck
+		m := New(cfg, as)
+		g := workload.NewStream(workload.Region{Base: r.Base, Size: r.Size}, 0, storeFrac, 3)
+		c := workload.NewCounting(g)
+		m.Attach(0, c)
+		m.Run(3_000_000)
+		return c.Total()
+	}
+	reads := run(0)
+	writes := run(1)
+	ratio := float64(reads) / float64(writes)
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Fatalf("read/write throughput asymmetry too large under link bound: %d vs %d", reads, writes)
+	}
+}

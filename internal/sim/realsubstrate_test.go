@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+
+	"pathfinder/internal/mem"
+	"pathfinder/internal/pmu"
+	"pathfinder/internal/workload"
+)
+
+// TestRealSubstratesRun drives the real-algorithm substrates (CSR BFS and
+// hash-table KV) through the machine and checks their traffic signatures:
+// the BFS mixes prefetchable edge scans with dependent vertex lookups; the
+// KV store produces probe-chain loads plus record-body traffic.
+func TestRealSubstratesRun(t *testing.T) {
+	as := testSpace(t)
+	cfg := smallConfig()
+
+	// BFS over a CXL-resident graph.
+	bfsApp, ok := workload.Lookup("BFS-CSR")
+	if !ok {
+		t.Fatal("BFS-CSR missing from catalog")
+	}
+	r1, _ := as.Alloc(16<<20, mem.Fixed(2))
+	m := New(cfg, as)
+	m.Attach(0, workload.NewLimit(bfsApp.Generator(workload.Region{Base: r1.Base, Size: r1.Size}, 3), 80_000))
+	deadline := m.Now() + 400_000_000
+	for m.Core(0).Running() && m.Now() < deadline {
+		m.Run(2_000_000)
+	}
+	m.Sync()
+	b := m.Core(0).Bank()
+	if b.Read(pmu.MemInstAllLoads) == 0 || b.Read(pmu.MemInstAllStores) == 0 {
+		t.Fatal("BFS issued no loads or no stores")
+	}
+	// Edge scans train the prefetchers; vertex lookups miss to CXL.
+	if b.Read(pmu.OCRL1DHWPF[pmu.ScnAny])+b.Read(pmu.OCRL2HWPFDRd[pmu.ScnAny]) == 0 {
+		t.Fatal("BFS edge scans triggered no hardware prefetch")
+	}
+	if b.Read(pmu.OCRDemandDataRd[pmu.ScnMissCXL]) == 0 {
+		t.Fatal("BFS vertex lookups never reached CXL")
+	}
+
+	// KV store on local memory.
+	kvApp, ok := workload.Lookup("YCSB-C-HT")
+	if !ok {
+		t.Fatal("YCSB-C-HT missing from catalog")
+	}
+	r2, _ := as.Alloc(16<<20, mem.Fixed(0))
+	m2 := New(cfg, as)
+	m2.Attach(0, workload.NewLimit(kvApp.Generator(workload.Region{Base: r2.Base, Size: r2.Size}, 5), 60_000))
+	deadline = m2.Now() + 200_000_000
+	for m2.Core(0).Running() && m2.Now() < deadline {
+		m2.Run(2_000_000)
+	}
+	m2.Sync()
+	b2 := m2.Core(0).Bank()
+	if b2.Read(pmu.MemInstAllLoads) == 0 {
+		t.Fatal("KV issued no loads")
+	}
+	// Zipf popularity: the hot records concentrate into the caches.
+	hits := float64(b2.Read(pmu.MemLoadL1Hit))
+	loads := float64(b2.Read(pmu.MemInstAllLoads))
+	if hits/loads < 0.3 {
+		t.Fatalf("KV L1 hit rate %.2f — hot set not forming", hits/loads)
+	}
+}

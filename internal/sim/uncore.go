@@ -1,0 +1,457 @@
+package sim
+
+import (
+	"pathfinder/internal/cxl"
+	"pathfinder/internal/pmu"
+)
+
+// server is a work-conserving FCFS resource with a fixed per-item service
+// time: the standard next-free-clock model for bandwidth-limited links and
+// channels.  The clock is fractional so sub-cycle service times (high
+// bandwidths) are not quantized away.
+type server struct {
+	nextFree float64
+	service  float64
+}
+
+// acquire returns the service start time for an item arriving at arrival
+// and advances the resource clock.
+func (s *server) acquire(arrival Cycles) Cycles {
+	start := float64(arrival)
+	if s.nextFree > start {
+		start = s.nextFree
+	}
+	s.nextFree = start + s.service
+	return Cycles(start)
+}
+
+// byteServer is a bandwidth resource whose service time scales with the
+// transferred size — the FlexBus link, whose flit-level cost differs
+// between header-only messages (Req/NDR) and data-carrying ones (RwD/DRS).
+type byteServer struct {
+	nextFree float64
+	perByte  float64 // cycles per wire byte
+}
+
+// acquire returns the transfer start time for size wire bytes arriving at
+// arrival and advances the link clock.
+func (s *byteServer) acquire(arrival Cycles, size float64) Cycles {
+	start := float64(arrival)
+	if s.nextFree > start {
+		start = s.nextFree
+	}
+	s.nextFree = start + size*s.perByte
+	return Cycles(start)
+}
+
+// boundedQueue computes FCFS admission into a finite buffer without
+// per-cycle simulation: the k-th admission can enter once the (k-cap)-th
+// entry has departed, so a ring of the last cap departure times yields the
+// earliest admission instant.
+type boundedQueue struct {
+	dep []Cycles
+	idx int
+}
+
+func newBoundedQueue(capacity int) *boundedQueue {
+	if capacity <= 0 {
+		return &boundedQueue{}
+	}
+	return &boundedQueue{dep: make([]Cycles, capacity)}
+}
+
+// admit returns the earliest time an item arriving at arrival can enter.
+func (q *boundedQueue) admit(arrival Cycles) Cycles {
+	if len(q.dep) == 0 {
+		return arrival
+	}
+	if t := q.dep[q.idx]; t > arrival {
+		return t
+	}
+	return arrival
+}
+
+// commit records the departure time of the item just admitted.  Departures
+// must be committed in admission order (FCFS).
+func (q *boundedQueue) commit(depart Cycles) {
+	if len(q.dep) == 0 {
+		return
+	}
+	q.dep[q.idx] = depart
+	q.idx++
+	if q.idx == len(q.dep) {
+		q.idx = 0
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scenario tables: ServeLoc -> counter sub-event lists.
+// ---------------------------------------------------------------------------
+
+// drdScnTable maps a serve location to the nine-way DRd/OCR scenario
+// sub-events it increments.  hit_llc means "served by a cache on this
+// socket"; the finer local/snc/peer split is carried by the
+// mem_load_l3_hit_retired family.
+var drdScnTable = [srvCount][]int{
+	SrvLLC:        {pmu.ScnAny, pmu.ScnHit},
+	SrvPeerCache:  {pmu.ScnAny, pmu.ScnHit},
+	SrvSNCLLC:     {pmu.ScnAny, pmu.ScnHit},
+	SrvRemoteLLC:  {pmu.ScnAny, pmu.ScnMiss, pmu.ScnMissRemote},
+	SrvLocalDRAM:  {pmu.ScnAny, pmu.ScnMiss, pmu.ScnMissDDR, pmu.ScnMissLocal, pmu.ScnMissLocalDDR},
+	SrvRemoteDRAM: {pmu.ScnAny, pmu.ScnMiss, pmu.ScnMissDDR, pmu.ScnMissRemote, pmu.ScnMissRemoteDDR},
+	SrvCXL:        {pmu.ScnAny, pmu.ScnMiss, pmu.ScnMissCXL},
+}
+
+// rfoScnTable is the six-way RFO scenario equivalent.
+var rfoScnTable = [srvCount][]int{
+	SrvLLC:        {pmu.RFOAny, pmu.RFOHit},
+	SrvPeerCache:  {pmu.RFOAny, pmu.RFOHit},
+	SrvSNCLLC:     {pmu.RFOAny, pmu.RFOHit},
+	SrvRemoteLLC:  {pmu.RFOAny, pmu.RFOMiss, pmu.RFOMissRemote},
+	SrvLocalDRAM:  {pmu.RFOAny, pmu.RFOMiss, pmu.RFOMissLocal},
+	SrvRemoteDRAM: {pmu.RFOAny, pmu.RFOMiss, pmu.RFOMissRemote},
+	SrvCXL:        {pmu.RFOAny, pmu.RFOMiss, pmu.RFOMissCXL},
+}
+
+// iaScnTable is the four-way all-requests TOR scenario equivalent.
+var iaScnTable = [srvCount][]int{
+	SrvLLC:        {pmu.IAAll, pmu.IAHit},
+	SrvPeerCache:  {pmu.IAAll, pmu.IAHit},
+	SrvSNCLLC:     {pmu.IAAll, pmu.IAHit},
+	SrvRemoteLLC:  {pmu.IAAll, pmu.IAMiss},
+	SrvLocalDRAM:  {pmu.IAAll, pmu.IAMiss},
+	SrvRemoteDRAM: {pmu.IAAll, pmu.IAMiss},
+	SrvCXL:        {pmu.IAAll, pmu.IAMiss, pmu.IAMissCXL},
+}
+
+// ocrFamilyOf returns the core-PMU offcore-response family for a request
+// class, or nil when the class has none (writebacks use
+// ocr.modified_write.any_response instead).
+func ocrFamilyOf(class ReqClass) pmu.Family {
+	switch class {
+	case ClassDRd, ClassSWPF:
+		return pmu.OCRDemandDataRd
+	case ClassRFO:
+		return pmu.OCRRFO
+	case ClassL1PF:
+		return pmu.OCRL1DHWPF
+	case ClassL2PFDRd:
+		return pmu.OCRL2HWPFDRd
+	case ClassL2PFRFO:
+		return pmu.OCRL2HWPFRFO
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// CHA slice: an LLC slice, its snoop-filter presence bits, and a TOR with
+// per-class occupancy trackers.
+// ---------------------------------------------------------------------------
+
+// torFamily bundles the insert counters and occupancy/not-empty trackers of
+// one TOR request-class family.
+type torFamily struct {
+	inserts pmu.Family
+	occ     []*pmu.OccTracker // indexed by scenario
+}
+
+func newTorFamily(bank *pmu.Bank, inserts, occ, ne pmu.Family) *torFamily {
+	f := &torFamily{inserts: inserts, occ: make([]*pmu.OccTracker, len(inserts))}
+	for i := range inserts {
+		f.occ[i] = pmu.NewOccTracker(bank, occ[i], ne[i], -1, 0)
+	}
+	return f
+}
+
+// chaSlice is one LLC slice with its caching-and-home-agent bookkeeping.
+type chaSlice struct {
+	id      int
+	cluster int
+	llc     *Cache
+	bank    *pmu.Bank
+
+	ia, drd, drdPref, rfo, rfoPref *torFamily
+	wbmtoi                         *pmu.OccTracker
+}
+
+func newCHASlice(id, cluster int, llcBytes, ways int, bank *pmu.Bank) *chaSlice {
+	s := &chaSlice{
+		id:      id,
+		cluster: cluster,
+		llc:     NewCache(llcBytes, ways),
+		bank:    bank,
+	}
+	s.ia = newTorFamily(bank, pmu.TORInsertsIA, pmu.TOROccupancyIA, pmu.TORCyclesNEIA)
+	s.drd = newTorFamily(bank, pmu.TORInsertsIADRd, pmu.TOROccupancyIADRd, pmu.TORCyclesNEIADRd)
+	s.drdPref = newTorFamily(bank, pmu.TORInsertsIADRdPref, pmu.TOROccupancyIADRdPref, pmu.TORCyclesNEIADRdPref)
+	s.rfo = newTorFamily(bank, pmu.TORInsertsIARFO, pmu.TOROccupancyIARFO, pmu.TORCyclesNEIARFO)
+	s.rfoPref = newTorFamily(bank, pmu.TORInsertsIARFOPref, pmu.TOROccupancyIARFOPref, pmu.TORCyclesNEIARFOPref)
+	s.wbmtoi = pmu.NewOccTracker(bank, pmu.TOROccupancyIAWBMToI, -1, -1, 0)
+	return s
+}
+
+// torClassFamily returns the TOR family tracking the given request class.
+func (s *chaSlice) torClassFamily(class ReqClass) *torFamily {
+	switch class {
+	case ClassDRd, ClassSWPF:
+		return s.drd
+	case ClassRFO:
+		return s.rfo
+	case ClassL1PF, ClassL2PFDRd:
+		return s.drdPref
+	case ClassL2PFRFO:
+		return s.rfoPref
+	}
+	return nil
+}
+
+// sync advances all occupancy trackers to now so a snapshot observes
+// up-to-date integrals.
+func (s *chaSlice) sync(now Cycles) {
+	for _, f := range []*torFamily{s.ia, s.drd, s.drdPref, s.rfo, s.rfoPref} {
+		for _, t := range f.occ {
+			t.Advance(now)
+		}
+	}
+	s.wbmtoi.Advance(now)
+	s.bank.Add(pmu.CHAClockticks, 0) // clockticks are set by the machine
+}
+
+// ---------------------------------------------------------------------------
+// IMC channel.
+// ---------------------------------------------------------------------------
+
+type imcChannel struct {
+	bank *pmu.Bank
+	bus  server // channel data bus (bandwidth)
+	lat  Cycles // media latency
+
+	rpq, wpq       *boundedQueue
+	rpqOcc, wpqOcc *pmu.OccTracker
+}
+
+func newIMCChannel(bank *pmu.Bank, service float64, lat Cycles, rpqEntries, wpqEntries int) *imcChannel {
+	return &imcChannel{
+		bank:   bank,
+		bus:    server{service: service},
+		lat:    lat,
+		rpq:    newBoundedQueue(rpqEntries),
+		wpq:    newBoundedQueue(wpqEntries),
+		rpqOcc: pmu.NewOccTracker(bank, pmu.RPQOccupancy, pmu.RPQCyclesNE, -1, rpqEntries),
+		wpqOcc: pmu.NewOccTracker(bank, pmu.WPQOccupancy, pmu.WPQCyclesNE, -1, wpqEntries),
+	}
+}
+
+// read services a line read arriving at arrival and returns the data-ready
+// time.  Counter updates are scheduled on eng so trackers observe
+// chronological order.
+func (ch *imcChannel) read(eng *Engine, arrival Cycles) Cycles {
+	admit := ch.rpq.admit(arrival)
+	start := ch.bus.acquire(admit)
+	data := start + ch.lat
+	ch.rpq.commit(data) // RPQ entry is held until data returns
+	eng.Schedule(admit, func(now Cycles) {
+		ch.bank.Inc(pmu.RPQInserts)
+		ch.bank.Inc(pmu.CASCountRd)
+		ch.bank.Inc(pmu.CASCountAll)
+		ch.rpqOcc.Update(now, +1)
+	})
+	eng.Schedule(data, func(now Cycles) { ch.rpqOcc.Update(now, -1) })
+	return data
+}
+
+// write services a line write (posted).  It returns the WPQ admission time
+// — the instant the queue could accept the write, which backpressures the
+// evicting fill when the queue is full — and the media drain time.
+func (ch *imcChannel) write(eng *Engine, arrival Cycles) (admitted, drained Cycles) {
+	admit := ch.wpq.admit(arrival)
+	start := ch.bus.acquire(admit)
+	done := start + ch.lat
+	ch.wpq.commit(done)
+	eng.Schedule(admit, func(now Cycles) {
+		ch.bank.Inc(pmu.WPQInserts)
+		ch.bank.Inc(pmu.CASCountWr)
+		ch.bank.Inc(pmu.CASCountAll)
+		ch.wpqOcc.Update(now, +1)
+	})
+	eng.Schedule(done, func(now Cycles) { ch.wpqOcc.Update(now, -1) })
+	return admit, done
+}
+
+func (ch *imcChannel) sync(now Cycles) {
+	ch.rpqOcc.Advance(now)
+	ch.wpqOcc.Advance(now)
+}
+
+// ---------------------------------------------------------------------------
+// CXL port: the M2PCIe/FlexBus host side plus the attached Type-3 device.
+// ---------------------------------------------------------------------------
+
+type cxlPort struct {
+	cfg *Config
+
+	m2pBank *pmu.Bank
+	devBank *pmu.Bank
+
+	ingress *pmu.OccTracker // M2PCIe ingress queue (mesh -> link)
+	linkTx  byteServer      // host -> device link bandwidth
+	linkRx  byteServer      // device -> host link bandwidth
+
+	// qos integrates the CXL 3.x DevLoad telemetry over the device-side
+	// queue pressure (RPQ + WPQ + packing buffers).
+	qos     *cxl.LoadTracker
+	qosBase [4]uint64 // cycles already exported to the bank
+
+	packReq                 *boundedQueue // device Mem Request ingress packing buffer
+	packData                *boundedQueue // device Mem Data ingress packing buffer
+	packReqOcc, packDataOcc *pmu.OccTracker
+
+	devRPQ, devWPQ       *boundedQueue
+	devRPQOcc, devWPQOcc *pmu.OccTracker
+	media                server // device media bandwidth
+}
+
+func newCXLPort(cfg *Config, m2pBank, devBank *pmu.Bank) *cxlPort {
+	perByte := cfg.serviceCycles(cfg.FlexBusGBs) / 64 // cycles per wire byte
+	return &cxlPort{
+		cfg:     cfg,
+		m2pBank: m2pBank,
+		devBank: devBank,
+		ingress: pmu.NewOccTracker(m2pBank, pmu.M2PRxOccupancy, pmu.M2PRxCyclesNE, -1, 0),
+		linkTx:  byteServer{perByte: perByte},
+		linkRx:  byteServer{perByte: perByte},
+		qos:     cxl.NewLoadTracker(maxInt(cfg.CXLRPQEntries, cfg.CXLWPQEntries) + cfg.PackBufEntries),
+
+		packReq:  newBoundedQueue(cfg.PackBufEntries),
+		packData: newBoundedQueue(cfg.PackBufEntries),
+		packReqOcc: pmu.NewOccTracker(devBank, pmu.CXLRxPackBufOccReq,
+			pmu.CXLRxPackBufNEReq, pmu.CXLRxPackBufFullReq, cfg.PackBufEntries),
+		packDataOcc: pmu.NewOccTracker(devBank, pmu.CXLRxPackBufOccData,
+			pmu.CXLRxPackBufNEData, pmu.CXLRxPackBufFullData, cfg.PackBufEntries),
+
+		devRPQ: newBoundedQueue(cfg.CXLRPQEntries),
+		devWPQ: newBoundedQueue(cfg.CXLWPQEntries),
+		devRPQOcc: pmu.NewOccTracker(devBank, pmu.CXLDevRPQOccupancy,
+			pmu.CXLDevRPQCyclesNE, -1, cfg.CXLRPQEntries),
+		devWPQOcc: pmu.NewOccTracker(devBank, pmu.CXLDevWPQOccupancy,
+			pmu.CXLDevWPQCyclesNE, -1, cfg.CXLWPQEntries),
+		media: server{service: cfg.serviceCycles(cfg.CXLMediaGBs)},
+	}
+}
+
+// read performs a CXL.mem load (M2S Req -> S2M DRS) arriving at the M2PCIe
+// ingress at arrival, returning the host data-return time.
+func (p *cxlPort) read(eng *Engine, arrival Cycles) Cycles {
+	// M2PCIe ingress: the entry waits for link credit, which is starved
+	// when the device request packing buffer is full.
+	ready := p.packReq.admit(arrival + p.cfg.M2PLat)
+	txStart := p.linkTx.acquire(ready, cxl.BytesPerMessage(cxl.MemRd))
+	devArrive := txStart + p.cfg.FlexBusLat
+
+	// Device: packing buffer until the controller hands off to the MC.
+	ctrlDone := devArrive + p.cfg.CXLCtrlLat
+	rpqAdmit := p.devRPQ.admit(ctrlDone)
+	p.packReq.commit(rpqAdmit)
+
+	mediaStart := p.media.acquire(rpqAdmit)
+	data := mediaStart + p.cfg.CXLMediaLat
+	p.devRPQ.commit(data)
+
+	// Response: S2M DRS over the link back to the host.
+	rxStart := p.linkRx.acquire(data, cxl.BytesPerMessage(cxl.MemData))
+	hostArrive := rxStart + p.cfg.FlexBusLat
+	done := hostArrive + p.cfg.M2PLat
+
+	eng.Schedule(arrival, func(now Cycles) {
+		p.m2pBank.Inc(pmu.M2PRxInserts)
+		p.ingress.Update(now, +1)
+	})
+	eng.Schedule(txStart, func(now Cycles) { p.ingress.Update(now, -1) })
+	eng.Schedule(devArrive, func(now Cycles) {
+		p.devBank.Inc(pmu.CXLRxPackBufInsertsReq)
+		p.packReqOcc.Update(now, +1)
+		p.qos.Update(now, +1)
+	})
+	eng.Schedule(rpqAdmit, func(now Cycles) {
+		p.packReqOcc.Update(now, -1)
+		p.devBank.Inc(pmu.CXLDevRPQInserts)
+		p.devRPQOcc.Update(now, +1)
+	})
+	eng.Schedule(data, func(now Cycles) {
+		p.devRPQOcc.Update(now, -1)
+		p.qos.Update(now, -1)
+		p.devBank.Inc(pmu.CXLDevCASRd)
+		p.devBank.Inc(pmu.CXLTxPackBufInsertsData)
+	})
+	eng.Schedule(hostArrive, func(now Cycles) { p.m2pBank.Inc(pmu.M2PTxInsertsBL) })
+	return done
+}
+
+// write performs a CXL.mem store (M2S RwD -> S2M NDR).  It returns the
+// credit-admission time (backpressure point for the evicting fill) and the
+// time the write is durable at the device.
+func (p *cxlPort) write(eng *Engine, arrival Cycles) (admitted, drained Cycles) {
+	ready := p.packData.admit(arrival + p.cfg.M2PLat)
+	txStart := p.linkTx.acquire(ready, cxl.BytesPerMessage(cxl.MemWr))
+	devArrive := txStart + p.cfg.FlexBusLat
+
+	ctrlDone := devArrive + p.cfg.CXLCtrlLat
+	wpqAdmit := p.devWPQ.admit(ctrlDone)
+	p.packData.commit(wpqAdmit)
+
+	mediaStart := p.media.acquire(wpqAdmit)
+	done := mediaStart + p.cfg.CXLMediaLat
+	p.devWPQ.commit(done)
+
+	rxStart := p.linkRx.acquire(mediaStart, cxl.BytesPerMessage(cxl.Cmp)) // NDR
+	ackArrive := rxStart + p.cfg.FlexBusLat
+
+	eng.Schedule(arrival, func(now Cycles) {
+		p.m2pBank.Inc(pmu.M2PRxInserts)
+		p.ingress.Update(now, +1)
+	})
+	eng.Schedule(txStart, func(now Cycles) { p.ingress.Update(now, -1) })
+	eng.Schedule(devArrive, func(now Cycles) {
+		p.devBank.Inc(pmu.CXLRxPackBufInsertsData)
+		p.packDataOcc.Update(now, +1)
+		p.qos.Update(now, +1)
+	})
+	eng.Schedule(wpqAdmit, func(now Cycles) {
+		p.packDataOcc.Update(now, -1)
+		p.devBank.Inc(pmu.CXLDevWPQInserts)
+		p.devWPQOcc.Update(now, +1)
+	})
+	eng.Schedule(done, func(now Cycles) {
+		p.devWPQOcc.Update(now, -1)
+		p.qos.Update(now, -1)
+		p.devBank.Inc(pmu.CXLDevCASWr)
+		p.devBank.Inc(pmu.CXLTxPackBufInsertsReq)
+	})
+	eng.Schedule(ackArrive, func(now Cycles) { p.m2pBank.Inc(pmu.M2PTxInsertsAK) })
+	return ready, done
+}
+
+func (p *cxlPort) sync(now Cycles) {
+	p.ingress.Advance(now)
+	p.packReqOcc.Advance(now)
+	p.packDataOcc.Advance(now)
+	p.devRPQOcc.Advance(now)
+	p.devWPQOcc.Advance(now)
+	// Export the QoS telemetry residency to the device bank.
+	p.qos.Advance(now)
+	for i, ev := range pmu.CXLQoS {
+		total := p.qos.Cycles(cxl.DevLoad(i))
+		p.devBank.Add(ev, total-p.qosBase[i])
+		p.qosBase[i] = total
+	}
+}
+
+// devLoad returns the device's dominant QoS class so far.
+func (p *cxlPort) devLoad() cxl.DevLoad { return p.qos.Dominant() }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,126 @@
+// Package tma implements the Top-Down Microarchitecture Analysis method
+// (Yasin, ISPASS 2014) — the technique behind Intel VTune that the paper
+// positions as the prior solution for pipeline diagnosis (§2.3).  It
+// hierarchically attributes pipeline slots to Frontend Bound, Bad
+// Speculation, Retiring, and Backend Bound, and drills Backend Bound into
+// Core Bound versus Memory Bound with the per-level stall counters.
+//
+// The package exists as the baseline PathFinder is compared against: TMA
+// localizes the bottleneck *level* (e.g. "DRAM bound") but, as the paper
+// argues, "cannot associate core-level inefficiencies with off-chip CXL
+// memory access" — it has no notion of which memory device, path, or
+// FlexBus stage is responsible.  The comparison experiment
+// (experiments.RunTMABaseline) demonstrates exactly that blind spot.
+package tma
+
+import (
+	"fmt"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/pmu"
+)
+
+// Level1 is the top split of the pipeline-slot budget.
+type Level1 struct {
+	Retiring       float64
+	FrontendBound  float64
+	BadSpeculation float64
+	BackendBound   float64
+}
+
+// Level2 drills Backend Bound down.
+type Level2 struct {
+	CoreBound   float64
+	MemoryBound float64
+}
+
+// Level3 drills Memory Bound down by cache level — the deepest TMA goes;
+// note the absence of any per-device or per-path attribution.
+type Level3 struct {
+	L1Bound    float64 // stalled with L1D misses outstanding, served by L2
+	L2Bound    float64
+	L3Bound    float64
+	DRAMBound  float64 // beyond-LLC stalls: TMA cannot split local vs CXL
+	StoreBound float64
+}
+
+// Breakdown is a full top-down report for one core set.
+type Breakdown struct {
+	L1 Level1
+	L2 Level2
+	L3 Level3
+}
+
+// Analyze computes the top-down breakdown from a snapshot.  The simulated
+// core is a simplified in-order-issue engine, so Bad Speculation and
+// Frontend Bound are structurally zero; the interesting arms — Retiring vs
+// Backend Bound and the memory hierarchy drill-down — carry the same
+// semantics as on hardware.
+func Analyze(s *core.Snapshot, cores []int) Breakdown {
+	clk := s.CoreSum(cores, pmu.CPUClkUnhalted)
+	var b Breakdown
+	if clk == 0 {
+		return b
+	}
+
+	stL1 := s.CoreSum(cores, pmu.StallsL1DMiss)
+	stL2 := s.CoreSum(cores, pmu.StallsL2Miss)
+	stL3 := s.CoreSum(cores, pmu.StallsL3Miss)
+	fbFull := s.CoreSum(cores, pmu.L1DPendMissFBFull)
+	sbStall := s.CoreSum(cores, pmu.ResourceStallsSB) + s.CoreSum(cores, pmu.ExeBoundOnStores)
+
+	memStall := stL1 + fbFull + sbStall
+	if memStall > clk {
+		memStall = clk
+	}
+	b.L1.BackendBound = memStall / clk
+	b.L1.Retiring = 1 - b.L1.BackendBound
+
+	b.L2.MemoryBound = b.L1.BackendBound
+	b.L2.CoreBound = 0
+
+	// Own-level shares by differencing the hierarchical counters.
+	own := func(a, c float64) float64 {
+		if a > c {
+			return (a - c) / clk
+		}
+		return 0
+	}
+	b.L3.L1Bound = fbFull / clk // waiting on fill-buffer availability
+	b.L3.L2Bound = own(stL1, stL2)
+	b.L3.L3Bound = own(stL2, stL3)
+	b.L3.DRAMBound = stL3 / clk
+	b.L3.StoreBound = sbStall / clk
+	return b
+}
+
+// Bottleneck names the dominant arm the way a TMA report would — the
+// deepest label the method can produce.
+func (b Breakdown) Bottleneck() string {
+	if b.L1.BackendBound < 0.2 {
+		return "Retiring"
+	}
+	best, name := b.L3.DRAMBound, "Backend.Memory.DRAM_Bound"
+	if b.L3.L2Bound > best {
+		best, name = b.L3.L2Bound, "Backend.Memory.L2_Bound"
+	}
+	if b.L3.L3Bound > best {
+		best, name = b.L3.L3Bound, "Backend.Memory.L3_Bound"
+	}
+	if b.L3.L1Bound > best {
+		best, name = b.L3.L1Bound, "Backend.Memory.L1_Bound"
+	}
+	if b.L3.StoreBound > best {
+		name = "Backend.Memory.Store_Bound"
+	}
+	return name
+}
+
+// String renders the hierarchy.
+func (b Breakdown) String() string {
+	return fmt.Sprintf(
+		"Retiring %.1f%% | Backend %.1f%% -> Memory %.1f%% -> {L1 %.1f%%, L2 %.1f%%, L3 %.1f%%, DRAM %.1f%%, Store %.1f%%}",
+		b.L1.Retiring*100, b.L1.BackendBound*100, b.L2.MemoryBound*100,
+		b.L3.L1Bound*100, b.L3.L2Bound*100, b.L3.L3Bound*100,
+		b.L3.DRAMBound*100, b.L3.StoreBound*100)
+}

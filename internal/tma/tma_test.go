@@ -1,0 +1,88 @@
+package tma
+
+import (
+	"strings"
+	"testing"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/mem"
+	"pathfinder/internal/sim"
+	"pathfinder/internal/workload"
+)
+
+func chaseSnapshot(t *testing.T, node mem.NodeID, think uint16) *core.Snapshot {
+	t.Helper()
+	as := mem.NewAddressSpace(12, []mem.Node{
+		{ID: 0, Kind: mem.LocalDRAM, Capacity: 8 << 30},
+		{ID: 1, Kind: mem.CXLDRAM, Device: 0, Capacity: 8 << 30},
+	})
+	r, err := as.Alloc(32<<20, mem.Fixed(node))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.SPR()
+	cfg.Cores = 2
+	cfg.LLCSlices = 8
+	cfg.LLCSize = 4 << 20
+	m := sim.New(cfg, as)
+	cap := core.NewCapturer(m)
+	m.Attach(0, workload.NewPointerChase(workload.Region{Base: r.Base, Size: r.Size}, think, 5))
+	m.Run(3_000_000)
+	return cap.Capture()
+}
+
+func TestAnalyzeMemoryBoundChase(t *testing.T) {
+	b := Analyze(chaseSnapshot(t, 1, 2), []int{0})
+	if b.L1.BackendBound < 0.8 {
+		t.Fatalf("CXL chase backend-bound = %v, want > 0.8", b.L1.BackendBound)
+	}
+	if b.L2.MemoryBound != b.L1.BackendBound {
+		t.Fatal("memory bound must equal backend bound in this core model")
+	}
+	if b.L3.DRAMBound < 0.7 {
+		t.Fatalf("DRAM bound = %v", b.L3.DRAMBound)
+	}
+	if got := b.Bottleneck(); got != "Backend.Memory.DRAM_Bound" {
+		t.Fatalf("bottleneck = %q", got)
+	}
+	// The structural blind spot: TMA's verdict is identical for local and
+	// CXL placements of the same chase.
+	bl := Analyze(chaseSnapshot(t, 0, 2), []int{0})
+	if bl.Bottleneck() != b.Bottleneck() {
+		t.Fatalf("TMA distinguished placements: %q vs %q — it should not be able to",
+			bl.Bottleneck(), b.Bottleneck())
+	}
+}
+
+func TestAnalyzeComputeBound(t *testing.T) {
+	// Huge think time: the core retires, barely touching memory.
+	b := Analyze(chaseSnapshot(t, 0, 400), []int{0})
+	if b.L1.Retiring < 0.5 {
+		t.Fatalf("compute-heavy retiring = %v", b.L1.Retiring)
+	}
+}
+
+func TestAnalyzeEmptySnapshot(t *testing.T) {
+	as := mem.NewAddressSpace(12, []mem.Node{{ID: 0, Kind: mem.LocalDRAM, Capacity: 1 << 30}})
+	cfg := sim.SPR()
+	cfg.Cores = 1
+	cfg.LLCSlices = 2
+	m := sim.New(cfg, as)
+	cap := core.NewCapturer(m)
+	m.Run(1000)
+	b := Analyze(cap.Capture(), nil)
+	if b.L1.BackendBound != 0 || b.L1.Retiring != 0 {
+		t.Fatalf("idle breakdown: %+v", b.L1)
+	}
+	if b.Bottleneck() != "Retiring" {
+		t.Fatalf("idle bottleneck = %q", b.Bottleneck())
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Analyze(chaseSnapshot(t, 1, 2), []int{0})
+	s := b.String()
+	if !strings.Contains(s, "DRAM") || !strings.Contains(s, "Backend") {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,71 @@
+package tsdb
+
+import "math"
+
+// Anomaly is one sample flagged by residual analysis: its index, observed
+// value, the local expectation (trailing moving average), and the z-score
+// of the residual — the "residual (or anomaly)" component of the paper's
+// §4.6 time-series analysis.
+type Anomaly struct {
+	Index    int
+	Value    float64
+	Expected float64
+	Score    float64
+}
+
+// Anomalies detrends vals with a trailing moving average of the given
+// window and flags samples whose residual exceeds zThresh standard
+// deviations of the residual distribution.  It returns nil when the series
+// is too short or has no residual variance.
+func Anomalies(vals []float64, window int, zThresh float64) []Anomaly {
+	if window < 2 {
+		window = 2
+	}
+	if len(vals) < window+2 || zThresh <= 0 {
+		return nil
+	}
+	// Trailing moving average as the local expectation (excluding the
+	// current point so a spike does not mask itself).
+	expected := make([]float64, len(vals))
+	var sum float64
+	for i, v := range vals {
+		if i == 0 {
+			expected[i] = v
+		} else {
+			n := i
+			if n > window {
+				n = window
+			}
+			expected[i] = sum / float64(n)
+		}
+		sum += v
+		if i >= window {
+			sum -= vals[i-window]
+		}
+	}
+	// Residual standard deviation.
+	var mean, m2 float64
+	n := 0
+	for i := 1; i < len(vals); i++ {
+		r := vals[i] - expected[i]
+		n++
+		d := r - mean
+		mean += d / float64(n)
+		m2 += d * (r - mean)
+	}
+	if n < 2 {
+		return nil
+	}
+	std := math.Sqrt(m2 / float64(n-1))
+	if std == 0 {
+		return nil
+	}
+	var out []Anomaly
+	for i := 1; i < len(vals); i++ {
+		z := (vals[i] - expected[i] - mean) / std
+		if math.Abs(z) > zThresh {
+			out = append(out, Anomaly{Index: i, Value: vals[i], Expected: expected[i], Score: z})
+		}
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package tsdb
+
+import (
+	"errors"
+	"math"
+)
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// samples.  It returns 0 when either side has zero variance and an error on
+// mismatched or too-short inputs.
+func Pearson(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, errors.New("tsdb: Pearson inputs differ in length")
+	}
+	n := len(a)
+	if n < 2 {
+		return 0, errors.New("tsdb: Pearson needs at least two samples")
+	}
+	var ma, mb float64
+	for i := 0; i < n; i++ {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= float64(n)
+	mb /= float64(n)
+	var cov, va, vb float64
+	for i := 0; i < n; i++ {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0, nil
+	}
+	return cov / math.Sqrt(va*vb), nil
+}
+
+// HWParams are Holt-Winters (triple exponential smoothing) parameters.
+type HWParams struct {
+	Alpha  float64 // level smoothing in (0,1]
+	Beta   float64 // trend smoothing in [0,1]
+	Gamma  float64 // seasonal smoothing in [0,1]
+	Period int     // season length in samples (>= 2)
+}
+
+// HoltWinters fits an additive Holt-Winters model to vals and forecasts
+// horizon further samples.  It requires at least two full periods of data.
+func HoltWinters(vals []float64, p HWParams, horizon int) ([]float64, error) {
+	m := p.Period
+	switch {
+	case m < 2:
+		return nil, errors.New("tsdb: Holt-Winters period must be >= 2")
+	case len(vals) < 2*m:
+		return nil, errors.New("tsdb: Holt-Winters needs two full periods of history")
+	case p.Alpha <= 0 || p.Alpha > 1 || p.Beta < 0 || p.Beta > 1 || p.Gamma < 0 || p.Gamma > 1:
+		return nil, errors.New("tsdb: Holt-Winters smoothing factors out of range")
+	case horizon < 0:
+		return nil, errors.New("tsdb: negative forecast horizon")
+	}
+
+	// Initial level/trend from the first two periods; initial seasonal
+	// indices from per-slot deviations of the first period.
+	var s1, s2 float64
+	for i := 0; i < m; i++ {
+		s1 += vals[i]
+		s2 += vals[m+i]
+	}
+	s1 /= float64(m)
+	s2 /= float64(m)
+	level := s1
+	trend := (s2 - s1) / float64(m)
+	season := make([]float64, m)
+	for i := 0; i < m; i++ {
+		season[i] = vals[i] - s1
+	}
+
+	for t := m; t < len(vals); t++ {
+		si := t % m
+		prevLevel := level
+		level = p.Alpha*(vals[t]-season[si]) + (1-p.Alpha)*(level+trend)
+		trend = p.Beta*(level-prevLevel) + (1-p.Beta)*trend
+		season[si] = p.Gamma*(vals[t]-level) + (1-p.Gamma)*season[si]
+	}
+
+	out := make([]float64, horizon)
+	for h := 1; h <= horizon; h++ {
+		si := (len(vals) + h - 1) % m
+		out[h-1] = level + float64(h)*trend + season[si]
+	}
+	return out, nil
+}
+
+// Decomposition splits a series into trend, seasonal, and residual
+// components (classical additive decomposition).
+type Decomposition struct {
+	Trend    []float64
+	Seasonal []float64
+	Residual []float64
+}
+
+// Decompose performs additive decomposition with the given season period.
+// Trend is a centered moving average of one period; the seasonal component
+// is the per-slot mean of the detrended values.
+func Decompose(vals []float64, period int) (Decomposition, error) {
+	if period < 2 {
+		return Decomposition{}, errors.New("tsdb: decomposition period must be >= 2")
+	}
+	n := len(vals)
+	if n < 2*period {
+		return Decomposition{}, errors.New("tsdb: decomposition needs two full periods")
+	}
+	d := Decomposition{
+		Trend:    make([]float64, n),
+		Seasonal: make([]float64, n),
+		Residual: make([]float64, n),
+	}
+	// Centered moving average; edges reuse the nearest computed value.
+	half := period / 2
+	for i := range vals {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		var sum float64
+		for j := lo; j <= hi; j++ {
+			sum += vals[j]
+		}
+		d.Trend[i] = sum / float64(hi-lo+1)
+	}
+	slotSum := make([]float64, period)
+	slotCnt := make([]int, period)
+	for i := range vals {
+		slotSum[i%period] += vals[i] - d.Trend[i]
+		slotCnt[i%period]++
+	}
+	for i := range vals {
+		d.Seasonal[i] = slotSum[i%period] / float64(slotCnt[i%period])
+		d.Residual[i] = vals[i] - d.Trend[i] - d.Seasonal[i]
+	}
+	return d, nil
+}
+
+// Segment is a contiguous run of samples with a consistent level — the
+// "window with similar hits" of the paper's locality analysis.  End is
+// exclusive.
+type Segment struct {
+	Start, End int
+	Mean       float64
+}
+
+// Len returns the number of samples in the segment.
+func (s Segment) Len() int { return s.End - s.Start }
+
+// Segments partitions vals into phase windows: a new window starts when a
+// value deviates from the running window mean by more than relTol
+// (relative) or absTol (absolute), whichever bound is larger.  This is the
+// time-series clustering step PFMaterializer uses to find stable execution
+// phases.
+func Segments(vals []float64, relTol, absTol float64) []Segment {
+	if len(vals) == 0 {
+		return nil
+	}
+	var out []Segment
+	start := 0
+	sum := vals[0]
+	for i := 1; i < len(vals); i++ {
+		mean := sum / float64(i-start)
+		bound := relTol * math.Abs(mean)
+		if absTol > bound {
+			bound = absTol
+		}
+		if math.Abs(vals[i]-mean) > bound {
+			out = append(out, Segment{Start: start, End: i, Mean: mean})
+			start = i
+			sum = vals[i]
+			continue
+		}
+		sum += vals[i]
+	}
+	out = append(out, Segment{Start: start, End: len(vals), Mean: sum / float64(len(vals)-start)})
+	return out
+}

@@ -1,0 +1,294 @@
+// Package tsdb is the embedded time-series database behind PFMaterializer
+// (§4.6 of the paper): snapshot digests become tagged points; a fluent
+// query interface provides the windowed aggregation, moving averages,
+// Holt-Winters forecasting, Pearson correlation, and phase-window
+// clustering the paper performs with InfluxDB Flux queries.
+package tsdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Point is one record: a measurement name, identifying tags, and numeric
+// fields at a timestamp (simulated cycles).
+type Point struct {
+	Time   uint64
+	Tags   map[string]string
+	Fields map[string]float64
+}
+
+// seriesKey identifies a (measurement, canonical tag set) series.
+type seriesKey string
+
+func keyOf(measurement string, tags map[string]string) seriesKey {
+	if len(tags) == 0 {
+		return seriesKey(measurement)
+	}
+	names := make([]string, 0, len(tags))
+	for k := range tags {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(measurement)
+	for _, k := range names {
+		b.WriteByte(',')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(tags[k])
+	}
+	return seriesKey(b.String())
+}
+
+// series is the stored form: points in insertion (time) order.
+type series struct {
+	tags   map[string]string
+	points []Point
+}
+
+// DB is an in-memory time-series store.  It is not safe for concurrent use;
+// the profiler is single-threaded.
+type DB struct {
+	data map[string]map[seriesKey]*series // measurement -> series
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{data: make(map[string]map[seriesKey]*series)}
+}
+
+// Insert appends a point to the given measurement.  Points must be
+// inserted in non-decreasing time order per series (snapshots are).
+func (db *DB) Insert(measurement string, p Point) error {
+	if measurement == "" {
+		return fmt.Errorf("tsdb: empty measurement name")
+	}
+	mm := db.data[measurement]
+	if mm == nil {
+		mm = make(map[seriesKey]*series)
+		db.data[measurement] = mm
+	}
+	k := keyOf(measurement, p.Tags)
+	s := mm[k]
+	if s == nil {
+		tags := make(map[string]string, len(p.Tags))
+		for kk, v := range p.Tags {
+			tags[kk] = v
+		}
+		s = &series{tags: tags}
+		mm[k] = s
+	}
+	if n := len(s.points); n > 0 && p.Time < s.points[n-1].Time {
+		return fmt.Errorf("tsdb: out-of-order insert into %s at t=%d", k, p.Time)
+	}
+	s.points = append(s.points, p)
+	return nil
+}
+
+// Measurements returns the sorted measurement names.
+func (db *DB) Measurements() []string {
+	out := make([]string, 0, len(db.data))
+	for m := range db.data {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Query starts a fluent query over a measurement, in the spirit of
+// `FROM "measurement" WHERE ...`.
+func (db *DB) Query(measurement string) *Query {
+	return &Query{db: db, measurement: measurement, t1: ^uint64(0)}
+}
+
+// Query is a filter/projection builder over one measurement.
+type Query struct {
+	db          *DB
+	measurement string
+	where       []func(tags map[string]string) bool
+	t0, t1      uint64
+}
+
+// Where restricts to series whose tag equals value.
+func (q *Query) Where(tag, value string) *Query {
+	q.where = append(q.where, func(tags map[string]string) bool {
+		return tags[tag] == value
+	})
+	return q
+}
+
+// WhereIn restricts to series whose tag is one of the values.
+func (q *Query) WhereIn(tag string, values ...string) *Query {
+	set := make(map[string]bool, len(values))
+	for _, v := range values {
+		set[v] = true
+	}
+	q.where = append(q.where, func(tags map[string]string) bool {
+		return set[tags[tag]]
+	})
+	return q
+}
+
+// Range restricts to points with t0 <= Time < t1.
+func (q *Query) Range(t0, t1 uint64) *Query {
+	q.t0, q.t1 = t0, t1
+	return q
+}
+
+func (q *Query) matchSeries() []*series {
+	var out []*series
+	for _, s := range q.db.data[q.measurement] {
+		ok := true
+		for _, f := range q.where {
+			if !f(s.tags) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, s)
+		}
+	}
+	// Deterministic order for merging.
+	sort.Slice(out, func(i, j int) bool {
+		return keyOf(q.measurement, out[i].tags) < keyOf(q.measurement, out[j].tags)
+	})
+	return out
+}
+
+// Field extracts one field as a merged, time-sorted series.  Points from
+// multiple matching series at the same timestamp are summed (the natural
+// aggregation for counter digests).
+func (q *Query) Field(name string) Series {
+	type acc struct {
+		t uint64
+		v float64
+	}
+	var merged []acc
+	for _, s := range q.matchSeries() {
+		for _, p := range s.points {
+			if p.Time < q.t0 || p.Time >= q.t1 {
+				continue
+			}
+			v, ok := p.Fields[name]
+			if !ok {
+				continue
+			}
+			merged = append(merged, acc{p.Time, v})
+		}
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].t < merged[j].t })
+	var out Series
+	for _, a := range merged {
+		if n := len(out); n > 0 && out[n-1].T == a.t {
+			out[n-1].V += a.v
+			continue
+		}
+		out = append(out, Sample{T: a.t, V: a.v})
+	}
+	return out
+}
+
+// Tags returns the distinct values of a tag across matching series, sorted.
+func (q *Query) Tags(tag string) []string {
+	seen := make(map[string]bool)
+	for _, s := range q.matchSeries() {
+		if v, ok := s.tags[tag]; ok {
+			seen[v] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sample is one (time, value) observation.
+type Sample struct {
+	T uint64
+	V float64
+}
+
+// Series is a time-ordered sequence of samples.
+type Series []Sample
+
+// Values returns just the values.
+func (s Series) Values() []float64 {
+	out := make([]float64, len(s))
+	for i, p := range s {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Min returns the minimum value (0 for an empty series).
+func (s Series) Min() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s[0].V
+	for _, p := range s[1:] {
+		if p.V < m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Max returns the maximum value (0 for an empty series).
+func (s Series) Max() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s[0].V
+	for _, p := range s[1:] {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of values.
+func (s Series) Sum() float64 {
+	var t float64
+	for _, p := range s {
+		t += p.V
+	}
+	return t
+}
+
+// Mean returns the arithmetic mean (0 for an empty series).
+func (s Series) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	return s.Sum() / float64(len(s))
+}
+
+// MovingAverage returns the k-point trailing moving average, aligned to the
+// source timestamps (the first k-1 points average what is available).
+func (s Series) MovingAverage(k int) Series {
+	if k <= 1 || len(s) == 0 {
+		out := make(Series, len(s))
+		copy(out, s)
+		return out
+	}
+	out := make(Series, len(s))
+	var window float64
+	for i, p := range s {
+		window += p.V
+		n := k
+		if i+1 < k {
+			n = i + 1
+		} else if i >= k {
+			window -= s[i-k].V
+		}
+		out[i] = Sample{T: p.T, V: window / float64(n)}
+	}
+	return out
+}

@@ -1,0 +1,355 @@
+package tsdb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustInsert(t *testing.T, db *DB, m string, p Point) {
+	t.Helper()
+	if err := db.Insert(m, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertAndQuery(t *testing.T) {
+	db := New()
+	for i := 0; i < 10; i++ {
+		mustInsert(t, db, "path_set", Point{
+			Time:   uint64(i * 100),
+			Tags:   map[string]string{"pid": "1", "dst": "LLC"},
+			Fields: map[string]float64{"hits": float64(i)},
+		})
+	}
+	s := db.Query("path_set").Where("pid", "1").Where("dst", "LLC").Field("hits")
+	if len(s) != 10 {
+		t.Fatalf("got %d points", len(s))
+	}
+	if s.Sum() != 45 {
+		t.Fatalf("Sum = %v", s.Sum())
+	}
+	if s.Min() != 0 || s.Max() != 9 || s.Mean() != 4.5 {
+		t.Fatalf("min/max/mean = %v/%v/%v", s.Min(), s.Max(), s.Mean())
+	}
+}
+
+func TestQueryFilters(t *testing.T) {
+	db := New()
+	for i, dst := range []string{"LLC", "CXL", "LLC", "DRAM"} {
+		mustInsert(t, db, "m", Point{
+			Time:   uint64(i),
+			Tags:   map[string]string{"dst": dst},
+			Fields: map[string]float64{"v": 1},
+		})
+	}
+	if got := db.Query("m").Where("dst", "LLC").Field("v").Sum(); got != 2 {
+		t.Fatalf("Where sum = %v", got)
+	}
+	if got := db.Query("m").WhereIn("dst", "LLC", "CXL").Field("v").Sum(); got != 3 {
+		t.Fatalf("WhereIn sum = %v", got)
+	}
+	if got := db.Query("m").Where("dst", "none").Field("v"); len(got) != 0 {
+		t.Fatalf("unmatched filter returned %d points", len(got))
+	}
+	if got := db.Query("nope").Field("v"); len(got) != 0 {
+		t.Fatal("unknown measurement returned points")
+	}
+}
+
+func TestQueryRange(t *testing.T) {
+	db := New()
+	for i := 0; i < 10; i++ {
+		mustInsert(t, db, "m", Point{Time: uint64(i), Fields: map[string]float64{"v": 1}})
+	}
+	if got := db.Query("m").Range(2, 5).Field("v").Sum(); got != 3 {
+		t.Fatalf("Range sum = %v", got)
+	}
+}
+
+func TestSameTimestampMerge(t *testing.T) {
+	db := New()
+	// Two series (different tags) sampled at the same instants merge by sum.
+	for i := 0; i < 4; i++ {
+		mustInsert(t, db, "m", Point{Time: uint64(i), Tags: map[string]string{"core": "0"},
+			Fields: map[string]float64{"v": 1}})
+		mustInsert(t, db, "m", Point{Time: uint64(i), Tags: map[string]string{"core": "1"},
+			Fields: map[string]float64{"v": 2}})
+	}
+	s := db.Query("m").Field("v")
+	if len(s) != 4 {
+		t.Fatalf("merged to %d points", len(s))
+	}
+	for _, p := range s {
+		if p.V != 3 {
+			t.Fatalf("merged value = %v", p.V)
+		}
+	}
+}
+
+func TestOutOfOrderInsertRejected(t *testing.T) {
+	db := New()
+	mustInsert(t, db, "m", Point{Time: 10, Fields: map[string]float64{"v": 1}})
+	if err := db.Insert("m", Point{Time: 5, Fields: map[string]float64{"v": 1}}); err == nil {
+		t.Fatal("out-of-order insert accepted")
+	}
+	if err := db.Insert("", Point{Time: 1}); err == nil {
+		t.Fatal("empty measurement accepted")
+	}
+}
+
+func TestTagsEnumeration(t *testing.T) {
+	db := New()
+	for _, pid := range []string{"9", "3", "9"} {
+		mustInsert(t, db, "m", Point{Tags: map[string]string{"pid": pid},
+			Fields: map[string]float64{"v": 1}})
+	}
+	got := db.Query("m").Tags("pid")
+	if len(got) != 2 || got[0] != "3" || got[1] != "9" {
+		t.Fatalf("Tags = %v", got)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	s := Series{{0, 2}, {1, 4}, {2, 6}, {3, 8}}
+	ma := s.MovingAverage(2)
+	want := []float64{2, 3, 5, 7}
+	for i, w := range want {
+		if ma[i].V != w {
+			t.Fatalf("ma[%d] = %v, want %v (full: %v)", i, ma[i].V, w, ma)
+		}
+	}
+	// k<=1 is the identity.
+	id := s.MovingAverage(1)
+	for i := range s {
+		if id[i] != s[i] {
+			t.Fatal("MovingAverage(1) is not identity")
+		}
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(a, b)
+	if err != nil || math.Abs(r-1) > 1e-12 {
+		t.Fatalf("perfect correlation: r=%v err=%v", r, err)
+	}
+	c := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(a, c)
+	if math.Abs(r+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation: r=%v", r)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	r, err = Pearson(a, flat)
+	if err != nil || r != 0 {
+		t.Fatalf("zero-variance side: r=%v err=%v", r, err)
+	}
+	if _, err := Pearson(a, b[:3]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Pearson(a[:1], b[:1]); err == nil {
+		t.Fatal("single sample accepted")
+	}
+}
+
+// Property: Pearson is symmetric and within [-1, 1].
+func TestPearsonProperty(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		n := len(raw) / 2
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = float64(raw[i])
+			b[i] = float64(raw[n+i])
+		}
+		r1, err1 := Pearson(a, b)
+		r2, err2 := Pearson(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(r1-r2) < 1e-9 && r1 >= -1.0000001 && r1 <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHoltWintersSeasonal(t *testing.T) {
+	// Seasonal signal: period 4, rising trend.
+	base := []float64{10, 20, 30, 20}
+	var vals []float64
+	for c := 0; c < 6; c++ {
+		for _, v := range base {
+			vals = append(vals, v+float64(c)) // slow upward trend
+		}
+	}
+	fc, err := HoltWinters(vals, HWParams{Alpha: 0.5, Beta: 0.1, Gamma: 0.3, Period: 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fc) != 4 {
+		t.Fatalf("forecast length %d", len(fc))
+	}
+	// The forecast must preserve the seasonal shape: slot 2 is the peak.
+	if !(fc[2] > fc[0] && fc[2] > fc[1] && fc[2] > fc[3]) {
+		t.Fatalf("forecast lost seasonality: %v", fc)
+	}
+	// And stay in a sane band around the last cycle's level.
+	for _, v := range fc {
+		if v < 5 || v > 45 {
+			t.Fatalf("forecast diverged: %v", fc)
+		}
+	}
+}
+
+func TestHoltWintersErrors(t *testing.T) {
+	vals := make([]float64, 20)
+	if _, err := HoltWinters(vals, HWParams{Alpha: 0.5, Period: 1}, 1); err == nil {
+		t.Fatal("period 1 accepted")
+	}
+	if _, err := HoltWinters(vals[:5], HWParams{Alpha: 0.5, Period: 4}, 1); err == nil {
+		t.Fatal("short history accepted")
+	}
+	if _, err := HoltWinters(vals, HWParams{Alpha: 0, Period: 4}, 1); err == nil {
+		t.Fatal("alpha 0 accepted")
+	}
+	if _, err := HoltWinters(vals, HWParams{Alpha: 0.5, Period: 4}, -1); err == nil {
+		t.Fatal("negative horizon accepted")
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	// Flat trend + strict period-2 alternation.
+	vals := []float64{10, 20, 10, 20, 10, 20, 10, 20}
+	d, err := Decompose(vals, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seasonal slots must differ by ~10 with opposite signs.
+	if !(d.Seasonal[1]-d.Seasonal[0] > 5) {
+		t.Fatalf("seasonal = %v", d.Seasonal[:2])
+	}
+	if _, err := Decompose(vals[:3], 2); err == nil {
+		t.Fatal("short series accepted")
+	}
+	if _, err := Decompose(vals, 1); err == nil {
+		t.Fatal("period 1 accepted")
+	}
+}
+
+func TestSegments(t *testing.T) {
+	vals := []float64{
+		100, 102, 98, 101, // phase A
+		500, 505, 498, // phase B
+		100, 99, // phase C (back down)
+	}
+	segs := Segments(vals, 0.2, 0)
+	if len(segs) != 3 {
+		t.Fatalf("segments = %+v", segs)
+	}
+	if segs[0].Len() != 4 || segs[1].Len() != 3 || segs[2].Len() != 2 {
+		t.Fatalf("segment lengths: %+v", segs)
+	}
+	if segs[1].Mean < 400 {
+		t.Fatalf("phase B mean = %v", segs[1].Mean)
+	}
+}
+
+func TestSegmentsDegenerate(t *testing.T) {
+	if got := Segments(nil, 0.1, 0); got != nil {
+		t.Fatal("nil input produced segments")
+	}
+	one := Segments([]float64{7}, 0.1, 0)
+	if len(one) != 1 || one[0].Mean != 7 {
+		t.Fatalf("single sample: %+v", one)
+	}
+	// All-zero series with absolute tolerance stays one window.
+	z := Segments(make([]float64, 50), 0.1, 1)
+	if len(z) != 1 {
+		t.Fatalf("zero series split into %d windows", len(z))
+	}
+}
+
+// Property: segments exactly tile the input.
+func TestSegmentsTileProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r)
+		}
+		segs := Segments(vals, 0.3, 2)
+		if len(vals) == 0 {
+			return segs == nil
+		}
+		pos := 0
+		for _, s := range segs {
+			if s.Start != pos || s.End <= s.Start {
+				return false
+			}
+			pos = s.End
+		}
+		return pos == len(vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasurements(t *testing.T) {
+	db := New()
+	mustInsert(t, db, "b", Point{Fields: map[string]float64{"v": 1}})
+	mustInsert(t, db, "a", Point{Fields: map[string]float64{"v": 1}})
+	got := db.Measurements()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Measurements = %v", got)
+	}
+}
+
+func TestAnomaliesDetectSpike(t *testing.T) {
+	vals := make([]float64, 40)
+	for i := range vals {
+		vals[i] = 100 + float64(i%3)
+	}
+	vals[25] = 900 // spike
+	got := Anomalies(vals, 5, 4)
+	if len(got) == 0 {
+		t.Fatal("spike not detected")
+	}
+	found := false
+	for _, a := range got {
+		if a.Index == 25 {
+			found = true
+			if a.Score < 4 {
+				t.Fatalf("spike score %v", a.Score)
+			}
+		}
+		// The recovery sample right after the spike may also flag; nothing
+		// far away should.
+		if a.Index < 24 || a.Index > 27 {
+			t.Fatalf("false positive at %d (%+v)", a.Index, a)
+		}
+	}
+	if !found {
+		t.Fatal("spike index not flagged")
+	}
+}
+
+func TestAnomaliesDegenerate(t *testing.T) {
+	if got := Anomalies(nil, 5, 3); got != nil {
+		t.Fatal("nil input flagged")
+	}
+	if got := Anomalies([]float64{1, 2}, 5, 3); got != nil {
+		t.Fatal("short input flagged")
+	}
+	flat := make([]float64, 50)
+	if got := Anomalies(flat, 5, 3); got != nil {
+		t.Fatal("zero-variance series flagged")
+	}
+	if got := Anomalies(flat, 5, 0); got != nil {
+		t.Fatal("non-positive threshold flagged")
+	}
+}

@@ -1,0 +1,184 @@
+package workload
+
+// CSRGraph is a compressed-sparse-row graph laid out in the simulated
+// address space the way GAP lays it out: an offsets array, an edge array,
+// and per-vertex property/state arrays.  BFSGen walks it with a real
+// breadth-first search, emitting the actual address stream the algorithm
+// would issue — sequential edge-range scans from the edge array,
+// random-access visited checks, and frontier queue appends — rather than a
+// statistical approximation of it.
+type CSRGraph struct {
+	Vertices int
+	Degree   int // average out-degree
+
+	offBase  uint64 // offsets array: (V+1) x 8 bytes
+	edgeBase uint64 // edge array: V*Degree x 8 bytes
+	propBase uint64 // per-vertex state: V x 8 bytes
+
+	offsets []uint32 // edge-array index per vertex (synthetic, uniform-ish)
+	edges   []uint32 // destination vertex ids
+}
+
+// CSRSize returns the region bytes needed for a graph of v vertices and
+// average degree d.
+func CSRSize(v, d int) uint64 {
+	return uint64(v+1)*8 + uint64(v*d)*8 + uint64(v)*8
+}
+
+// NewCSRGraph synthesizes a random graph with the given shape inside
+// region r (which must be at least CSRSize bytes).
+func NewCSRGraph(r Region, vertices, degree int, seed uint64) *CSRGraph {
+	if vertices < 2 {
+		vertices = 2
+	}
+	if degree < 1 {
+		degree = 1
+	}
+	need := CSRSize(vertices, degree)
+	for r.Size < need && vertices > 2 {
+		vertices /= 2
+	}
+	g := &CSRGraph{
+		Vertices: vertices,
+		Degree:   degree,
+		offBase:  r.Base,
+		edgeBase: r.Base + uint64(vertices+1)*8,
+		propBase: r.Base + uint64(vertices+1)*8 + uint64(vertices*degree)*8,
+	}
+	rnd := newRNG(seed)
+	g.offsets = make([]uint32, vertices+1)
+	g.edges = make([]uint32, vertices*degree)
+	// Degrees vary ±50% around the mean, redistributing the edge budget.
+	total := vertices * degree
+	pos := 0
+	for v := 0; v < vertices; v++ {
+		g.offsets[v] = uint32(pos)
+		d := degree/2 + int(rnd.uint64n(uint64(degree)+1))
+		if pos+d > total {
+			d = total - pos
+		}
+		if v == vertices-1 {
+			d = total - pos
+		}
+		for e := 0; e < d; e++ {
+			g.edges[pos] = uint32(rnd.uint64n(uint64(vertices)))
+			pos++
+		}
+	}
+	g.offsets[vertices] = uint32(pos)
+	return g
+}
+
+// offAddr returns the address of offsets[v].
+func (g *CSRGraph) offAddr(v int) uint64 { return g.offBase + uint64(v)*8 }
+
+// edgeAddr returns the address of edges[i].
+func (g *CSRGraph) edgeAddr(i int) uint64 { return g.edgeBase + uint64(i)*8 }
+
+// propAddr returns the address of the state word of vertex v.
+func (g *CSRGraph) propAddr(v int) uint64 { return g.propBase + uint64(v)*8 }
+
+// bfsState is the traversal position of BFSGen.
+type bfsState int
+
+const (
+	bfsPopVertex bfsState = iota // read offsets[v], offsets[v+1]
+	bfsScanEdges                 // stream the edge range
+	bfsVisitDst                  // check/mark the destination's state
+)
+
+// BFSGen emits the memory accesses of repeated breadth-first searches over
+// a CSR graph.  Each op sequence per frontier vertex: two offset loads
+// (usually same line), a sequential edge-array scan, and for every edge a
+// dependent load of the destination's visited word plus a store when newly
+// visited — the irregular-plus-streaming mix that makes graph analytics
+// the canonical CXL-painful workload.
+type BFSGen struct {
+	G     *CSRGraph
+	Think uint16
+
+	visited []bool
+	queue   []int
+	qHead   int
+
+	state    bfsState
+	cur      int // current vertex
+	edgeIdx  int // next edge index
+	edgeEnd  int
+	dst      int
+	needMark bool
+	rnd      rng
+	Rounds   uint64 // completed BFS sweeps
+}
+
+// NewBFS returns a traversal generator over g.
+func NewBFS(g *CSRGraph, think uint16, seed uint64) *BFSGen {
+	b := &BFSGen{G: g, Think: think, rnd: newRNG(seed)}
+	b.reset()
+	return b
+}
+
+// reset starts a new BFS from a random root.
+func (b *BFSGen) reset() {
+	b.visited = make([]bool, b.G.Vertices)
+	root := int(b.rnd.uint64n(uint64(b.G.Vertices)))
+	b.visited[root] = true
+	b.queue = b.queue[:0]
+	b.queue = append(b.queue, root)
+	b.qHead = 0
+	b.state = bfsPopVertex
+}
+
+// Next implements Generator.  The traversal is infinite: when a BFS
+// exhausts its frontier, a new sweep starts from a fresh root.
+func (b *BFSGen) Next(op *Op) bool {
+	for {
+		switch b.state {
+		case bfsPopVertex:
+			if b.qHead >= len(b.queue) {
+				b.Rounds++
+				b.reset()
+				continue
+			}
+			b.cur = b.queue[b.qHead]
+			b.qHead++
+			b.edgeIdx = int(b.G.offsets[b.cur])
+			b.edgeEnd = int(b.G.offsets[b.cur+1])
+			b.state = bfsScanEdges
+			// The offsets load: dependent (the scan cannot start before
+			// the bounds arrive).
+			*op = Op{Addr: b.G.offAddr(b.cur), Kind: Load, Dep: true, Think: b.Think}
+			return true
+
+		case bfsScanEdges:
+			if b.edgeIdx >= b.edgeEnd {
+				b.state = bfsPopVertex
+				continue
+			}
+			b.dst = int(b.G.edges[b.edgeIdx])
+			addr := b.G.edgeAddr(b.edgeIdx)
+			b.edgeIdx++
+			b.state = bfsVisitDst
+			// Sequential edge load: prefetcher-friendly, independent.
+			*op = Op{Addr: addr, Kind: Load, Think: b.Think}
+			return true
+
+		case bfsVisitDst:
+			b.state = bfsScanEdges
+			if b.needMark {
+				b.needMark = false
+				*op = Op{Addr: b.G.propAddr(b.dst), Kind: Store, Think: 0}
+				return true
+			}
+			if !b.visited[b.dst] {
+				b.visited[b.dst] = true
+				b.queue = append(b.queue, b.dst)
+				b.needMark = true
+				b.state = bfsVisitDst // emit the mark store next
+			}
+			// The visited check: a dependent random access.
+			*op = Op{Addr: b.G.propAddr(b.dst), Kind: Load, Dep: true, Think: b.Think}
+			return true
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package workload
+
+import "testing"
+
+func TestCSRGraphLayout(t *testing.T) {
+	r := Region{Base: 0x100000, Size: CSRSize(1000, 8)}
+	g := NewCSRGraph(r, 1000, 8, 7)
+	if g.Vertices != 1000 {
+		t.Fatalf("vertices = %d", g.Vertices)
+	}
+	// Offsets are monotone and the edge budget is fully used.
+	for v := 0; v < g.Vertices; v++ {
+		if g.offsets[v+1] < g.offsets[v] {
+			t.Fatalf("offsets not monotone at %d", v)
+		}
+	}
+	if int(g.offsets[g.Vertices]) != 1000*8 {
+		t.Fatalf("edge budget = %d", g.offsets[g.Vertices])
+	}
+	// All edges point at valid vertices.
+	for i, e := range g.edges {
+		if int(e) >= g.Vertices {
+			t.Fatalf("edge %d -> %d out of range", i, e)
+		}
+	}
+	// The three arrays stay inside the region and do not overlap.
+	if g.offAddr(g.Vertices) > g.edgeBase || g.edgeAddr(len(g.edges)) > g.propBase {
+		t.Fatal("array overlap")
+	}
+	if g.propAddr(g.Vertices-1)+8 > r.Base+r.Size {
+		t.Fatal("graph exceeds region")
+	}
+}
+
+func TestCSRGraphShrinksToFit(t *testing.T) {
+	r := Region{Size: CSRSize(100, 4)}
+	g := NewCSRGraph(r, 100000, 4, 1)
+	if CSRSize(g.Vertices, g.Degree) > r.Size {
+		t.Fatalf("graph of %d vertices does not fit", g.Vertices)
+	}
+}
+
+func TestBFSVisitsEverything(t *testing.T) {
+	r := Region{Base: 0x40000, Size: CSRSize(500, 8)}
+	g := NewCSRGraph(r, 500, 8, 3)
+	b := NewBFS(g, 1, 9)
+	var op Op
+	loads, stores, deps := 0, 0, 0
+	for i := 0; i < 60000 && b.Rounds < 2; i++ {
+		if !b.Next(&op) {
+			t.Fatal("BFS stream ended")
+		}
+		if op.Addr < r.Base || op.Addr >= r.Base+r.Size {
+			t.Fatalf("BFS escaped region: %#x", op.Addr)
+		}
+		switch op.Kind {
+		case Load:
+			loads++
+			if op.Dep {
+				deps++
+			}
+		case Store:
+			stores++
+		}
+	}
+	if b.Rounds < 2 {
+		t.Fatalf("BFS did not complete sweeps (rounds=%d)", b.Rounds)
+	}
+	if stores == 0 {
+		t.Fatal("no visited-marking stores")
+	}
+	// The mix: dependent vertex lookups and independent edge scans.
+	if deps == 0 || deps >= loads {
+		t.Fatalf("dependency mix: %d of %d loads dependent", deps, loads)
+	}
+}
+
+func TestBFSDeterminism(t *testing.T) {
+	r := Region{Size: CSRSize(300, 6)}
+	mk := func() []Op {
+		g := NewCSRGraph(r, 300, 6, 5)
+		b := NewBFS(g, 1, 5)
+		out := make([]Op, 2000)
+		for i := range out {
+			b.Next(&out[i])
+		}
+		return out
+	}
+	a, bb := mk(), mk()
+	for i := range a {
+		if a[i] != bb[i] {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}
+
+func TestHashKVProbes(t *testing.T) {
+	r := Region{Base: 0x200000, Size: HashKVSize(1000, 256)}
+	kv := NewHashKV(r, 1000, 256, 3)
+	if kv.keys != 1000 {
+		t.Fatalf("keys = %d", kv.keys)
+	}
+	// Every inserted key is findable and its probe chain terminates at it.
+	longest := 0
+	for k := 0; k < kv.keys; k++ {
+		seq := kv.probeSequence(uint32(k))
+		if kv.occupied[seq[len(seq)-1]] != uint32(k)+1 {
+			t.Fatalf("key %d probe chain ends elsewhere", k)
+		}
+		if len(seq) > longest {
+			longest = len(seq)
+		}
+	}
+	if longest < 2 {
+		t.Fatal("no collisions at 50% load — hash is suspicious")
+	}
+	if longest > 64 {
+		t.Fatalf("pathological probe chain: %d", longest)
+	}
+}
+
+func TestKVGenStream(t *testing.T) {
+	r := Region{Base: 0x200000, Size: HashKVSize(2000, 256)}
+	kv := NewHashKV(r, 2000, 256, 3)
+	g := NewKVGen(kv, 0.99, 0.7, 10, 11)
+	var op Op
+	loads, stores, deps := 0, 0, 0
+	for i := 0; i < 30000; i++ {
+		if !g.Next(&op) {
+			t.Fatal("KV stream ended")
+		}
+		if op.Addr < r.Base || op.Addr >= r.Base+r.Size {
+			t.Fatalf("KV escaped region: %#x", op.Addr)
+		}
+		switch op.Kind {
+		case Load:
+			loads++
+			if op.Dep {
+				deps++
+			}
+		case Store:
+			stores++
+		}
+	}
+	if stores == 0 || loads == 0 {
+		t.Fatalf("mix: %d loads, %d stores", loads, stores)
+	}
+	// 30% writes x 4 lines per record ~ a third of ops are stores.
+	frac := float64(stores) / float64(loads+stores)
+	if frac < 0.1 || frac > 0.5 {
+		t.Fatalf("store fraction = %v", frac)
+	}
+	if deps == 0 {
+		t.Fatal("no dependent probe loads")
+	}
+}
+
+func TestHashKVShrinks(t *testing.T) {
+	r := Region{Size: HashKVSize(100, 128)}
+	kv := NewHashKV(r, 1_000_000, 128, 1)
+	if HashKVSize(kv.keys, 128) > r.Size {
+		t.Fatalf("%d keys do not fit", kv.keys)
+	}
+}

@@ -1,0 +1,250 @@
+package workload
+
+import "fmt"
+
+// Archetype is the memory-access shape class of an application.  The
+// catalog maps each of the paper's 77 applications (Table 6) to an
+// archetype with per-application parameters, reproducing the suite's
+// locality structure, read/write mix, and prefetch-friendliness.
+type Archetype uint8
+
+// Access-shape archetypes.
+const (
+	ShapeStream  Archetype = iota // sequential sweeps (STREAM/MBW-like)
+	ShapeStencil                  // multi-array structured-grid sweeps
+	ShapeChase                    // dependent pointer chasing
+	ShapeGraph                    // edge scans + random vertex lookups
+	ShapeZipf                     // keyed KV access, Zipfian popularity
+	ShapeGUPS                     // random read-modify-write updates
+	ShapePhased                   // alternating stream/chase phases
+	ShapeBFSReal                  // actual BFS over a CSR graph in the region
+	ShapeKVReal                   // actual open-addressing hash-table KV store
+)
+
+// String returns the archetype name.
+func (a Archetype) String() string {
+	switch a {
+	case ShapeStream:
+		return "stream"
+	case ShapeStencil:
+		return "stencil"
+	case ShapeChase:
+		return "chase"
+	case ShapeGraph:
+		return "graph"
+	case ShapeZipf:
+		return "zipf"
+	case ShapeGUPS:
+		return "gups"
+	case ShapePhased:
+		return "phased"
+	case ShapeBFSReal:
+		return "bfs-csr"
+	case ShapeKVReal:
+		return "kv-hash"
+	}
+	return fmt.Sprintf("Archetype(%d)", uint8(a))
+}
+
+// App is one catalog entry.
+type App struct {
+	Name         string  // Table 6 short code (e.g. "FOTS", "BFS", "MBW")
+	Full         string  // full benchmark name
+	Suite        string  // originating suite
+	WorkingSetMB float64 // Table 6 working-set size
+	Shape        Archetype
+
+	Think     uint16  // non-memory instructions between accesses
+	StoreFrac float64 // store fraction (stream)
+	Arrays    int     // stencil arrays
+	ReadFrac  float64 // zipf read fraction
+	RunLen    int     // graph edge-scan run length
+}
+
+// Generator instantiates the application's access stream over region r.
+func (a App) Generator(r Region, seed uint64) Generator {
+	switch a.Shape {
+	case ShapeStencil:
+		arrays := a.Arrays
+		if arrays == 0 {
+			arrays = 4
+		}
+		g := NewStencil(r, arrays, a.Think)
+		g.Reuse = 4 // word-granular grid sweeps
+		return g
+	case ShapeChase:
+		return NewPointerChase(r, a.Think, seed)
+	case ShapeGraph:
+		run := a.RunLen
+		if run == 0 {
+			run = 12
+		}
+		return NewGraph(r, run, a.Think, seed)
+	case ShapeZipf:
+		rf := a.ReadFrac
+		if rf == 0 {
+			rf = 0.95
+		}
+		return NewZipf(r, 0.99, rf, 4, a.Think, seed)
+	case ShapeGUPS:
+		return NewGUPS(r, a.Think, 0, 0, seed)
+	case ShapeBFSReal:
+		// Size the graph to the region: ~24 bytes per vertex per unit
+		// degree across the three arrays.
+		deg := a.RunLen
+		if deg == 0 {
+			deg = 12
+		}
+		v := int(r.Size / (uint64(deg)*8 + 16))
+		g := NewCSRGraph(r, v, deg, seed)
+		return NewBFS(g, a.Think, seed)
+	case ShapeKVReal:
+		rec := uint64(256)
+		keys := int(r.Size / (rec + 16))
+		kv := NewHashKV(r, keys, rec, seed)
+		rf := a.ReadFrac
+		if rf == 0 {
+			rf = 0.95
+		}
+		return NewKVGen(kv, 0.99, rf, a.Think, seed)
+	case ShapePhased:
+		return NewPhased(
+			Phase{Gen: NewStream(r, a.Think, a.StoreFrac, seed), Ops: 20000},
+			Phase{Gen: NewPointerChase(r, a.Think, seed+1), Ops: 8000},
+			Phase{Gen: NewStream(r, a.Think, a.StoreFrac+0.3, seed+2), Ops: 12000},
+		)
+	default:
+		g := NewStream(r, a.Think, a.StoreFrac, seed)
+		g.Reuse = 4 // word-granular sequential access
+		return g
+	}
+}
+
+// catalog is the full Table 6 application list plus the Redis/YCSB and
+// microbenchmark entries the evaluation uses.
+var catalog = []App{
+	// SPEC CPU2017 rate.
+	{Name: "PER", Full: "500.perlbench_r", Suite: "SPECrate2017", WorkingSetMB: 202.5, Shape: ShapePhased, Think: 14, StoreFrac: 0.2},
+	{Name: "GCC", Full: "502.gcc_r", Suite: "SPECrate2017", WorkingSetMB: 1366.9, Shape: ShapePhased, Think: 10, StoreFrac: 0.15},
+	{Name: "BWA", Full: "503.bwaves_r", Suite: "SPECrate2017", WorkingSetMB: 822.3, Shape: ShapeStencil, Think: 6, Arrays: 5},
+	{Name: "MCF", Full: "505.mcf_r", Suite: "SPECrate2017", WorkingSetMB: 609.1, Shape: ShapeChase, Think: 6},
+	{Name: "CAC", Full: "507.cactuBSSN_r", Suite: "SPECrate2017", WorkingSetMB: 789.5, Shape: ShapeStencil, Think: 10, Arrays: 8},
+	{Name: "NAM", Full: "508.namd_r", Suite: "SPECrate2017", WorkingSetMB: 162.5, Shape: ShapeStream, Think: 18, StoreFrac: 0.1},
+	{Name: "PAR", Full: "510.parest_r", Suite: "SPECrate2017", WorkingSetMB: 419.4, Shape: ShapeStencil, Think: 12, Arrays: 3},
+	{Name: "POV", Full: "511.povray_r", Suite: "SPECrate2017", WorkingSetMB: 7.0, Shape: ShapeStream, Think: 30, StoreFrac: 0.1},
+	{Name: "LBM", Full: "519.lbm_r", Suite: "SPECrate2017", WorkingSetMB: 410.5, Shape: ShapeStencil, Think: 4, Arrays: 2},
+	{Name: "OMN", Full: "520.omnetpp_r", Suite: "SPECrate2017", WorkingSetMB: 242.0, Shape: ShapeChase, Think: 12},
+	{Name: "WRF", Full: "521.wrf_r", Suite: "SPECrate2017", WorkingSetMB: 178.8, Shape: ShapeStencil, Think: 12, Arrays: 6},
+	{Name: "XAL", Full: "523.xalancbmk_r", Suite: "SPECrate2017", WorkingSetMB: 481.0, Shape: ShapeChase, Think: 10},
+	{Name: "X264", Full: "525.x264_r", Suite: "SPECrate2017", WorkingSetMB: 156.0, Shape: ShapeStream, Think: 16, StoreFrac: 0.3},
+	{Name: "BLE", Full: "526.blender_r", Suite: "SPECrate2017", WorkingSetMB: 633.7, Shape: ShapeStream, Think: 20, StoreFrac: 0.2},
+	{Name: "CAM", Full: "527.cam4_r", Suite: "SPECrate2017", WorkingSetMB: 856.0, Shape: ShapeStencil, Think: 10, Arrays: 6},
+	{Name: "DEEP", Full: "531.deepsjeng_r", Suite: "SPECrate2017", WorkingSetMB: 699.5, Shape: ShapeChase, Think: 16},
+	{Name: "IMA", Full: "538.imagick_r", Suite: "SPECrate2017", WorkingSetMB: 286.5, Shape: ShapeStream, Think: 22, StoreFrac: 0.25},
+	{Name: "LEE", Full: "541.leela_r", Suite: "SPECrate2017", WorkingSetMB: 24.7, Shape: ShapeChase, Think: 24},
+	{Name: "NAB", Full: "544.nab_r", Suite: "SPECrate2017", WorkingSetMB: 146.3, Shape: ShapeStream, Think: 18, StoreFrac: 0.15},
+	{Name: "EXC", Full: "548.exchange2_r", Suite: "SPECrate2017", WorkingSetMB: 2.5, Shape: ShapeStream, Think: 34, StoreFrac: 0.2},
+	{Name: "FOT", Full: "549.fotonik3d_r", Suite: "SPECrate2017", WorkingSetMB: 848.4, Shape: ShapeStencil, Think: 5, Arrays: 6},
+	{Name: "ROMS", Full: "554.roms_r", Suite: "SPECrate2017", WorkingSetMB: 841.6, Shape: ShapeStencil, Think: 6, Arrays: 7},
+	{Name: "XZ", Full: "557.xz_r", Suite: "SPECrate2017", WorkingSetMB: 775.4, Shape: ShapeStream, Think: 12, StoreFrac: 0.35},
+
+	// SPEC CPU2017 speed.
+	{Name: "PERS", Full: "600.perlbench_s", Suite: "SPECspeed2017", WorkingSetMB: 202.5, Shape: ShapePhased, Think: 14, StoreFrac: 0.2},
+	{Name: "GCCS", Full: "602.gcc_s", Suite: "SPECspeed2017", WorkingSetMB: 7620.2, Shape: ShapePhased, Think: 10, StoreFrac: 0.15},
+	{Name: "BWAS", Full: "603.bwaves_s", Suite: "SPECspeed2017", WorkingSetMB: 11467.1, Shape: ShapeStencil, Think: 6, Arrays: 5},
+	{Name: "MCFS", Full: "605.mcf_s", Suite: "SPECspeed2017", WorkingSetMB: 3960.8, Shape: ShapeChase, Think: 6},
+	{Name: "CACS", Full: "607.cactuBSSN_s", Suite: "SPECspeed2017", WorkingSetMB: 6724.0, Shape: ShapeStencil, Think: 10, Arrays: 8},
+	{Name: "LBMS", Full: "619.lbm_s", Suite: "SPECspeed2017", WorkingSetMB: 3224.5, Shape: ShapeStencil, Think: 4, Arrays: 2},
+	{Name: "OMNS", Full: "620.omnetpp_s", Suite: "SPECspeed2017", WorkingSetMB: 242.3, Shape: ShapeChase, Think: 12},
+	{Name: "WRFS", Full: "621.wrf_s", Suite: "SPECspeed2017", WorkingSetMB: 177.8, Shape: ShapeStencil, Think: 12, Arrays: 6},
+	{Name: "XALS", Full: "623.xalancbmk_s", Suite: "SPECspeed2017", WorkingSetMB: 481.8, Shape: ShapeChase, Think: 10},
+	{Name: "X264S", Full: "625.x264_s", Suite: "SPECspeed2017", WorkingSetMB: 156.0, Shape: ShapeStream, Think: 16, StoreFrac: 0.3},
+	{Name: "CAMS", Full: "627.cam4_s", Suite: "SPECspeed2017", WorkingSetMB: 873.6, Shape: ShapeStencil, Think: 10, Arrays: 6},
+	{Name: "POPS", Full: "628.pop2_s", Suite: "SPECspeed2017", WorkingSetMB: 1434.3, Shape: ShapeStencil, Think: 10, Arrays: 6},
+	{Name: "DEES", Full: "631.deepsjeng_s", Suite: "SPECspeed2017", WorkingSetMB: 6879.5, Shape: ShapeChase, Think: 16},
+	{Name: "IMAS", Full: "638.imagick_s", Suite: "SPECspeed2017", WorkingSetMB: 7007.8, Shape: ShapeStream, Think: 22, StoreFrac: 0.25},
+	{Name: "LEES", Full: "641.leela_s", Suite: "SPECspeed2017", WorkingSetMB: 25.0, Shape: ShapeChase, Think: 24},
+	{Name: "NABS", Full: "644.nab_s", Suite: "SPECspeed2017", WorkingSetMB: 561.3, Shape: ShapeStream, Think: 18, StoreFrac: 0.15},
+	{Name: "EXCS", Full: "648.exchange2_s", Suite: "SPECspeed2017", WorkingSetMB: 2.5, Shape: ShapeStream, Think: 34, StoreFrac: 0.2},
+	{Name: "FOTS", Full: "649.fotonik3d_s", Suite: "SPECspeed2017", WorkingSetMB: 9642.8, Shape: ShapeStencil, Think: 5, Arrays: 6},
+	{Name: "ROMSS", Full: "654.roms_s", Suite: "SPECspeed2017", WorkingSetMB: 10386.9, Shape: ShapeStencil, Think: 6, Arrays: 7},
+	{Name: "XZS", Full: "657.xz_s", Suite: "SPECspeed2017", WorkingSetMB: 15344.0, Shape: ShapeStream, Think: 12, StoreFrac: 0.35},
+
+	// PARSEC.
+	{Name: "BLACK", Full: "blackscholes", Suite: "PARSEC", WorkingSetMB: 612.0, Shape: ShapeStream, Think: 20, StoreFrac: 0.15},
+	{Name: "BODY", Full: "bodytrack", Suite: "PARSEC", WorkingSetMB: 32.9, Shape: ShapeStream, Think: 24, StoreFrac: 0.2},
+	{Name: "FACE", Full: "facesim", Suite: "PARSEC", WorkingSetMB: 304.3, Shape: ShapeStencil, Think: 10, Arrays: 5},
+	{Name: "FER", Full: "ferret", Suite: "PARSEC", WorkingSetMB: 97.9, Shape: ShapeGraph, Think: 14, RunLen: 10},
+	{Name: "FLU", Full: "fluidanimate", Suite: "PARSEC", WorkingSetMB: 519.5, Shape: ShapeStencil, Think: 8, Arrays: 4},
+	{Name: "FRE", Full: "freqmine", Suite: "PARSEC", WorkingSetMB: 631.9, Shape: ShapeChase, Think: 10},
+	{Name: "RAY", Full: "raytrace", Suite: "PARSEC", WorkingSetMB: 1282.7, Shape: ShapeGraph, Think: 14, RunLen: 6},
+	{Name: "SWA", Full: "swaptions", Suite: "PARSEC", WorkingSetMB: 5.5, Shape: ShapeStream, Think: 30, StoreFrac: 0.15},
+	{Name: "PVIPS", Full: "vips", Suite: "PARSEC", WorkingSetMB: 37.5, Shape: ShapeStream, Think: 16, StoreFrac: 0.3},
+	{Name: "PX264", Full: "x264", Suite: "PARSEC", WorkingSetMB: 80.0, Shape: ShapeStream, Think: 16, StoreFrac: 0.3},
+	{Name: "CAN", Full: "canneal", Suite: "PARSEC", WorkingSetMB: 850.5, Shape: ShapeChase, Think: 8},
+	{Name: "DEDUP", Full: "dedup", Suite: "PARSEC", WorkingSetMB: 1443.0, Shape: ShapeStream, Think: 10, StoreFrac: 0.4},
+	{Name: "STREAM", Full: "streamcluster", Suite: "PARSEC", WorkingSetMB: 109.0, Shape: ShapeStream, Think: 8, StoreFrac: 0.1},
+
+	// SPLASH-2x.
+	{Name: "BARN", Full: "barnes", Suite: "SPLASH2X", WorkingSetMB: 1584.0, Shape: ShapeGraph, Think: 12, RunLen: 8},
+	{Name: "OCEAN", Full: "ocean_cp", Suite: "SPLASH2X", WorkingSetMB: 3546.5, Shape: ShapeStencil, Think: 6, Arrays: 6},
+	{Name: "RADIO", Full: "radiosity", Suite: "SPLASH2X", WorkingSetMB: 1442.5, Shape: ShapeGraph, Think: 14, RunLen: 6},
+	{Name: "SRAY", Full: "raytrace", Suite: "SPLASH2X", WorkingSetMB: 22.5, Shape: ShapeGraph, Think: 16, RunLen: 6},
+	{Name: "VOL", Full: "volrend", Suite: "SPLASH2X", WorkingSetMB: 54.0, Shape: ShapeGraph, Think: 14, RunLen: 10},
+	{Name: "WATN", Full: "water_nsquared", Suite: "SPLASH2X", WorkingSetMB: 28.5, Shape: ShapeStream, Think: 20, StoreFrac: 0.2},
+	{Name: "WATS", Full: "water_spatial", Suite: "SPLASH2X", WorkingSetMB: 669.5, Shape: ShapeStencil, Think: 14, Arrays: 4},
+	{Name: "FFT", Full: "fft", Suite: "SPLASH2X", WorkingSetMB: 12291.0, Shape: ShapeStencil, Think: 6, Arrays: 2},
+	{Name: "LUCB", Full: "lu_cb", Suite: "SPLASH2X", WorkingSetMB: 502.0, Shape: ShapeStencil, Think: 8, Arrays: 3},
+	{Name: "LUNCB", Full: "lu_ncb", Suite: "SPLASH2X", WorkingSetMB: 501.5, Shape: ShapeStencil, Think: 8, Arrays: 3},
+	{Name: "RADIX", Full: "radix", Suite: "SPLASH2X", WorkingSetMB: 4097.5, Shape: ShapeGUPS, Think: 4},
+
+	// GAP benchmark suite.
+	{Name: "BFS", Full: "Breadth-First Search", Suite: "GAPBS", WorkingSetMB: 15778.0, Shape: ShapeGraph, Think: 4, RunLen: 2},
+	{Name: "SSSP", Full: "Single-Source Shortest Paths", Suite: "GAPBS", WorkingSetMB: 36456.3, Shape: ShapeGraph, Think: 6, RunLen: 2},
+	{Name: "PR", Full: "PageRank", Suite: "GAPBS", WorkingSetMB: 12616.1, Shape: ShapeGraph, Think: 4, RunLen: 32},
+	{Name: "CC", Full: "Connected Components", Suite: "GAPBS", WorkingSetMB: 12381.1, Shape: ShapeGraph, Think: 4, RunLen: 2},
+	{Name: "BC", Full: "Betweenness Centrality", Suite: "GAPBS", WorkingSetMB: 13394.5, Shape: ShapeGraph, Think: 6, RunLen: 2},
+	{Name: "TC", Full: "Triangle Counting", Suite: "GAPBS", WorkingSetMB: 21027.0, Shape: ShapeGraph, Think: 4, RunLen: 3},
+
+	// Key-value serving (Redis + YCSB core workloads).
+	{Name: "REDIS", Full: "redis", Suite: "KV", WorkingSetMB: 2048.0, Shape: ShapeZipf, Think: 40, ReadFrac: 0.9},
+	{Name: "YCSB-A", Full: "YCSB workload A (50/50)", Suite: "KV", WorkingSetMB: 4096.0, Shape: ShapeZipf, Think: 30, ReadFrac: 0.5},
+	{Name: "YCSB-B", Full: "YCSB workload B (95/5)", Suite: "KV", WorkingSetMB: 4096.0, Shape: ShapeZipf, Think: 30, ReadFrac: 0.95},
+	{Name: "YCSB-C", Full: "YCSB workload C (read only)", Suite: "KV", WorkingSetMB: 4096.0, Shape: ShapeZipf, Think: 30, ReadFrac: 1.0},
+
+	// Real-algorithm substrates: an actual BFS over an in-region CSR graph
+	// and an actual open-addressing hash-table KV store (the GAP and
+	// Redis/YCSB substrates beyond their statistical approximations).
+	{Name: "BFS-CSR", Full: "BFS over a CSR graph", Suite: "GAPBS", WorkingSetMB: 15778.0, Shape: ShapeBFSReal, Think: 4, RunLen: 16},
+	{Name: "PR-CSR", Full: "PageRank-shaped CSR sweep", Suite: "GAPBS", WorkingSetMB: 12616.1, Shape: ShapeBFSReal, Think: 4, RunLen: 32},
+	{Name: "REDIS-HT", Full: "redis over a hash table", Suite: "KV", WorkingSetMB: 2048.0, Shape: ShapeKVReal, Think: 40, ReadFrac: 0.9},
+	{Name: "YCSB-A-HT", Full: "YCSB A over a hash table", Suite: "KV", WorkingSetMB: 4096.0, Shape: ShapeKVReal, Think: 30, ReadFrac: 0.5},
+	{Name: "YCSB-C-HT", Full: "YCSB C over a hash table", Suite: "KV", WorkingSetMB: 4096.0, Shape: ShapeKVReal, Think: 30, ReadFrac: 1.0},
+
+	// Microbenchmarks used by the evaluation (Cases 5 and 7).
+	{Name: "MBW", Full: "memory bandwidth sweep", Suite: "micro", WorkingSetMB: 1024.0, Shape: ShapeStream, Think: 0, StoreFrac: 0.25},
+	{Name: "GUPS", Full: "giga-updates per second", Suite: "micro", WorkingSetMB: 4096.0, Shape: ShapeGUPS, Think: 0},
+}
+
+// Catalog returns the application catalog (shared; callers must not
+// modify).
+func Catalog() []App { return catalog }
+
+// Lookup finds an application by its short code.
+func Lookup(name string) (App, bool) {
+	for _, a := range catalog {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}
+
+// Names returns all short codes in catalog order.
+func Names() []string {
+	out := make([]string, len(catalog))
+	for i, a := range catalog {
+		out[i] = a.Name
+	}
+	return out
+}

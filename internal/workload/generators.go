@@ -1,0 +1,481 @@
+package workload
+
+import "math"
+
+// Region is the address window a generator walks.  Generators never touch
+// memory outside [Base, Base+Size).
+type Region struct {
+	Base, Size uint64
+}
+
+func (r Region) lines() uint64 { return r.Size / 64 }
+
+// clampLine returns the address of line index i within the region.
+func (r Region) lineAddr(i uint64) uint64 { return r.Base + (i%r.lines())*64 }
+
+// ---------------------------------------------------------------------------
+// Stream: sequential sweep with an optional store fraction — the shape of
+// STREAM/MBW and of bandwidth-bound SPEC codes.
+// ---------------------------------------------------------------------------
+
+// Stream sweeps the region sequentially.  Reuse sets the number of
+// word-granular accesses per cache line (real sequential code touches
+// every word, so most accesses hit the line brought in by the first);
+// the default of 1 advances a full line per access.
+type Stream struct {
+	R         Region
+	Think     uint16  // non-memory instructions between accesses
+	StoreFrac float64 // fraction of accesses that are stores
+	SWPF      int     // software-prefetch distance in lines (0 = none)
+	Reuse     int     // accesses per line (default 1)
+
+	i   uint64
+	rnd rng
+	pfq bool // emit the prefetch before the next access
+}
+
+// NewStream returns a sequential sweep generator.
+func NewStream(r Region, think uint16, storeFrac float64, seed uint64) *Stream {
+	return &Stream{R: r, Think: think, StoreFrac: storeFrac, rnd: newRNG(seed), Reuse: 1}
+}
+
+// line returns the line index of the i-th access under the reuse factor.
+func (g *Stream) line(i uint64) uint64 {
+	reuse := uint64(1)
+	if g.Reuse > 1 {
+		reuse = uint64(g.Reuse)
+	}
+	return i / reuse
+}
+
+// Next implements Generator.
+func (g *Stream) Next(op *Op) bool {
+	if g.SWPF > 0 && !g.pfq {
+		g.pfq = true
+		*op = Op{Addr: g.R.lineAddr(g.line(g.i) + uint64(g.SWPF)), Kind: Prefetch, Think: 0}
+		return true
+	}
+	g.pfq = false
+	kind := Load
+	if g.StoreFrac > 0 && g.rnd.float64() < g.StoreFrac {
+		kind = Store
+	}
+	*op = Op{Addr: g.R.lineAddr(g.line(g.i)), Kind: kind, Think: g.Think}
+	g.i++
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Stencil: n parallel sequential streams (k read arrays, one written array),
+// the shape of lbm/roms/bwaves/fotonik3d and other structured-grid codes.
+// ---------------------------------------------------------------------------
+
+// Stencil sweeps k+1 equal sub-arrays in lockstep: k loads then one store
+// per grid point.  Reuse sets grid points per cache line (default 1).
+type Stencil struct {
+	R      Region
+	Arrays int // total arrays (>= 2); the last one is written
+	Think  uint16
+	Reuse  int // grid points per line (default 1)
+
+	i   uint64 // grid point
+	arr int
+}
+
+// NewStencil returns a structured-grid sweep over the region split into the
+// given number of arrays.
+func NewStencil(r Region, arrays int, think uint16) *Stencil {
+	if arrays < 2 {
+		arrays = 2
+	}
+	return &Stencil{R: r, Arrays: arrays, Think: think, Reuse: 1}
+}
+
+// Next implements Generator.
+func (g *Stencil) Next(op *Op) bool {
+	sub := g.R.Size / uint64(g.Arrays)
+	lines := sub / 64
+	if lines == 0 {
+		lines = 1
+	}
+	reuse := uint64(1)
+	if g.Reuse > 1 {
+		reuse = uint64(g.Reuse)
+	}
+	base := g.R.Base + uint64(g.arr)*sub
+	addr := base + ((g.i/reuse)%lines)*64
+	if g.arr == g.Arrays-1 {
+		*op = Op{Addr: addr, Kind: Store, Think: g.Think}
+		g.arr = 0
+		g.i++
+	} else {
+		*op = Op{Addr: addr, Kind: Load, Think: g.Think}
+		g.arr++
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// PointerChase: dependent random walk — mcf/omnetpp/xalancbmk-style and the
+// latency side of Intel MLC.
+// ---------------------------------------------------------------------------
+
+// PointerChase emits dependent loads whose addresses form a pseudo-random
+// walk over the region, defeating prefetchers and exposing raw latency.
+type PointerChase struct {
+	R     Region
+	Think uint16
+
+	cur rng
+}
+
+// NewPointerChase returns a dependent random-walk generator.
+func NewPointerChase(r Region, think uint16, seed uint64) *PointerChase {
+	return &PointerChase{R: r, Think: think, cur: newRNG(seed)}
+}
+
+// Next implements Generator.
+func (g *PointerChase) Next(op *Op) bool {
+	*op = Op{Addr: g.R.lineAddr(g.cur.next()), Kind: Load, Dep: true, Think: g.Think}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// GUPS: random read-modify-write updates (the HPCC benchmark used in the
+// paper's Case 7).
+// ---------------------------------------------------------------------------
+
+// GUPS performs random updates: a load followed by a store to the same
+// line.  HotFrac of accesses touch the first HotFrac of the region (the
+// paper's "90% hot set access probability" configuration).  Batch models
+// the software pipelining of the HPCC benchmark: only every Batch-th load
+// is dependent, so up to Batch updates overlap (memory-level parallelism).
+type GUPS struct {
+	R       Region
+	Think   uint16
+	HotFrac float64 // fraction of the region that is hot (0 or 1 = uniform)
+	HotProb float64 // probability an access goes to the hot subset
+	Batch   int     // updates in flight (default 1: fully dependent)
+
+	rnd     rng
+	pending uint64 // store address waiting to be emitted
+	hasPend bool
+	issued  int
+}
+
+// NewGUPS returns a random-update generator.
+func NewGUPS(r Region, think uint16, hotFrac, hotProb float64, seed uint64) *GUPS {
+	return &GUPS{R: r, Think: think, HotFrac: hotFrac, HotProb: hotProb, Batch: 1, rnd: newRNG(seed)}
+}
+
+// Next implements Generator.
+func (g *GUPS) Next(op *Op) bool {
+	if g.hasPend {
+		g.hasPend = false
+		*op = Op{Addr: g.pending, Kind: Store, Think: 0}
+		return true
+	}
+	lines := g.R.lines()
+	var idx uint64
+	if g.HotFrac > 0 && g.HotFrac < 1 && g.rnd.float64() < g.HotProb {
+		hot := uint64(float64(lines) * g.HotFrac)
+		if hot == 0 {
+			hot = 1
+		}
+		idx = g.rnd.uint64n(hot)
+	} else {
+		idx = g.rnd.uint64n(lines)
+	}
+	addr := g.R.Base + idx*64
+	g.pending = addr
+	g.hasPend = true
+	g.issued++
+	dep := g.Batch <= 1 || g.issued%g.Batch == 0
+	*op = Op{Addr: addr, Kind: Load, Dep: dep, Think: g.Think}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Zipf: YCSB/Redis-style keyed record access with a Zipfian popularity
+// distribution (Gray et al. incremental method, as in YCSB).
+// ---------------------------------------------------------------------------
+
+// Zipf models a key-value service: records of RecordLines cache lines,
+// picked Zipfian-hot, read with probability ReadFrac and rewritten
+// otherwise, with per-request processing think time.
+type Zipf struct {
+	R           Region
+	Theta       float64
+	ReadFrac    float64
+	RecordLines int
+	Think       uint16
+
+	n                 uint64
+	zetan, eta, alpha float64
+	rnd               rng
+	recAddr           uint64
+	recLeft           int
+	recStore          bool
+}
+
+// NewZipf returns a Zipfian key-value access generator over n records.
+func NewZipf(r Region, theta, readFrac float64, recordLines int, think uint16, seed uint64) *Zipf {
+	if recordLines < 1 {
+		recordLines = 1
+	}
+	n := r.lines() / uint64(recordLines)
+	if n == 0 {
+		n = 1
+	}
+	if theta <= 0 || theta >= 1 {
+		theta = 0.99
+	}
+	z := &Zipf{R: r, Theta: theta, ReadFrac: readFrac, RecordLines: recordLines,
+		Think: think, n: n, rnd: newRNG(seed)}
+	z.zetan = zeta(n, theta)
+	zeta2 := zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	// Cap the exact sum for very large n; the tail contributes little and
+	// record counts beyond a few million do not change the distribution
+	// shape meaningfully.
+	const maxExact = 1 << 21
+	m := n
+	if m > maxExact {
+		m = maxExact
+	}
+	var z float64
+	for i := uint64(1); i <= m; i++ {
+		z += 1 / math.Pow(float64(i), theta)
+	}
+	if n > m {
+		// Integral approximation of the remaining tail.
+		z += (math.Pow(float64(n), 1-theta) - math.Pow(float64(m), 1-theta)) / (1 - theta)
+	}
+	return z
+}
+
+// sample draws a Zipfian rank in [0, n).
+func (g *Zipf) sample() uint64 {
+	u := g.rnd.float64()
+	uz := u * g.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, g.Theta) {
+		return 1
+	}
+	r := uint64(float64(g.n) * math.Pow(g.eta*u-g.eta+1, g.alpha))
+	if r >= g.n {
+		r = g.n - 1
+	}
+	return r
+}
+
+// Next implements Generator.
+func (g *Zipf) Next(op *Op) bool {
+	if g.recLeft > 0 {
+		g.recLeft--
+		kind := Load
+		if g.recStore {
+			kind = Store
+		}
+		*op = Op{Addr: g.recAddr, Kind: kind, Think: 2}
+		g.recAddr += 64
+		return true
+	}
+	rank := g.sample()
+	// Scramble the rank so hot records spread over the region.
+	h := rank*0x9e3779b97f4a7c15 + 0x7f4a7c15
+	h ^= h >> 29
+	rec := h % g.n
+	g.recAddr = g.R.Base + rec*uint64(g.RecordLines)*64
+	g.recLeft = g.RecordLines - 1
+	g.recStore = g.rnd.float64() >= g.ReadFrac
+	kind := Load
+	if g.recStore {
+		kind = Store
+	}
+	*op = Op{Addr: g.recAddr, Kind: kind, Dep: true, Think: g.Think}
+	g.recAddr += 64
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Graph: frontier-driven traversal — sequential edge-list scans punctuated
+// by random dependent vertex lookups (BFS/SSSP/PR shape from GAP).
+// ---------------------------------------------------------------------------
+
+// Graph interleaves short sequential runs (edge scans) with dependent
+// random accesses (vertex property lookups).
+type Graph struct {
+	R      Region
+	RunLen int // edges scanned per vertex
+	Think  uint16
+
+	rnd    rng
+	run    int
+	cursor uint64
+}
+
+// NewGraph returns a graph-traversal-shaped generator.
+func NewGraph(r Region, runLen int, think uint16, seed uint64) *Graph {
+	if runLen < 1 {
+		runLen = 8
+	}
+	return &Graph{R: r, RunLen: runLen, Think: think, rnd: newRNG(seed)}
+}
+
+// Next implements Generator.
+func (g *Graph) Next(op *Op) bool {
+	if g.run > 0 {
+		g.run--
+		g.cursor++
+		*op = Op{Addr: g.R.lineAddr(g.cursor), Kind: Load, Think: g.Think}
+		return true
+	}
+	// Jump to a random vertex: a dependent lookup, then scan its edges.
+	g.cursor = g.rnd.uint64n(g.R.lines())
+	g.run = g.RunLen
+	*op = Op{Addr: g.R.lineAddr(g.cursor), Kind: Load, Dep: true, Think: g.Think}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Composition.
+// ---------------------------------------------------------------------------
+
+// Mix interleaves two generators: a fraction Frac of operations come from B
+// (deterministically spread, not random, so traffic ratios are exact) —
+// used for the paper's local-vs-CXL interference sweeps.
+type Mix struct {
+	A, B Generator
+	Frac float64 // fraction of ops drawn from B, in [0, 1]
+
+	acc float64
+}
+
+// NewMix returns a deterministic two-way interleaver.
+func NewMix(a, b Generator, frac float64) *Mix {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return &Mix{A: a, B: b, Frac: frac}
+}
+
+// Next implements Generator.
+func (m *Mix) Next(op *Op) bool {
+	m.acc += m.Frac
+	if m.acc >= 1 {
+		m.acc -= 1
+		if m.B.Next(op) {
+			return true
+		}
+		return m.A.Next(op)
+	}
+	if m.A.Next(op) {
+		return true
+	}
+	return m.B.Next(op)
+}
+
+// Phase is one stage of a phased workload.
+type Phase struct {
+	Gen Generator
+	Ops uint64 // operations before moving to the next phase
+}
+
+// Phased cycles through phases — the shape of gcc-like multi-phase codes
+// whose working behavior shifts between snapshots.
+type Phased struct {
+	Phases []Phase
+
+	idx  int
+	left uint64
+}
+
+// NewPhased returns a generator cycling through the given phases.
+func NewPhased(phases ...Phase) *Phased {
+	p := &Phased{Phases: phases}
+	if len(phases) > 0 {
+		p.left = phases[0].Ops
+	}
+	return p
+}
+
+// Next implements Generator.
+func (p *Phased) Next(op *Op) bool {
+	if len(p.Phases) == 0 {
+		return false
+	}
+	for tries := 0; p.left == 0; tries++ {
+		if tries > len(p.Phases) {
+			return false // every phase is zero-length
+		}
+		p.idx = (p.idx + 1) % len(p.Phases)
+		p.left = p.Phases[p.idx].Ops
+	}
+	p.left--
+	return p.Phases[p.idx].Gen.Next(op)
+}
+
+// Limit truncates a generator after N operations — useful for finite runs
+// and throughput measurement.
+type Limit struct {
+	G Generator
+	N uint64
+
+	done uint64
+}
+
+// NewLimit wraps g so it ends after n operations.
+func NewLimit(g Generator, n uint64) *Limit { return &Limit{G: g, N: n} }
+
+// Next implements Generator.
+func (l *Limit) Next(op *Op) bool {
+	if l.done >= l.N {
+		return false
+	}
+	l.done++
+	return l.G.Next(op)
+}
+
+// Emitted reports how many operations the limiter has passed through.
+func (l *Limit) Emitted() uint64 { return l.done }
+
+// Counting wraps a generator and counts operations by kind — the
+// application-level "throughput" observable the evaluation reports.
+type Counting struct {
+	G Generator
+
+	Loads, Stores, Prefetches uint64
+}
+
+// NewCounting wraps g with operation counting.
+func NewCounting(g Generator) *Counting { return &Counting{G: g} }
+
+// Next implements Generator.
+func (c *Counting) Next(op *Op) bool {
+	if !c.G.Next(op) {
+		return false
+	}
+	switch op.Kind {
+	case Load:
+		c.Loads++
+	case Store:
+		c.Stores++
+	case Prefetch:
+		c.Prefetches++
+	}
+	return true
+}
+
+// Total returns all operations emitted.
+func (c *Counting) Total() uint64 { return c.Loads + c.Stores + c.Prefetches }

@@ -1,0 +1,138 @@
+package workload
+
+// HashKV is a real open-addressing hash table laid out in the simulated
+// address space — the Redis/YCSB substrate upgraded from a statistical
+// Zipf approximation to actual probe sequences: a bucket-array lookup with
+// linear probing, then the record body read (and rewritten for updates).
+type HashKV struct {
+	r          Region
+	buckets    int
+	recordSize uint64 // bytes per record body
+
+	bucketBase uint64
+	recordBase uint64
+	occupied   []uint32 // key id + 1 stored per bucket (0 = empty)
+	keys       int
+}
+
+// HashKVSize returns the region bytes needed for n keys with the given
+// record size at 50% table load.
+func HashKVSize(keys int, recordSize uint64) uint64 {
+	return uint64(keys*2)*8 + uint64(keys)*recordSize
+}
+
+// NewHashKV builds a table with the given key count (shrinking to fit the
+// region) and inserts every key.
+func NewHashKV(r Region, keys int, recordSize uint64, seed uint64) *HashKV {
+	if recordSize < 64 {
+		recordSize = 64
+	}
+	for HashKVSize(keys, recordSize) > r.Size && keys > 16 {
+		keys /= 2
+	}
+	kv := &HashKV{
+		r:          r,
+		buckets:    keys * 2,
+		recordSize: recordSize,
+		bucketBase: r.Base,
+		recordBase: r.Base + uint64(keys*2)*8,
+		occupied:   make([]uint32, keys*2),
+		keys:       keys,
+	}
+	for k := 0; k < keys; k++ {
+		b := kv.bucketOf(uint32(k))
+		for kv.occupied[b] != 0 {
+			b = (b + 1) % kv.buckets
+		}
+		kv.occupied[b] = uint32(k) + 1
+	}
+	return kv
+}
+
+// bucketOf hashes a key id to its home bucket.
+func (kv *HashKV) bucketOf(key uint32) int {
+	h := uint64(key)*0x9e3779b97f4a7c15 + 0x1234567
+	h ^= h >> 29
+	return int(h % uint64(kv.buckets))
+}
+
+// probeSequence returns the bucket indices visited when looking up key.
+func (kv *HashKV) probeSequence(key uint32) []int {
+	var seq []int
+	b := kv.bucketOf(key)
+	for {
+		seq = append(seq, b)
+		if kv.occupied[b] == key+1 {
+			return seq
+		}
+		if kv.occupied[b] == 0 {
+			return seq // not found (never happens for inserted keys)
+		}
+		b = (b + 1) % kv.buckets
+	}
+}
+
+// bucketAddr returns the address of bucket b.
+func (kv *HashKV) bucketAddr(b int) uint64 { return kv.bucketBase + uint64(b)*8 }
+
+// recordAddr returns the base address of key k's record body.
+func (kv *HashKV) recordAddr(k uint32) uint64 {
+	return kv.recordBase + uint64(k)*kv.recordSize
+}
+
+// KVGen issues GET/PUT requests against a HashKV with Zipfian key
+// popularity: each request walks the real probe chain (dependent loads),
+// then streams the record body, storing it back for updates.
+type KVGen struct {
+	KV       *HashKV
+	ReadFrac float64
+	Think    uint16 // request-processing think time
+
+	zipf    *Zipf // used only as a key-rank sampler
+	rnd     rng
+	pending []Op
+}
+
+// NewKVGen returns a key-value request generator over kv.
+func NewKVGen(kv *HashKV, theta, readFrac float64, think uint16, seed uint64) *KVGen {
+	// A Zipf sampler over the key space; its own region is irrelevant.
+	z := NewZipf(Region{Base: 0, Size: uint64(kv.keys) * 64}, theta, 1.0, 1, 0, seed)
+	return &KVGen{KV: kv, ReadFrac: readFrac, Think: think, zipf: z, rnd: newRNG(seed ^ 0xabcdef)}
+}
+
+// Next implements Generator.
+func (g *KVGen) Next(op *Op) bool {
+	if len(g.pending) > 0 {
+		*op = g.pending[0]
+		g.pending = g.pending[1:]
+		return true
+	}
+	key := uint32(g.zipf.sample()) % uint32(g.KV.keys)
+	isWrite := g.rnd.float64() >= g.ReadFrac
+
+	// Probe chain: each bucket load depends on the previous comparison.
+	seq := g.KV.probeSequence(key)
+	for i, b := range seq {
+		think := uint16(1)
+		if i == 0 {
+			think = g.Think // per-request processing happens up front
+		}
+		g.pending = append(g.pending, Op{
+			Addr: g.KV.bucketAddr(b), Kind: Load, Dep: true, Think: think,
+		})
+	}
+	// Record body: line-granular sequential access, written back on PUT.
+	base := g.KV.recordAddr(key)
+	for off := uint64(0); off < g.KV.recordSize; off += 64 {
+		kind := Load
+		if isWrite {
+			kind = Store
+		}
+		dep := off == 0 // the body address depends on the probe result
+		g.pending = append(g.pending, Op{Addr: base + off, Kind: kind, Dep: dep && kind == Load, Think: 1})
+	}
+
+	*op = g.pending[0]
+	g.pending = g.pending[1:]
+	return true
+}

@@ -1,0 +1,35 @@
+// Package workload generates the memory-access streams that drive the
+// simulator: synthetic kernels reproducing the access shape of the paper's
+// benchmark suites (SPEC CPU2017, PARSEC, SPLASH-2x, GAP, Redis/YCSB) plus
+// the MBW and GUPS microbenchmarks used in the evaluation, and a catalog of
+// the 77 applications of Table 6 with their working-set sizes.
+package workload
+
+// Kind is the architectural kind of one memory operation.
+type Kind uint8
+
+// Operation kinds.
+const (
+	Load     Kind = iota // demand data read
+	Store                // demand data write
+	Prefetch             // explicit software prefetch (PREFETCHT0-style)
+)
+
+// Op is one memory operation of an instruction stream.  Think is the number
+// of non-memory instructions executed before this operation (modeling
+// compute between accesses); Dep marks a load whose result the next
+// instruction depends on (pointer-chase style), which forces the core to
+// wait for its completion rather than overlapping it.
+type Op struct {
+	Addr  uint64
+	Kind  Kind
+	Dep   bool
+	Think uint16
+}
+
+// Generator produces an operation stream.  Next fills op and reports
+// whether the stream continues; generators are infinite unless documented
+// otherwise (the simulator bounds runs by cycles, not by op count).
+type Generator interface {
+	Next(op *Op) bool
+}

@@ -1,0 +1,123 @@
+package workload
+
+import "testing"
+
+func TestStreamReuse(t *testing.T) {
+	r := Region{Size: mb}
+	g := NewStream(r, 0, 0, 1)
+	g.Reuse = 4
+	ops := drain(t, g, r, 12)
+	// Four consecutive accesses to each line before advancing.
+	for i := 0; i < 4; i++ {
+		if ops[i].Addr != r.Base {
+			t.Fatalf("op %d addr = %#x", i, ops[i].Addr)
+		}
+	}
+	if ops[4].Addr != r.Base+64 {
+		t.Fatalf("line advance: %#x", ops[4].Addr)
+	}
+	if ops[8].Addr != r.Base+128 {
+		t.Fatalf("second advance: %#x", ops[8].Addr)
+	}
+}
+
+func TestStreamReusePrefetchDistance(t *testing.T) {
+	r := Region{Size: mb}
+	g := NewStream(r, 0, 0, 1)
+	g.Reuse = 2
+	g.SWPF = 4
+	ops := drain(t, g, r, 2)
+	// The prefetch targets the line 4 lines ahead of the *line* cursor.
+	if ops[0].Kind != Prefetch || ops[0].Addr != ops[1].Addr+4*64 {
+		t.Fatalf("prefetch pairing: %+v %+v", ops[0], ops[1])
+	}
+}
+
+func TestStencilReuse(t *testing.T) {
+	r := Region{Size: 4 * mb}
+	g := NewStencil(r, 2, 0)
+	g.Reuse = 2
+	ops := drain(t, g, r, 8)
+	// Arrays alternate (load from first half, store to second half); the
+	// line advances only every Reuse grid points.
+	if ops[0].Addr != ops[2].Addr {
+		t.Fatalf("reuse 2: point 0 and 1 loads differ: %#x vs %#x", ops[0].Addr, ops[2].Addr)
+	}
+	if ops[4].Addr != ops[0].Addr+64 {
+		t.Fatalf("line advance after reuse: %#x vs %#x", ops[4].Addr, ops[0].Addr)
+	}
+}
+
+func TestGUPSBatch(t *testing.T) {
+	r := Region{Size: mb}
+	g := NewGUPS(r, 0, 0, 0, 3)
+	g.Batch = 4
+	deps := 0
+	ops := drain(t, g, r, 80) // 40 load/store pairs
+	loads := 0
+	for _, op := range ops {
+		if op.Kind == Load {
+			loads++
+			if op.Dep {
+				deps++
+			}
+		}
+	}
+	if loads != 40 {
+		t.Fatalf("loads = %d", loads)
+	}
+	// Every 4th load is dependent.
+	if deps != 10 {
+		t.Fatalf("dependent loads = %d of %d, want 10", deps, loads)
+	}
+}
+
+func TestGUPSBatchDefaultFullyDependent(t *testing.T) {
+	r := Region{Size: mb}
+	g := NewGUPS(r, 0, 0, 0, 3)
+	ops := drain(t, g, r, 20)
+	for _, op := range ops {
+		if op.Kind == Load && !op.Dep {
+			t.Fatal("default GUPS load not dependent")
+		}
+	}
+}
+
+func TestPhasedZeroOps(t *testing.T) {
+	r := Region{Size: mb}
+	p := NewPhased(
+		Phase{Gen: NewStream(r, 0, 0, 1), Ops: 0},
+		Phase{Gen: NewStream(r, 0, 0, 2), Ops: 0},
+	)
+	var op Op
+	if p.Next(&op) {
+		t.Fatal("all-zero phases produced an op")
+	}
+	// A zero phase among nonzero ones is skipped.
+	p2 := NewPhased(
+		Phase{Gen: NewStream(r, 0, 0, 1), Ops: 0},
+		Phase{Gen: NewPointerChase(r, 0, 2), Ops: 2},
+	)
+	if !p2.Next(&op) || !op.Dep {
+		t.Fatal("zero phase not skipped")
+	}
+}
+
+func TestMixExhaustedSide(t *testing.T) {
+	r := Region{Size: mb}
+	// B is finite: once exhausted, Mix falls back to A.
+	m := NewMix(NewStream(r, 0, 0, 1), NewLimit(NewPointerChase(r, 0, 2), 3), 0.5)
+	var op Op
+	deps := 0
+	for i := 0; i < 20; i++ {
+		if !m.Next(&op) {
+			t.Fatalf("mix ended at %d", i)
+		}
+		if op.Dep {
+			deps++
+		}
+	}
+	if deps != 3 {
+		t.Fatalf("dependent (B) ops = %d, want exactly 3", deps)
+	}
+}

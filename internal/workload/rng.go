@@ -1,0 +1,34 @@
+package workload
+
+// rng is a small, fast, deterministic xorshift64* generator.  Workload
+// streams must be reproducible across runs for the simulator's determinism
+// guarantees, so generators carry their own state rather than sharing
+// math/rand globals.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// uint64n returns a uniform value in [0, n).
+func (r *rng) uint64n(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return r.next() % n
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}

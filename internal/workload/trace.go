@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Trace recording and replay: capture a generator's op stream into a
+// compact binary form and play it back later — the way hardware-trace
+// methodologies feed recorded access streams to simulators.  Addresses are
+// zigzag-delta encoded (streams move in small steps), so traces compress
+// well.
+//
+// Format: magic "PFTR", version byte, varint op count, then per op a flags
+// byte (bits 0-1 kind, bit 2 dep), a signed-varint address delta from the
+// previous op, and a varint think.
+
+const traceMagic = "PFTR"
+const traceVersion = 1
+
+// WriteTrace records n operations from g into w.
+func WriteTrace(w io.Writer, g Generator, n uint64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		k := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:k])
+		return err
+	}
+	if err := put(n); err != nil {
+		return err
+	}
+	var op Op
+	var prev uint64
+	for i := uint64(0); i < n; i++ {
+		if !g.Next(&op) {
+			return fmt.Errorf("workload: generator ended after %d of %d ops", i, n)
+		}
+		flags := byte(op.Kind) & 0x3
+		if op.Dep {
+			flags |= 0x4
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		delta := int64(op.Addr) - int64(prev)
+		k := binary.PutVarint(scratch[:], delta)
+		if _, err := bw.Write(scratch[:k]); err != nil {
+			return err
+		}
+		prev = op.Addr
+		if err := put(uint64(op.Think)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace decodes a full trace into memory.
+func ReadTrace(r io.Reader) ([]Op, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("workload: reading trace magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("workload: bad trace magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != traceVersion {
+		return nil, fmt.Errorf("workload: unsupported trace version %d", ver)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	const sanityMax = 1 << 30
+	if n > sanityMax {
+		return nil, fmt.Errorf("workload: trace claims %d ops", n)
+	}
+	ops := make([]Op, 0, n)
+	var prev uint64
+	for i := uint64(0); i < n; i++ {
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("workload: op %d: %w", i, err)
+		}
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("workload: op %d address: %w", i, err)
+		}
+		think, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("workload: op %d think: %w", i, err)
+		}
+		if think > 0xffff {
+			return nil, fmt.Errorf("workload: op %d think %d overflows", i, think)
+		}
+		addr := uint64(int64(prev) + delta)
+		prev = addr
+		kind := Kind(flags & 0x3)
+		if kind > Prefetch {
+			return nil, fmt.Errorf("workload: op %d has invalid kind %d", i, kind)
+		}
+		ops = append(ops, Op{
+			Addr:  addr,
+			Kind:  kind,
+			Dep:   flags&0x4 != 0,
+			Think: uint16(think),
+		})
+	}
+	return ops, nil
+}
+
+// Replay plays back a recorded op slice, optionally looping forever.
+type Replay struct {
+	Ops  []Op
+	Loop bool
+
+	i int
+}
+
+// NewReplay wraps ops as a generator.
+func NewReplay(ops []Op, loop bool) *Replay { return &Replay{Ops: ops, Loop: loop} }
+
+// ErrEmptyTrace is returned by NewReplayReader for zero-op traces.
+var ErrEmptyTrace = errors.New("workload: empty trace")
+
+// NewReplayReader decodes a trace from r and wraps it for replay.
+func NewReplayReader(r io.Reader, loop bool) (*Replay, error) {
+	ops, err := ReadTrace(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(ops) == 0 {
+		return nil, ErrEmptyTrace
+	}
+	return NewReplay(ops, loop), nil
+}
+
+// Next implements Generator.
+func (r *Replay) Next(op *Op) bool {
+	if r.i >= len(r.Ops) {
+		if !r.Loop || len(r.Ops) == 0 {
+			return false
+		}
+		r.i = 0
+	}
+	*op = r.Ops[r.i]
+	r.i++
+	return true
+}

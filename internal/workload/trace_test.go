@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	r := Region{Base: 0x10000, Size: 8 * mb}
+	src := NewZipf(r, 0.99, 0.8, 2, 5, 11)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, src, 5000); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5000 {
+		t.Fatalf("decoded %d ops", len(got))
+	}
+	// The same generator seed reproduces the recorded stream.
+	ref := NewZipf(r, 0.99, 0.8, 2, 5, 11)
+	var op Op
+	for i := range got {
+		ref.Next(&op)
+		if got[i] != op {
+			t.Fatalf("op %d: got %+v want %+v", i, got[i], op)
+		}
+	}
+}
+
+func TestTraceCompact(t *testing.T) {
+	r := Region{Size: 8 * mb}
+	g := NewStream(r, 3, 0.2, 7)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, g, 10000); err != nil {
+		t.Fatal(err)
+	}
+	// Sequential streams delta-encode to a few bytes per op (raw Op is 16).
+	if perOp := float64(buf.Len()) / 10000; perOp > 6 {
+		t.Fatalf("trace uses %.1f bytes/op, want < 6", perOp)
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	r := Region{Size: mb}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, NewStream(r, 0, 0, 1), 100); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	if _, err := ReadTrace(bytes.NewReader(raw[:2])); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+	bad := append([]byte{}, raw...)
+	bad[0] = 'X'
+	if _, err := ReadTrace(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	ver := append([]byte{}, raw...)
+	ver[4] = 9
+	if _, err := ReadTrace(bytes.NewReader(ver)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+
+	// A finite generator that ends early aborts recording.
+	lim := NewLimit(NewStream(r, 0, 0, 1), 10)
+	if err := WriteTrace(&bytes.Buffer{}, lim, 100); err == nil {
+		t.Fatal("short generator accepted")
+	}
+}
+
+func TestReplay(t *testing.T) {
+	ops := []Op{
+		{Addr: 0, Kind: Load, Think: 1},
+		{Addr: 64, Kind: Store, Think: 2},
+	}
+	rp := NewReplay(ops, false)
+	var op Op
+	n := 0
+	for rp.Next(&op) {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("replayed %d ops", n)
+	}
+	loop := NewReplay(ops, true)
+	for i := 0; i < 7; i++ {
+		if !loop.Next(&op) {
+			t.Fatal("looping replay ended")
+		}
+	}
+	if op != ops[0] {
+		t.Fatalf("loop position: %+v", op)
+	}
+}
+
+func TestReplayReader(t *testing.T) {
+	r := Region{Size: mb}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, NewPointerChase(r, 2, 3), 50); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewReplayReader(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var op Op
+	n := 0
+	for rp.Next(&op) {
+		if !op.Dep {
+			t.Fatal("chase op lost its dependency flag")
+		}
+		n++
+	}
+	if n != 50 {
+		t.Fatalf("replayed %d", n)
+	}
+
+	// Empty trace rejected.
+	var empty bytes.Buffer
+	if err := WriteTrace(&empty, NewStream(r, 0, 0, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReplayReader(&empty, false); err != ErrEmptyTrace {
+		t.Fatalf("empty trace: %v", err)
+	}
+}
+
+// Property: arbitrary op sequences round-trip through the trace format.
+func TestTracePropertyRoundTrip(t *testing.T) {
+	f := func(raw []uint32) bool {
+		ops := make([]Op, len(raw))
+		for i, r := range raw {
+			ops[i] = Op{
+				Addr:  uint64(r) * 64,
+				Kind:  Kind(r % 3),
+				Dep:   r%5 == 0,
+				Think: uint16(r % 1000),
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, NewReplay(ops, false), uint64(len(ops))); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil || len(got) != len(ops) {
+			return false
+		}
+		for i := range ops {
+			if got[i] != ops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

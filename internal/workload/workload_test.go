@@ -1,0 +1,391 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+const (
+	kb = 1 << 10
+	mb = 1 << 20
+)
+
+// drain pulls n ops from g, failing the test if the stream ends early, and
+// checks every address stays inside r.
+func drain(t *testing.T, g Generator, r Region, n int) []Op {
+	t.Helper()
+	out := make([]Op, 0, n)
+	var op Op
+	for i := 0; i < n; i++ {
+		if !g.Next(&op) {
+			t.Fatalf("stream ended after %d ops", i)
+		}
+		if op.Addr < r.Base || op.Addr >= r.Base+r.Size {
+			t.Fatalf("op %d escaped region: addr=%#x region=[%#x,%#x)", i, op.Addr, r.Base, r.Base+r.Size)
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+func TestStreamSequential(t *testing.T) {
+	r := Region{Base: 0x1000, Size: 64 * kb}
+	g := NewStream(r, 3, 0, 1)
+	ops := drain(t, g, r, 100)
+	for i, op := range ops {
+		if op.Kind != Load || op.Dep {
+			t.Fatalf("op %d: %+v", i, op)
+		}
+		if op.Addr != r.Base+uint64(i)*64 {
+			t.Fatalf("op %d addr = %#x", i, op.Addr)
+		}
+	}
+}
+
+func TestStreamWraps(t *testing.T) {
+	r := Region{Base: 0, Size: 4 * 64}
+	g := NewStream(r, 0, 0, 1)
+	ops := drain(t, g, r, 9)
+	if ops[4].Addr != ops[0].Addr {
+		t.Fatalf("no wraparound: %#x vs %#x", ops[4].Addr, ops[0].Addr)
+	}
+}
+
+func TestStreamStoreFraction(t *testing.T) {
+	r := Region{Size: mb}
+	g := NewStream(r, 0, 0.3, 7)
+	stores := 0
+	ops := drain(t, g, r, 10000)
+	for _, op := range ops {
+		if op.Kind == Store {
+			stores++
+		}
+	}
+	if stores < 2500 || stores > 3500 {
+		t.Fatalf("store fraction: %d/10000", stores)
+	}
+}
+
+func TestStreamSWPF(t *testing.T) {
+	r := Region{Size: mb}
+	g := NewStream(r, 0, 0, 1)
+	g.SWPF = 8
+	ops := drain(t, g, r, 10)
+	if ops[0].Kind != Prefetch || ops[1].Kind != Load {
+		t.Fatalf("prefetch interleave broken: %+v %+v", ops[0], ops[1])
+	}
+	if ops[0].Addr != ops[1].Addr+8*64 {
+		t.Fatalf("prefetch distance: pf=%#x load=%#x", ops[0].Addr, ops[1].Addr)
+	}
+}
+
+func TestStencilPattern(t *testing.T) {
+	r := Region{Size: 4 * mb}
+	g := NewStencil(r, 4, 2)
+	ops := drain(t, g, r, 8)
+	// Three loads then one store, from four distinct quarters.
+	for i := 0; i < 3; i++ {
+		if ops[i].Kind != Load {
+			t.Fatalf("op %d kind = %v", i, ops[i].Kind)
+		}
+	}
+	if ops[3].Kind != Store {
+		t.Fatalf("op 3 kind = %v", ops[3].Kind)
+	}
+	quarter := r.Size / 4
+	for i := 0; i < 4; i++ {
+		if ops[i].Addr/quarter != uint64(i) {
+			t.Fatalf("op %d in wrong array: addr=%#x", i, ops[i].Addr)
+		}
+	}
+	// Second grid point advances each stream by one line.
+	if ops[4].Addr != ops[0].Addr+64 {
+		t.Fatalf("grid advance: %#x -> %#x", ops[0].Addr, ops[4].Addr)
+	}
+}
+
+func TestPointerChaseDependent(t *testing.T) {
+	r := Region{Size: 16 * mb}
+	g := NewPointerChase(r, 5, 3)
+	ops := drain(t, g, r, 1000)
+	distinct := make(map[uint64]bool)
+	for _, op := range ops {
+		if op.Kind != Load || !op.Dep {
+			t.Fatalf("chase op: %+v", op)
+		}
+		distinct[op.Addr] = true
+	}
+	if len(distinct) < 900 {
+		t.Fatalf("chase revisits too much: %d distinct of 1000", len(distinct))
+	}
+}
+
+func TestGUPSReadModifyWrite(t *testing.T) {
+	r := Region{Size: mb}
+	g := NewGUPS(r, 1, 0, 0, 11)
+	ops := drain(t, g, r, 100)
+	for i := 0; i < 100; i += 2 {
+		if ops[i].Kind != Load || !ops[i].Dep {
+			t.Fatalf("op %d: %+v", i, ops[i])
+		}
+		if ops[i+1].Kind != Store || ops[i+1].Addr != ops[i].Addr {
+			t.Fatalf("RMW pair broken at %d: %+v %+v", i, ops[i], ops[i+1])
+		}
+	}
+}
+
+func TestGUPSHotSet(t *testing.T) {
+	r := Region{Size: 8 * mb}
+	g := NewGUPS(r, 0, 0.25, 0.9, 5)
+	hot := uint64(float64(r.Size) * 0.25)
+	inHot := 0
+	ops := drain(t, g, r, 20000)
+	for _, op := range ops {
+		if op.Kind == Load && op.Addr < r.Base+hot {
+			inHot++
+		}
+	}
+	// ~90% of the 10000 loads should fall into the hot quarter.
+	if inHot < 8500 || inHot > 9800 {
+		t.Fatalf("hot-set loads = %d of 10000", inHot)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := Region{Size: 64 * mb}
+	g := NewZipf(r, 0.99, 1.0, 1, 0, 9)
+	counts := make(map[uint64]int)
+	var op Op
+	for i := 0; i < 50000; i++ {
+		g.Next(&op)
+		counts[op.Addr]++
+	}
+	// Zipf: the hottest key should take a large share; distinct keys far
+	// fewer than accesses.
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC < 1000 {
+		t.Fatalf("hottest key only %d/50000 accesses (not skewed)", maxC)
+	}
+	if len(counts) < 100 {
+		t.Fatalf("only %d distinct keys (too skewed)", len(counts))
+	}
+}
+
+func TestZipfReadWriteMix(t *testing.T) {
+	r := Region{Size: 16 * mb}
+	g := NewZipf(r, 0.99, 0.5, 1, 0, 21)
+	stores := 0
+	ops := drain(t, g, r, 20000)
+	for _, op := range ops {
+		if op.Kind == Store {
+			stores++
+		}
+	}
+	if stores < 8000 || stores > 12000 {
+		t.Fatalf("50/50 mix: %d stores of 20000", stores)
+	}
+}
+
+func TestZipfMultiLineRecords(t *testing.T) {
+	r := Region{Size: 16 * mb}
+	g := NewZipf(r, 0.99, 1.0, 4, 0, 2)
+	ops := drain(t, g, r, 8)
+	// Each record access touches 4 consecutive lines.
+	for i := 1; i < 4; i++ {
+		if ops[i].Addr != ops[0].Addr+uint64(i)*64 {
+			t.Fatalf("record not contiguous: %#x vs %#x", ops[i].Addr, ops[0].Addr)
+		}
+	}
+}
+
+func TestGraphShape(t *testing.T) {
+	r := Region{Size: 32 * mb}
+	g := NewGraph(r, 8, 2, 13)
+	ops := drain(t, g, r, 900)
+	deps := 0
+	for _, op := range ops {
+		if op.Dep {
+			deps++
+		}
+	}
+	// One dependent jump per 9 ops.
+	if deps < 80 || deps > 120 {
+		t.Fatalf("dependent jumps = %d of 900", deps)
+	}
+}
+
+func TestMixRatio(t *testing.T) {
+	rA := Region{Base: 0, Size: mb}
+	rB := Region{Base: mb, Size: mb}
+	m := NewMix(NewStream(rA, 0, 0, 1), NewStream(rB, 0, 0, 2), 0.3)
+	var op Op
+	fromB := 0
+	for i := 0; i < 1000; i++ {
+		m.Next(&op)
+		if op.Addr >= mb {
+			fromB++
+		}
+	}
+	// Deterministic spread: within one op of the exact share (floating
+	// accumulation may lag a single step).
+	if fromB < 299 || fromB > 301 {
+		t.Fatalf("B share = %d/1000, want ~300", fromB)
+	}
+}
+
+func TestMixClamping(t *testing.T) {
+	r := Region{Size: mb}
+	m := NewMix(NewStream(r, 0, 0, 1), NewStream(r, 0, 0, 2), 1.7)
+	if m.Frac != 1 {
+		t.Fatalf("Frac = %v", m.Frac)
+	}
+	m2 := NewMix(NewStream(r, 0, 0, 1), NewStream(r, 0, 0, 2), -0.5)
+	if m2.Frac != 0 {
+		t.Fatalf("Frac = %v", m2.Frac)
+	}
+}
+
+func TestPhasedCycles(t *testing.T) {
+	r := Region{Size: mb}
+	p := NewPhased(
+		Phase{Gen: NewStream(r, 1, 0, 1), Ops: 3},
+		Phase{Gen: NewPointerChase(r, 1, 2), Ops: 2},
+	)
+	var op Op
+	kinds := make([]bool, 10) // dep flags
+	for i := 0; i < 10; i++ {
+		p.Next(&op)
+		kinds[i] = op.Dep
+	}
+	want := []bool{false, false, false, true, true, false, false, false, true, true}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("phase pattern at %d: got %v want %v (%v)", i, kinds[i], want[i], kinds)
+		}
+	}
+}
+
+func TestLimit(t *testing.T) {
+	r := Region{Size: mb}
+	l := NewLimit(NewStream(r, 0, 0, 1), 5)
+	var op Op
+	n := 0
+	for l.Next(&op) {
+		n++
+		if n > 10 {
+			t.Fatal("limit not enforced")
+		}
+	}
+	if n != 5 || l.Emitted() != 5 {
+		t.Fatalf("emitted %d (counter %d)", n, l.Emitted())
+	}
+}
+
+func TestCounting(t *testing.T) {
+	r := Region{Size: mb}
+	g := NewStream(r, 0, 0, 1)
+	g.SWPF = 4
+	c := NewCounting(NewLimit(g, 10))
+	var op Op
+	for c.Next(&op) {
+	}
+	if c.Total() != 10 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	if c.Prefetches != 5 || c.Loads != 5 {
+		t.Fatalf("loads=%d stores=%d pf=%d", c.Loads, c.Stores, c.Prefetches)
+	}
+}
+
+func TestCatalogComplete(t *testing.T) {
+	apps := Catalog()
+	// Table 6 apps (73) + Redis + 3 YCSB + MBW + GUPS.
+	if len(apps) < 77 {
+		t.Fatalf("catalog has %d apps, want >= 77", len(apps))
+	}
+	seen := make(map[string]bool)
+	for _, a := range apps {
+		if seen[a.Name] {
+			t.Fatalf("duplicate app %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.WorkingSetMB <= 0 {
+			t.Fatalf("%s has no working set", a.Name)
+		}
+		if a.Suite == "" || a.Full == "" {
+			t.Fatalf("%s missing metadata", a.Name)
+		}
+	}
+	for _, name := range []string{"FOTS", "GCCS", "LBM", "ROMS", "BWA", "MCF",
+		"FFT", "BARN", "FRE", "RAY", "BFS", "RADIX", "YCSB-C", "GUPS", "MBW"} {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("Lookup(%q) failed", name)
+		}
+	}
+	if _, ok := Lookup("NOPE"); ok {
+		t.Error("Lookup of unknown app succeeded")
+	}
+	if len(Names()) != len(apps) {
+		t.Error("Names length mismatch")
+	}
+}
+
+func TestCatalogGeneratorsStayInRegion(t *testing.T) {
+	r := Region{Base: 0x40000, Size: 8 * mb}
+	for _, a := range Catalog() {
+		g := a.Generator(r, 42)
+		var op Op
+		for i := 0; i < 2000; i++ {
+			if !g.Next(&op) {
+				t.Fatalf("%s: stream ended", a.Name)
+			}
+			if op.Addr < r.Base || op.Addr >= r.Base+r.Size {
+				t.Fatalf("%s: escaped region at op %d: %#x", a.Name, i, op.Addr)
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	r := Region{Size: 8 * mb}
+	for _, a := range Catalog()[:20] {
+		g1 := a.Generator(r, 99)
+		g2 := a.Generator(r, 99)
+		var o1, o2 Op
+		for i := 0; i < 500; i++ {
+			g1.Next(&o1)
+			g2.Next(&o2)
+			if o1 != o2 {
+				t.Fatalf("%s: diverged at op %d: %+v vs %+v", a.Name, i, o1, o2)
+			}
+		}
+	}
+}
+
+// Property: rng.uint64n stays within bounds.
+func TestRNGBounds(t *testing.T) {
+	f := func(seed uint64, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		r := newRNG(seed)
+		for i := 0; i < 50; i++ {
+			if r.uint64n(n) >= n {
+				return false
+			}
+			v := r.float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
