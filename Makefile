@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race vet fuzz-short all
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiments package exceeds go test's default 10m budget under the
+# race detector, so give the suite a wider timeout.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short fuzzing pass over the flit decoders and the fault-plan parser:
+# each target runs for 10 seconds and must only ever return structured
+# errors, never panic.
+fuzz-short:
+	$(GO) test ./internal/cxl/ -run '^$$' -fuzz FuzzFlitDecode -fuzztime 10s
+	$(GO) test ./internal/cxl/ -run '^$$' -fuzz FuzzFlit256Feed -fuzztime 10s
+	$(GO) test ./internal/cxl/ -run '^$$' -fuzz FuzzParseFaultPlan -fuzztime 10s

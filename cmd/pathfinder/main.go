@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"pathfinder/internal/core"
+	"pathfinder/internal/cxl"
 	"pathfinder/internal/mem"
 	"pathfinder/internal/mem/tier"
 	"pathfinder/internal/pmu"
@@ -43,14 +44,49 @@ func parsePlacement(s string) (mem.Policy, error) {
 		return mem.Fixed(2), nil
 	}
 	parts := strings.SplitN(s, ":", 2)
-	if len(parts) == 2 {
-		a, errA := strconv.Atoi(parts[0])
-		b, errB := strconv.Atoi(parts[1])
-		if errA == nil && errB == nil && a > 0 && b > 0 {
-			return mem.Interleave{A: 0, B: 2, RatioA: a, RatioB: b}, nil
-		}
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("unknown placement %q (want local, remote, cxl, or a local:CXL ratio like 3:1)", s)
 	}
-	return nil, fmt.Errorf("bad placement %q (want local, remote, cxl, or A:B)", s)
+	a, errA := strconv.Atoi(parts[0])
+	b, errB := strconv.Atoi(parts[1])
+	if errA != nil || errB != nil {
+		return nil, fmt.Errorf("placement ratio %q is not numeric (want a local:CXL ratio like 3:1)", s)
+	}
+	if a <= 0 || b <= 0 {
+		return nil, fmt.Errorf("placement ratio %q needs two positive parts (use local or cxl for one-sided placement)", s)
+	}
+	return mem.Interleave{A: 0, B: 2, RatioA: a, RatioB: b}, nil
+}
+
+// reportNames are the report selectors -report accepts (besides "all").
+var reportNames = []string{"paths", "stalls", "queues", "locality", "flows"}
+
+// parseReports validates the -report list up front, so a typo fails with
+// the valid choices instead of silently printing nothing.
+func parseReports(s string) (map[string]bool, error) {
+	want := map[string]bool{}
+	for _, r := range strings.Split(s, ",") {
+		name := strings.TrimSpace(r)
+		if name == "" {
+			continue
+		}
+		ok := name == "all"
+		for _, v := range reportNames {
+			if name == v {
+				ok = true
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("unknown report %q (choose from: %s, all)",
+				name, strings.Join(reportNames, ", "))
+		}
+		want[name] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("empty -report list (choose from: %s, all)",
+			strings.Join(reportNames, ", "))
+	}
+	return want, nil
 }
 
 func main() {
@@ -62,6 +98,7 @@ func main() {
 	reports := flag.String("report", "all", "comma list of: paths, stalls, queues, locality, flows")
 	llcScale := flag.Int("llc-scale", 4, "shrink the LLC by this factor (faster profiling of scaled working sets)")
 	tpp := flag.Bool("tpp", false, "enable TPP page placement during the run")
+	fault := flag.String("fault", "", "CXL link fault plan, e.g. 'seed=42,crc=1e-3,burst=100000:20000:0.5:400000,timeout=500000:50000,poison=0:64' (empty = healthy link)")
 	listApps := flag.Bool("list-apps", false, "print the application catalog and exit")
 	listEvents := flag.Bool("list-events", false, "print the PMU event catalog and exit")
 	flag.Parse()
@@ -88,9 +125,21 @@ func main() {
 		return
 	}
 
+	want, err := parseReports(*reports)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
 	cfg := sim.SPR()
 	if *machine == "emr" {
 		cfg = sim.EMR()
+	}
+	if *fault != "" {
+		plan, err := cxl.ParseFaultPlan(*fault)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.Faults = plan
 	}
 	if *llcScale > 1 {
 		cfg.LLCSize /= *llcScale
@@ -169,10 +218,6 @@ func main() {
 		}
 	}
 
-	want := map[string]bool{}
-	for _, r := range strings.Split(*reports, ",") {
-		want[strings.TrimSpace(r)] = true
-	}
 	all := want["all"]
 
 	for _, run := range runs {
@@ -254,6 +299,12 @@ func main() {
 	}
 	// CXL 3.x QoS telemetry: the device's dominant DevLoad class.
 	fmt.Printf("CXL device QoS (DevLoad): %s\n", m.DevLoad(0))
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		s := last.Snapshot
+		fmt.Printf("CXL link health (last epoch): %.0f CRC errors, %.0f retries, %.0f replay bytes, %.0f device timeouts\n",
+			s.CXL(0, pmu.CXLLinkCRCErrors), s.CXL(0, pmu.CXLLinkRetries),
+			s.CXL(0, pmu.CXLLinkReplayBytes), s.CXL(0, pmu.CXLDevTimeouts))
+	}
 }
 
 func componentNames() []string {

@@ -16,7 +16,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: mlc, fig2, fig3, fig4, emr, table7, fig6, fig78, fig910, fig11, fig12, fig13, overhead, or all")
+		"experiment: mlc, fig2, fig3, fig4, emr, table7, fig6, fig78, fig910, fig11, fig12, fig13, overhead, faults, or all")
 	machine := flag.String("machine", "spr", "machine model: spr or emr")
 	quick := flag.Bool("quick", false, "shorter runs (coarser numbers)")
 	flag.Parse()
@@ -116,10 +116,18 @@ func main() {
 		"pool": func() {
 			fmt.Print(experiments.RunPool(cfg, *quick).Table())
 		},
+		"faults": func() {
+			r := experiments.RunFaults(cfg, *quick)
+			fmt.Print(r.Sweep)
+			fmt.Println("\nfault-domain culprit per rate:", strings.Join(r.Culprits, "; "))
+			fmt.Printf("YCSB throughput drop healthy -> sickest link: %.1f%%\n",
+				r.ThroughputDrop()*100)
+		},
 	}
 
 	order := []string{"mlc", "fig2", "fig3", "fig4", "emr", "table7", "fig6",
-		"fig78", "fig910", "fig11", "fig12", "fig13", "overhead", "baseline", "pool"}
+		"fig78", "fig910", "fig11", "fig12", "fig13", "overhead", "baseline", "pool",
+		"faults"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -78,9 +78,12 @@ func main() {
 	for i := range specs {
 		specs[i] = strings.TrimSpace(specs[i])
 	}
-	sess, err := perf.Open(m, specs...)
+	sess, warns, err := perf.OpenLenient(m, specs...)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	for _, w := range warns {
+		fmt.Fprintf(os.Stderr, "pfstat: warning: %s\n", w)
 	}
 	if g := sess.MaxGroups(); g > 1 {
 		fmt.Fprintf(os.Stderr, "pfstat: note: %d multiplex groups on the busiest PMU (run fraction %.2f)\n",

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"pathfinder/internal/sim"
 	"pathfinder/internal/workload"
@@ -35,6 +36,14 @@ type Spec struct {
 	Epochs      int
 	CXLDevice   int
 	Mode        Mode
+
+	// Watchdog bounds the wall-clock time one epoch may take to simulate
+	// (0 disables it).  An epoch that exceeds the budget — a fault-storm
+	// pathology, a runaway workload — is cut short and its snapshot
+	// flagged Truncated instead of wedging the whole profiling run; the
+	// shortened window stays internally consistent because analyses use
+	// the snapshot's actual Start/End cycles.
+	Watchdog time.Duration
 }
 
 // EpochResult bundles one epoch's snapshot with the per-application
@@ -44,6 +53,12 @@ type EpochResult struct {
 	PathMaps map[string]*PathMap
 	Stalls   map[string]*StallBreakdown
 	Queues   map[string]*QueueReport
+
+	// Truncated marks an epoch the watchdog cut short; Note carries the
+	// human-readable reason for a shortened window (watchdog expiry, or
+	// the workload running dry before the epoch ended).
+	Truncated bool
+	Note      string
 }
 
 // Profiler drives snapshot-based path-driven profiling: run an epoch, snap
@@ -144,16 +159,61 @@ func (p *Profiler) Materializer() *Materializer { return p.mat }
 // AppCores returns the cores running the labeled application.
 func (p *Profiler) AppCores(label string) []int { return p.cores[label] }
 
+// watchdogChunks is how many slices a watchdog-guarded epoch is run in;
+// the deadline is checked between slices.
+const watchdogChunks = 16
+
+// runEpoch advances the machine by the epoch length, honoring the
+// watchdog.  It reports whether the epoch was truncated and why the
+// window is shorter than configured (empty when it ran to completion).
+func (p *Profiler) runEpoch() (truncated bool, note string) {
+	m := p.spec.Machine
+	if p.spec.Watchdog <= 0 {
+		m.Run(p.spec.EpochCycles)
+		return false, ""
+	}
+	deadline := time.Now().Add(p.spec.Watchdog)
+	chunk := p.spec.EpochCycles / watchdogChunks
+	if chunk == 0 {
+		chunk = 1
+	}
+	var done sim.Cycles
+	for done < p.spec.EpochCycles {
+		step := chunk
+		if rest := p.spec.EpochCycles - done; rest < step {
+			step = rest
+		}
+		m.Run(step)
+		done += step
+		if done == p.spec.EpochCycles {
+			return false, ""
+		}
+		if m.Idle() {
+			// Every workload ran dry: finishing the window would only
+			// accumulate idle cycles.  Not a fault — just noted.
+			return false, fmt.Sprintf("core: workloads idle after %d of %d epoch cycles",
+				done, p.spec.EpochCycles)
+		}
+		if time.Now().After(deadline) {
+			return true, fmt.Sprintf("core: watchdog truncated epoch after %d of %d cycles (budget %v)",
+				done, p.spec.EpochCycles, p.spec.Watchdog)
+		}
+	}
+	return false, ""
+}
+
 // Step runs one scheduling epoch and returns its analyzed result.
 func (p *Profiler) Step() (*EpochResult, error) {
-	m := p.spec.Machine
-	m.Run(p.spec.EpochCycles)
+	truncated, note := p.runEpoch()
 	snap := p.cap.Capture()
+	snap.Truncated = truncated
 	res := &EpochResult{
-		Snapshot: snap,
-		PathMaps: make(map[string]*PathMap, len(p.cores)),
-		Stalls:   make(map[string]*StallBreakdown, len(p.cores)),
-		Queues:   make(map[string]*QueueReport, len(p.cores)),
+		Snapshot:  snap,
+		PathMaps:  make(map[string]*PathMap, len(p.cores)),
+		Stalls:    make(map[string]*StallBreakdown, len(p.cores)),
+		Queues:    make(map[string]*QueueReport, len(p.cores)),
+		Truncated: truncated,
+		Note:      note,
 	}
 	for label, cores := range p.cores {
 		pm := BuildPathMap(snap, cores)

@@ -14,6 +14,10 @@ import (
 type Snapshot struct {
 	Seq        int
 	Start, End sim.Cycles
+	// Truncated marks a snapshot whose epoch the profiler watchdog cut
+	// short; Start/End describe the actual (shortened) window, so derived
+	// rates remain valid — consumers may want to weight or flag it.
+	Truncated bool
 	// deltas holds per-bank counter deltas for the epoch, keyed by bank
 	// name, each indexed by pmu.Event.
 	deltas map[string][]uint64

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pathfinder/internal/workload"
+)
+
+// TestWatchdogTruncatesEpoch gives the watchdog a budget no epoch can
+// meet: the epoch must be cut short, flagged, and still produce a
+// consistent, analyzable snapshot.
+func TestWatchdogTruncatesEpoch(t *testing.T) {
+	m, _, cxlr := testRig(t)
+	p, err := NewProfiler(Spec{
+		Machine:     m,
+		Apps:        []AppRun{{Label: "chase", Core: 0, Gen: workload.NewPointerChase(region(cxlr), 0, 7)}},
+		EpochCycles: 50_000_000,
+		Epochs:      1,
+		Watchdog:    time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || !res.Snapshot.Truncated {
+		t.Fatalf("nanosecond watchdog did not truncate (note=%q)", res.Note)
+	}
+	if !strings.Contains(res.Note, "watchdog") {
+		t.Fatalf("note = %q", res.Note)
+	}
+	win := res.Snapshot.End - res.Snapshot.Start
+	if win == 0 || win >= 50_000_000 {
+		t.Fatalf("truncated window spans %d cycles", win)
+	}
+	// The shortened snapshot still analyzes: rates derive from the actual
+	// window, so the epoch is usable rather than garbage.
+	if res.Queues["chase"] == nil || res.Stalls["chase"] == nil {
+		t.Fatal("truncated epoch skipped analysis")
+	}
+}
+
+// TestWatchdogIdleStopsEarly runs a finite workload inside a long epoch:
+// the profiler should notice the machine went idle and close the window
+// early without flagging a fault.
+func TestWatchdogIdleStopsEarly(t *testing.T) {
+	m, local, _ := testRig(t)
+	gen := workload.NewLimit(workload.NewStream(region(local), 2, 0, 3), 100)
+	p, err := NewProfiler(Spec{
+		Machine:     m,
+		Apps:        []AppRun{{Label: "short", Core: 0, Gen: gen}},
+		EpochCycles: 200_000_000,
+		Epochs:      1,
+		Watchdog:    time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatalf("idle run flagged as truncated: %q", res.Note)
+	}
+	if !strings.Contains(res.Note, "idle") {
+		t.Fatalf("note = %q, want idle notice", res.Note)
+	}
+	if win := res.Snapshot.End - res.Snapshot.Start; win >= 200_000_000 {
+		t.Fatalf("idle epoch ran the full %d-cycle window", win)
+	}
+}
+
+// TestWatchdogDisabledRunsFull checks the zero value keeps the historical
+// behavior: full-length epochs, never truncated.
+func TestWatchdogDisabledRunsFull(t *testing.T) {
+	m, local, _ := testRig(t)
+	p, err := NewProfiler(Spec{
+		Machine:     m,
+		Apps:        []AppRun{{Label: "s", Core: 0, Gen: workload.NewStream(region(local), 2, 0, 3)}},
+		EpochCycles: 300_000,
+		Epochs:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Truncated || r.Note != "" {
+			t.Fatalf("epoch %d: truncated=%v note=%q", i, r.Truncated, r.Note)
+		}
+		if win := r.Snapshot.End - r.Snapshot.Start; win != 300_000 {
+			t.Fatalf("epoch %d spans %d cycles", i, win)
+		}
+	}
+}

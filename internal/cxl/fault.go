@@ -1,0 +1,403 @@
+package cxl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Link-fault injection: a FaultPlan is a seeded, fully deterministic
+// description of everything that can go wrong on a FlexBus link — per-flit
+// CRC corruption (with burst windows modeling retry storms), device-timeout
+// episodes, DevLoad-throttle episodes, and poisoned media lines.  The same
+// plan drives both the protocol-level Link simulation (retry.go) and the
+// timing-level cxlPort model in internal/sim, so a profiler experiment and
+// a message-integrity property test observe the same fault schedule.
+//
+// Determinism is load-bearing: corruption decisions are pure functions of
+// (Seed, direction, transfer index, time), never of a mutable RNG stream,
+// so replaying a run — or resuming one after a snapshot — reproduces the
+// identical fault sequence.
+
+// Direction identifies which way a flit travels on the link.
+type Direction uint8
+
+// Link directions.
+const (
+	DirM2S Direction = iota // host -> device (Req/RwD)
+	DirS2M                  // device -> host (NDR/DRS)
+	dirCount
+)
+
+// String returns the direction mnemonic.
+func (d Direction) String() string {
+	switch d {
+	case DirM2S:
+		return "M2S"
+	case DirS2M:
+		return "S2M"
+	}
+	return fmt.Sprintf("Direction(%d)", uint8(d))
+}
+
+// Burst is a time window of elevated corruption on one direction — the
+// retry-storm shape real links exhibit when a lane margins out.  A zero
+// Period makes the window one-shot; otherwise it recurs every Period
+// cycles (the window [Start, Start+Len) repeats at Start+k*Period).
+type Burst struct {
+	Dir    Direction
+	Start  uint64 // first cycle of the window
+	Len    uint64 // window length in cycles
+	Period uint64 // recurrence period (0 = one-shot)
+	Rate   float64
+}
+
+// Episode is a time window during which a device-side condition (timeout,
+// DevLoad throttle) holds.  Period semantics match Burst.
+type Episode struct {
+	Start  uint64
+	Len    uint64
+	Period uint64
+}
+
+// activeAt reports whether the window covers cycle now.
+func (e Episode) activeAt(now uint64) bool {
+	if now < e.Start {
+		return false
+	}
+	off := now - e.Start
+	if e.Period > 0 {
+		off %= e.Period
+	}
+	return off < e.Len
+}
+
+// FaultPlan is a deterministic, seeded link-fault schedule.  The zero value
+// (and a nil plan) injects nothing.
+type FaultPlan struct {
+	Seed uint64
+
+	// CRCRate is the baseline per-flit corruption probability by direction.
+	CRCRate [dirCount]float64
+
+	// Bursts are windows of elevated corruption (additive with the base
+	// rate, clamped to 1).
+	Bursts []Burst
+
+	// Timeouts are device-timeout episodes: requests reaching the device
+	// controller during a window stall for TimeoutPenalty cycles before
+	// being serviced (the device's internal completion timeout + recovery).
+	Timeouts       []Episode
+	TimeoutPenalty uint64 // cycles per timeout hit (0 = DefaultTimeoutPenalty)
+
+	// Throttles are DevLoad-throttle episodes: the device sheds load by
+	// halving its media service rate while a window is active.
+	Throttles []Episode
+
+	// Poison marks the line range [PoisonBase, PoisonBase+PoisonLen) as
+	// poisoned media: reads of those lines complete but are flagged and
+	// pay an extra media access for the device's internal correction pass.
+	PoisonBase, PoisonLen uint64
+}
+
+// DefaultTimeoutPenalty is the stall charged per device-timeout hit when
+// the plan leaves TimeoutPenalty zero, sized like a controller completion
+// timeout (~2 µs at 2 GHz).
+const DefaultTimeoutPenalty = 4000
+
+// Validate checks plan invariants.
+func (p *FaultPlan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for d := Direction(0); d < dirCount; d++ {
+		if r := p.CRCRate[d]; r < 0 || r > 1 {
+			return fmt.Errorf("cxl: %v CRC rate %g outside [0,1]", d, r)
+		}
+	}
+	for i, b := range p.Bursts {
+		if b.Rate < 0 || b.Rate > 1 {
+			return fmt.Errorf("cxl: burst %d rate %g outside [0,1]", i, b.Rate)
+		}
+		if b.Dir >= dirCount {
+			return fmt.Errorf("cxl: burst %d has invalid direction %d", i, b.Dir)
+		}
+		if b.Period > 0 && b.Len > b.Period {
+			return fmt.Errorf("cxl: burst %d window %d exceeds its period %d", i, b.Len, b.Period)
+		}
+	}
+	for i, e := range append(append([]Episode{}, p.Timeouts...), p.Throttles...) {
+		if e.Period > 0 && e.Len > e.Period {
+			return fmt.Errorf("cxl: episode %d window %d exceeds its period %d", i, e.Len, e.Period)
+		}
+	}
+	return nil
+}
+
+// mix64 is the splitmix64 finalizer: a high-quality 64-bit mixer used to
+// derive independent per-decision randomness from (seed, keys).
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// rand01 returns a uniform [0,1) draw that depends only on the plan seed,
+// the direction, and the transfer index.
+func (p *FaultPlan) rand01(dir Direction, index uint64) float64 {
+	h := mix64(p.Seed ^ mix64(uint64(dir)+0x51) ^ mix64(index))
+	return float64(h>>11) / (1 << 53)
+}
+
+// Rate returns the effective per-flit corruption probability for a flit of
+// direction dir transmitted at cycle now.
+func (p *FaultPlan) Rate(dir Direction, now uint64) float64 {
+	if p == nil {
+		return 0
+	}
+	r := p.CRCRate[dir]
+	for _, b := range p.Bursts {
+		if b.Dir == dir && (Episode{Start: b.Start, Len: b.Len, Period: b.Period}).activeAt(now) {
+			r += b.Rate
+		}
+	}
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// Corrupts decides deterministically whether the index-th transmission in
+// direction dir, occurring at cycle now, is corrupted on the wire.
+func (p *FaultPlan) Corrupts(dir Direction, index, now uint64) bool {
+	if p == nil {
+		return false
+	}
+	r := p.Rate(dir, now)
+	if r <= 0 {
+		return false
+	}
+	return p.rand01(dir, index) < r
+}
+
+// CorruptBit returns the bit position (within an n-byte flit) a corrupted
+// transmission flips, derived from the same deterministic stream.
+func (p *FaultPlan) CorruptBit(dir Direction, index uint64, flitBytes int) int {
+	if flitBytes <= 0 {
+		return 0
+	}
+	h := mix64(p.Seed ^ mix64(uint64(dir)+0xb7) ^ mix64(index) ^ 0xfeedface)
+	return int(h % uint64(flitBytes*8))
+}
+
+// TimeoutAt reports whether a device-timeout episode is active at now.
+func (p *FaultPlan) TimeoutAt(now uint64) bool {
+	if p == nil {
+		return false
+	}
+	for _, e := range p.Timeouts {
+		if e.activeAt(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// Penalty returns the per-hit device-timeout stall in cycles.
+func (p *FaultPlan) Penalty() uint64 {
+	if p == nil {
+		return 0
+	}
+	if p.TimeoutPenalty > 0 {
+		return p.TimeoutPenalty
+	}
+	return DefaultTimeoutPenalty
+}
+
+// ThrottledAt reports whether a DevLoad-throttle episode is active at now.
+func (p *FaultPlan) ThrottledAt(now uint64) bool {
+	if p == nil {
+		return false
+	}
+	for _, e := range p.Throttles {
+		if e.activeAt(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// Poisoned reports whether the line at address la falls in the poisoned
+// media range.
+func (p *FaultPlan) Poisoned(la uint64) bool {
+	if p == nil || p.PoisonLen == 0 {
+		return false
+	}
+	return la >= p.PoisonBase && la-p.PoisonBase < p.PoisonLen
+}
+
+// Empty reports whether the plan injects nothing (a healthy link).
+func (p *FaultPlan) Empty() bool {
+	if p == nil {
+		return true
+	}
+	return p.CRCRate[DirM2S] == 0 && p.CRCRate[DirS2M] == 0 &&
+		len(p.Bursts) == 0 && len(p.Timeouts) == 0 && len(p.Throttles) == 0 &&
+		p.PoisonLen == 0
+}
+
+// String summarizes the plan for reports and logs.
+func (p *FaultPlan) String() string {
+	if p.Empty() {
+		return "healthy"
+	}
+	var parts []string
+	parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	if p.CRCRate[DirM2S] > 0 {
+		parts = append(parts, fmt.Sprintf("crc-m2s=%g", p.CRCRate[DirM2S]))
+	}
+	if p.CRCRate[DirS2M] > 0 {
+		parts = append(parts, fmt.Sprintf("crc-s2m=%g", p.CRCRate[DirS2M]))
+	}
+	if n := len(p.Bursts); n > 0 {
+		parts = append(parts, fmt.Sprintf("bursts=%d", n))
+	}
+	if n := len(p.Timeouts); n > 0 {
+		parts = append(parts, fmt.Sprintf("timeouts=%d", n))
+	}
+	if n := len(p.Throttles); n > 0 {
+		parts = append(parts, fmt.Sprintf("throttles=%d", n))
+	}
+	if p.PoisonLen > 0 {
+		parts = append(parts, fmt.Sprintf("poison=%#x+%d", p.PoisonBase, p.PoisonLen))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseFaultPlan parses the CLI fault syntax: a comma list of knobs,
+//
+//	seed=N                 deterministic seed (default 1)
+//	crc=R                  per-flit CRC corruption rate, both directions
+//	crc-m2s=R / crc-s2m=R  per-direction rates
+//	burst=START:LEN:RATE[:PERIOD]    corruption burst window (both dirs)
+//	timeout=START:LEN[:PERIOD]       device-timeout episode
+//	timeout-penalty=N                cycles stalled per timeout hit
+//	throttle=START:LEN[:PERIOD]      DevLoad-throttle episode
+//	poison=BASE:LEN                  poisoned line-address range (bytes)
+//
+// e.g. "crc=1e-3,seed=42,burst=500000:100000:0.3:1000000".
+func ParseFaultPlan(s string) (*FaultPlan, error) {
+	p := &FaultPlan{Seed: 1}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("cxl: fault knob %q is not key=value", kv)
+		}
+		fields := strings.Split(val, ":")
+		num := func(i int) (uint64, error) {
+			v, err := strconv.ParseUint(fields[i], 0, 64)
+			if err != nil {
+				return 0, fmt.Errorf("cxl: fault knob %q field %d: %v", kv, i+1, err)
+			}
+			return v, nil
+		}
+		switch key {
+		case "seed":
+			v, err := num(0)
+			if err != nil {
+				return nil, err
+			}
+			p.Seed = v
+		case "crc", "crc-m2s", "crc-s2m":
+			r, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("cxl: fault knob %q: %v", kv, err)
+			}
+			if key != "crc-s2m" {
+				p.CRCRate[DirM2S] = r
+			}
+			if key != "crc-m2s" {
+				p.CRCRate[DirS2M] = r
+			}
+		case "burst":
+			if len(fields) < 3 || len(fields) > 4 {
+				return nil, fmt.Errorf("cxl: burst wants START:LEN:RATE[:PERIOD], got %q", val)
+			}
+			start, err := num(0)
+			if err != nil {
+				return nil, err
+			}
+			length, err := num(1)
+			if err != nil {
+				return nil, err
+			}
+			rate, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("cxl: burst rate %q: %v", fields[2], err)
+			}
+			var period uint64
+			if len(fields) == 4 {
+				if period, err = num(3); err != nil {
+					return nil, err
+				}
+			}
+			for d := Direction(0); d < dirCount; d++ {
+				p.Bursts = append(p.Bursts, Burst{Dir: d, Start: start, Len: length, Period: period, Rate: rate})
+			}
+		case "timeout", "throttle":
+			if len(fields) < 2 || len(fields) > 3 {
+				return nil, fmt.Errorf("cxl: %s wants START:LEN[:PERIOD], got %q", key, val)
+			}
+			start, err := num(0)
+			if err != nil {
+				return nil, err
+			}
+			length, err := num(1)
+			if err != nil {
+				return nil, err
+			}
+			var period uint64
+			if len(fields) == 3 {
+				if period, err = num(2); err != nil {
+					return nil, err
+				}
+			}
+			e := Episode{Start: start, Len: length, Period: period}
+			if key == "timeout" {
+				p.Timeouts = append(p.Timeouts, e)
+			} else {
+				p.Throttles = append(p.Throttles, e)
+			}
+		case "timeout-penalty":
+			v, err := num(0)
+			if err != nil {
+				return nil, err
+			}
+			p.TimeoutPenalty = v
+		case "poison":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("cxl: poison wants BASE:LEN, got %q", val)
+			}
+			base, err := num(0)
+			if err != nil {
+				return nil, err
+			}
+			length, err := num(1)
+			if err != nil {
+				return nil, err
+			}
+			p.PoisonBase, p.PoisonLen = base, length
+		default:
+			return nil, fmt.Errorf("cxl: unknown fault knob %q (want seed, crc, crc-m2s, crc-s2m, burst, timeout, timeout-penalty, throttle, poison)", key)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,173 @@
+package cxl
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFaultPlanEmpty(t *testing.T) {
+	var nilPlan *FaultPlan
+	if nilPlan.Corrupts(DirM2S, 0, 0) || nilPlan.TimeoutAt(0) || nilPlan.ThrottledAt(0) || nilPlan.Poisoned(0) {
+		t.Fatal("nil plan injected a fault")
+	}
+	if !nilPlan.Empty() || !(&FaultPlan{Seed: 7}).Empty() {
+		t.Fatal("empty plan not reported empty")
+	}
+	if p := (&FaultPlan{CRCRate: [dirCount]float64{1e-3, 0}}); p.Empty() {
+		t.Fatal("plan with faults reported empty")
+	}
+}
+
+func TestFaultPlanDeterminism(t *testing.T) {
+	p := &FaultPlan{Seed: 42, CRCRate: [dirCount]float64{0.1, 0.1}}
+	q := &FaultPlan{Seed: 42, CRCRate: [dirCount]float64{0.1, 0.1}}
+	for i := uint64(0); i < 1000; i++ {
+		if p.Corrupts(DirM2S, i, i) != q.Corrupts(DirM2S, i, i) {
+			t.Fatalf("draw %d diverged between identical plans", i)
+		}
+	}
+	r := &FaultPlan{Seed: 43, CRCRate: [dirCount]float64{0.1, 0.1}}
+	same := 0
+	for i := uint64(0); i < 1000; i++ {
+		if p.Corrupts(DirS2M, i, 0) == r.Corrupts(DirS2M, i, 0) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("different seeds produced identical corruption streams")
+	}
+}
+
+func TestFaultPlanRateEmpirical(t *testing.T) {
+	p := &FaultPlan{Seed: 9, CRCRate: [dirCount]float64{0.1, 0.02}}
+	const n = 200000
+	hits := [dirCount]int{}
+	for i := uint64(0); i < n; i++ {
+		for d := Direction(0); d < dirCount; d++ {
+			if p.Corrupts(d, i, 0) {
+				hits[d]++
+			}
+		}
+	}
+	for d, want := range []float64{0.1, 0.02} {
+		got := float64(hits[d]) / n
+		if math.Abs(got-want) > want*0.15 {
+			t.Errorf("%v empirical rate %.4f, want ~%.4f", Direction(d), got, want)
+		}
+	}
+}
+
+func TestFaultPlanBurst(t *testing.T) {
+	p := &FaultPlan{
+		Seed:   1,
+		Bursts: []Burst{{Dir: DirS2M, Start: 100, Len: 50, Period: 200, Rate: 1.0}},
+	}
+	cases := []struct {
+		now  uint64
+		want float64
+	}{
+		{0, 0}, {99, 0}, {100, 1}, {149, 1}, {150, 0},
+		{300, 1}, {349, 1}, {350, 0}, {500, 1},
+	}
+	for _, c := range cases {
+		if got := p.Rate(DirS2M, c.now); got != c.want {
+			t.Errorf("rate at %d: got %g want %g", c.now, got, c.want)
+		}
+		if got := p.Rate(DirM2S, c.now); got != 0 {
+			t.Errorf("M2S rate at %d leaked from S2M burst: %g", c.now, got)
+		}
+	}
+	// Burst rates stack with the base rate but clamp at 1.
+	p.CRCRate[DirS2M] = 0.5
+	if got := p.Rate(DirS2M, 120); got != 1 {
+		t.Errorf("stacked rate %g, want clamp to 1", got)
+	}
+}
+
+func TestEpisodeWindows(t *testing.T) {
+	p := &FaultPlan{
+		Timeouts:  []Episode{{Start: 10, Len: 5}},
+		Throttles: []Episode{{Start: 0, Len: 2, Period: 10}},
+	}
+	if p.TimeoutAt(9) || !p.TimeoutAt(10) || !p.TimeoutAt(14) || p.TimeoutAt(15) {
+		t.Fatal("one-shot timeout window wrong")
+	}
+	for _, now := range []uint64{0, 1, 10, 11, 100, 101} {
+		if !p.ThrottledAt(now) {
+			t.Errorf("throttle inactive at %d", now)
+		}
+	}
+	for _, now := range []uint64{2, 9, 12, 109} {
+		if p.ThrottledAt(now) {
+			t.Errorf("throttle active at %d", now)
+		}
+	}
+	if p.Penalty() != DefaultTimeoutPenalty {
+		t.Fatalf("default penalty %d", p.Penalty())
+	}
+	p.TimeoutPenalty = 123
+	if p.Penalty() != 123 {
+		t.Fatalf("explicit penalty %d", p.Penalty())
+	}
+}
+
+func TestFaultPlanPoison(t *testing.T) {
+	p := &FaultPlan{PoisonBase: 0x1000, PoisonLen: 0x100}
+	if p.Poisoned(0xfff) || !p.Poisoned(0x1000) || !p.Poisoned(0x10ff) || p.Poisoned(0x1100) {
+		t.Fatal("poison range wrong")
+	}
+}
+
+func TestParseFaultPlan(t *testing.T) {
+	p, err := ParseFaultPlan("seed=42,crc=1e-3,burst=500:100:0.3:1000,timeout=0:10,timeout-penalty=2000,throttle=5:5:20,poison=0x1000:256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || p.CRCRate[DirM2S] != 1e-3 || p.CRCRate[DirS2M] != 1e-3 {
+		t.Fatalf("parsed %+v", p)
+	}
+	if len(p.Bursts) != 2 || p.Bursts[0].Period != 1000 || p.Bursts[1].Rate != 0.3 {
+		t.Fatalf("bursts %+v", p.Bursts)
+	}
+	if len(p.Timeouts) != 1 || p.TimeoutPenalty != 2000 || len(p.Throttles) != 1 {
+		t.Fatalf("episodes %+v", p)
+	}
+	if p.PoisonBase != 0x1000 || p.PoisonLen != 256 {
+		t.Fatalf("poison %+v", p)
+	}
+	if s := p.String(); !strings.Contains(s, "seed=42") {
+		t.Fatalf("String() = %q", s)
+	}
+
+	// Direction-specific rates.
+	p, err = ParseFaultPlan("crc-s2m=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CRCRate[DirM2S] != 0 || p.CRCRate[DirS2M] != 0.01 {
+		t.Fatalf("directional rates %+v", p.CRCRate)
+	}
+
+	for _, bad := range []string{
+		"nonsense",
+		"frob=1",
+		"crc=maybe",
+		"crc=2.0",
+		"burst=1:2",
+		"burst=1:2:rate",
+		"timeout=5",
+		"poison=1",
+		"burst=0:200:0.5:100", // window longer than period
+	} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Errorf("ParseFaultPlan(%q) accepted", bad)
+		}
+	}
+
+	// Empty string parses to a healthy plan.
+	p, err = ParseFaultPlan("")
+	if err != nil || !p.Empty() {
+		t.Fatalf("empty spec: plan=%v err=%v", p, err)
+	}
+}

@@ -188,8 +188,17 @@ func (u *ModeUnpacker) Feed(f []byte) error {
 			copy(data, f[g.header+i*64:g.header+(i+1)*64])
 			u.out[idx].Data = data
 		}
-		// Slack header slots of 256B data flits.
+		// Slack header slots of 256B data flits.  68B data flits have no
+		// slack (f[3] is covered by no CRC there), and even in 256B mode a
+		// corrupted count must not index past the CRC area.
 		if h := int(f[3]); h > 0 {
+			maxSlack := (g.size - g.crc - g.header - g.dataPerFlit*64) / slotSize
+			if maxSlack < 0 {
+				maxSlack = 0
+			}
+			if h > maxSlack {
+				return fmt.Errorf("cxl: data flit claims %d slack slots (max %d)", h, maxSlack)
+			}
 			want := binary.LittleEndian.Uint16(f[g.size-g.crc:])
 			if crc16(f[:g.size-g.crc]) != want {
 				return ErrBadCRC

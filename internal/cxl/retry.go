@@ -1,0 +1,256 @@
+package cxl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Link-layer retry (the CXL LRSM, abstracted): every transmitted flit is
+// held in a bounded retry buffer until the far side acknowledges it.  The
+// receiver accepts flits strictly in sequence order; a CRC-bad or
+// out-of-order flit triggers a single Nak carrying the next expected
+// sequence number, which rewinds the sender to that flit (go-back-N
+// replay).  Acks are cumulative.  The control channel (Ack/Nak) is modeled
+// as reliable but delayed — on real hardware it rides protected flit
+// headers — and a sender-side timeout re-arms replay if a Nak'd
+// retransmission is itself corrupted.
+//
+// Time advances in link slots (one flit transmission per slot), so replay
+// cost is visible as extra occupied slots: exactly the quantity the
+// simulator charges to the FlexBus byte server.
+
+// Retry-link defaults.
+const (
+	DefaultRetryBufEntries = 32 // flits held awaiting ack
+	DefaultAckDelay        = 2  // slots from reception to ack arrival
+	DefaultMaxAttempts     = 64 // transmissions per flit before giving up
+)
+
+// ErrLinkDown is returned when a flit exhausts its transmission attempts —
+// the point where real hardware would escalate to link retraining.
+var ErrLinkDown = errors.New("cxl: link retry attempts exhausted")
+
+// LinkStats counts link-layer activity; these feed the unc_cxlcm_link PMU
+// events in the simulator.
+type LinkStats struct {
+	FlitsSent      uint64 // transmissions, including replays
+	FlitsDelivered uint64 // flits accepted in order by the receiver
+	CRCErrors      uint64 // flits arriving with a bad wire CRC
+	Retries        uint64 // replay rewinds (Naks plus timeouts)
+	ReplayFlits    uint64 // retransmitted flits
+	ReplayBytes    uint64 // wire bytes spent on retransmissions
+	Timeouts       uint64 // sender-side replay timeouts
+	Slots          uint64 // link slots consumed end to end
+	MaxRetryBuf    int    // peak retry-buffer occupancy
+}
+
+// ctrlMsg is an Ack or Nak in flight on the (reliable) control channel.
+// n is the receiver's next expected absolute flit index; both kinds
+// cumulatively acknowledge everything below n.
+type ctrlMsg struct {
+	due uint64
+	nak bool
+	n   uint64
+}
+
+// bufEntry is one flit parked in the retry buffer.
+type bufEntry struct {
+	flit     []byte
+	wireCRC  uint16 // physical-layer CRC computed at capture
+	sent     bool
+	attempts int
+}
+
+// Link is a simplex retry link: messages go in via Send, survive a faulty
+// wire via Ack/Nak replay, and come out of Flush exactly once, in order.
+type Link struct {
+	Mode Mode       // flit format
+	Dir  Direction  // direction key into the fault plan
+	Plan *FaultPlan // nil = healthy wire
+
+	RetryBufEntries int    // 0 = DefaultRetryBufEntries (max 128)
+	AckDelay        uint64 // 0 = DefaultAckDelay
+	MaxAttempts     int    // 0 = DefaultMaxAttempts
+
+	packer   ModePacker
+	unpacker ModeUnpacker
+
+	buf        []bufEntry
+	sendBase   uint64 // absolute index of buf[0]
+	cursor     uint64 // next absolute index to transmit
+	txCount    uint64 // total transmissions (fault-plan draw index)
+	rxExpected uint64 // receiver's next expected absolute index
+	awaitNak   bool   // a Nak for the current gap is outstanding
+	ctrl       []ctrlMsg
+	now        uint64
+	progressAt uint64
+	stats      LinkStats
+	inited     bool
+}
+
+func (l *Link) init() {
+	if l.inited {
+		return
+	}
+	if l.RetryBufEntries <= 0 {
+		l.RetryBufEntries = DefaultRetryBufEntries
+	}
+	if l.RetryBufEntries > 128 {
+		// The 8-bit wire sequence number disambiguates windows < 256; halve
+		// it so ack-vs-replay ambiguity is impossible even mid-rewind.
+		l.RetryBufEntries = 128
+	}
+	if l.AckDelay == 0 {
+		l.AckDelay = DefaultAckDelay
+	}
+	if l.MaxAttempts <= 0 {
+		l.MaxAttempts = DefaultMaxAttempts
+	}
+	l.packer.Mode = l.Mode
+	l.inited = true
+}
+
+// Send queues messages for transmission.
+func (l *Link) Send(ms ...Message) error {
+	l.init()
+	for _, m := range ms {
+		if err := l.packer.Push(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// advance cumulatively acknowledges every flit below n.
+func (l *Link) advance(n uint64) {
+	for l.sendBase < n && len(l.buf) > 0 {
+		l.buf = l.buf[1:]
+		l.sendBase++
+	}
+	if l.cursor < l.sendBase {
+		l.cursor = l.sendBase
+	}
+}
+
+// timeoutWindow is how many slots without receiver progress the sender
+// tolerates before rewinding to the oldest unacked flit.
+func (l *Link) timeoutWindow() uint64 {
+	return 2*l.AckDelay + uint64(l.RetryBufEntries) + 4
+}
+
+// step advances the link by one slot.
+func (l *Link) step() error {
+	l.now++
+	l.stats.Slots++
+
+	// Deliver due control messages (FIFO; the channel is in-order).
+	for len(l.ctrl) > 0 && l.ctrl[0].due <= l.now {
+		c := l.ctrl[0]
+		l.ctrl = l.ctrl[1:]
+		l.advance(c.n)
+		if c.nak {
+			l.cursor = c.n
+			l.stats.Retries++
+		}
+		l.progressAt = l.now
+	}
+
+	// Pull a fresh flit into the retry buffer when the cursor has caught up
+	// and the window has room.
+	if l.cursor == l.sendBase+uint64(len(l.buf)) && len(l.buf) < l.RetryBufEntries {
+		if f, ok := l.packer.Next(); ok {
+			l.buf = append(l.buf, bufEntry{flit: f, wireCRC: crc16(f)})
+			if len(l.buf) > l.stats.MaxRetryBuf {
+				l.stats.MaxRetryBuf = len(l.buf)
+			}
+		}
+	}
+
+	// Transmit one flit per slot.
+	if l.cursor < l.sendBase+uint64(len(l.buf)) {
+		e := &l.buf[l.cursor-l.sendBase]
+		e.attempts++
+		if e.attempts > l.MaxAttempts {
+			return fmt.Errorf("%w: flit %d corrupted %d times", ErrLinkDown, l.cursor, e.attempts-1)
+		}
+		if e.sent {
+			l.stats.ReplayFlits++
+			l.stats.ReplayBytes += uint64(len(e.flit))
+		}
+		e.sent = true
+		l.stats.FlitsSent++
+		wire := e.flit
+		if l.Plan.Corrupts(l.Dir, l.txCount, l.now) {
+			wire = append([]byte(nil), e.flit...)
+			bit := l.Plan.CorruptBit(l.Dir, l.txCount, len(wire))
+			wire[bit/8] ^= 1 << (bit % 8)
+		}
+		l.txCount++
+		if err := l.receive(wire, e.wireCRC, l.cursor); err != nil {
+			return err
+		}
+		l.cursor++
+	} else if len(l.buf) > 0 && l.now-l.progressAt > l.timeoutWindow() {
+		// Window stalled with unacked flits: the Nak'd replay itself was
+		// lost.  Rewind and replay from the oldest unacked flit.
+		l.cursor = l.sendBase
+		l.stats.Timeouts++
+		l.stats.Retries++
+		l.progressAt = l.now
+	}
+	return nil
+}
+
+// receive models the far side accepting one wire flit.
+func (l *Link) receive(wire []byte, wireCRC uint16, absIdx uint64) error {
+	if crc16(wire) != wireCRC {
+		l.stats.CRCErrors++
+		l.nakOnce()
+		return nil
+	}
+	if absIdx != l.rxExpected || wire[1] != byte(l.rxExpected) {
+		// In-window replay overshoot (flits after a corrupted one) — or a
+		// stale retransmission after the gap already closed.  Discard.
+		if absIdx > l.rxExpected {
+			l.nakOnce()
+		}
+		return nil
+	}
+	if err := l.unpacker.Feed(wire); err != nil {
+		// A CRC-clean flit that fails structural decode means the sender is
+		// broken, not the wire; surface it.
+		return err
+	}
+	l.rxExpected++
+	l.awaitNak = false
+	l.stats.FlitsDelivered++
+	l.ctrl = append(l.ctrl, ctrlMsg{due: l.now + l.AckDelay, n: l.rxExpected})
+	l.progressAt = l.now
+	return nil
+}
+
+// nakOnce requests replay from the next expected flit, once per gap.
+func (l *Link) nakOnce() {
+	if l.awaitNak {
+		return
+	}
+	l.awaitNak = true
+	l.ctrl = append(l.ctrl, ctrlMsg{due: l.now + l.AckDelay, nak: true, n: l.rxExpected})
+}
+
+// Flush drives the link until every queued message is delivered and acked,
+// returning the messages the receiver reassembled since the last Flush.
+// It fails with ErrLinkDown if any flit exhausts its attempts (e.g. a
+// fault plan with corruption rate 1).
+func (l *Link) Flush() ([]Message, error) {
+	l.init()
+	for l.packer.Pending() > 0 || len(l.buf) > 0 || len(l.ctrl) > 0 {
+		if err := l.step(); err != nil {
+			return nil, err
+		}
+	}
+	return l.unpacker.Drain(), nil
+}
+
+// Stats returns a snapshot of link activity counters.
+func (l *Link) Stats() LinkStats { return l.stats }

@@ -1,0 +1,227 @@
+package cxl
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomMessages builds n valid messages with deterministic pseudo-random
+// fields, mixing payload and header-only opcodes.
+func randomMessages(seed int64, n int) []Message {
+	rng := rand.New(rand.NewSource(seed))
+	ops := []Opcode{MemRd, MemWr, MemInv, MemData, Cmp, MemRdData}
+	ms := make([]Message, n)
+	for i := range ms {
+		op := ops[rng.Intn(len(ops))]
+		m := Message{
+			Op:   op,
+			Tag:  uint16(rng.Intn(1 << 16)),
+			Meta: MetaValue(rng.Intn(int(metaCount))),
+			Snp:  SnpType(rng.Intn(int(snpCount))),
+			LDID: uint8(rng.Intn(16)),
+		}
+		if op.IsM2S() {
+			m.Addr = uint64(rng.Int63n(maxAddr>>6)) << 6
+		}
+		if op.HasData() {
+			m.Data = make([]byte, 64)
+			rng.Read(m.Data)
+		}
+		ms[i] = m
+	}
+	return ms
+}
+
+// sameMessage compares all wire-carried fields including the payload.
+func sameMessage(a, b Message) bool {
+	return a.Op == b.Op && a.Addr == b.Addr && a.Tag == b.Tag &&
+		a.Meta == b.Meta && a.Snp == b.Snp && a.LDID == b.LDID &&
+		bytes.Equal(a.Data, b.Data)
+}
+
+func TestLinkHealthy(t *testing.T) {
+	for _, mode := range []Mode{Mode68, Mode256} {
+		l := &Link{Mode: mode}
+		sent := randomMessages(1, 100)
+		if err := l.Send(sent...); err != nil {
+			t.Fatal(err)
+		}
+		got, err := l.Flush()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(sent) {
+			t.Fatalf("%v: delivered %d of %d", mode, len(got), len(sent))
+		}
+		for i := range sent {
+			if !sameMessage(got[i], sent[i]) {
+				t.Fatalf("%v: message %d: got %+v want %+v", mode, i, got[i], sent[i])
+			}
+		}
+		st := l.Stats()
+		if st.CRCErrors != 0 || st.Retries != 0 || st.ReplayBytes != 0 {
+			t.Fatalf("%v: healthy link reported faults: %+v", mode, st)
+		}
+		if st.FlitsSent == 0 || st.FlitsDelivered != st.FlitsSent {
+			t.Fatalf("%v: flit accounting: %+v", mode, st)
+		}
+	}
+}
+
+// The tentpole property: under arbitrary fault plans the link delivers
+// every message exactly once, in order — no loss, no duplication — while
+// actually exercising the replay machinery.
+func TestLinkNoLossNoDuplication(t *testing.T) {
+	rates := []float64{0.005, 0.05, 0.2}
+	var sawRetries, sawCRC bool
+	for trial := 0; trial < 12; trial++ {
+		rate := rates[trial%len(rates)]
+		mode := Mode68
+		if trial%2 == 1 {
+			mode = Mode256
+		}
+		plan := &FaultPlan{Seed: uint64(1000 + trial)}
+		plan.CRCRate[DirM2S] = rate
+		plan.CRCRate[DirS2M] = rate
+		l := &Link{Mode: mode, Dir: DirS2M, Plan: plan, RetryBufEntries: 8, AckDelay: 3}
+		sent := randomMessages(int64(trial), 200)
+
+		// Interleave sends and flushes to exercise partial drains.
+		var got []Message
+		for i := 0; i < len(sent); i += 50 {
+			if err := l.Send(sent[i : i+50]...); err != nil {
+				t.Fatal(err)
+			}
+			part, err := l.Flush()
+			if err != nil {
+				t.Fatalf("trial %d (%v rate %g): %v", trial, mode, rate, err)
+			}
+			got = append(got, part...)
+		}
+
+		if len(got) != len(sent) {
+			t.Fatalf("trial %d (%v rate %g): delivered %d of %d messages",
+				trial, mode, rate, len(got), len(sent))
+		}
+		for i := range sent {
+			if !sameMessage(got[i], sent[i]) {
+				t.Fatalf("trial %d: message %d corrupted or reordered:\n got %+v\nwant %+v",
+					trial, i, got[i], sent[i])
+			}
+		}
+		st := l.Stats()
+		if st.CRCErrors > 0 {
+			sawCRC = true
+		}
+		if st.Retries > 0 {
+			sawRetries = true
+			if st.ReplayBytes == 0 && st.Timeouts == 0 {
+				t.Fatalf("trial %d: retries without replay bytes: %+v", trial, st)
+			}
+		}
+	}
+	if !sawCRC || !sawRetries {
+		t.Fatalf("fault plans never exercised the retry path (crc=%v retries=%v)", sawCRC, sawRetries)
+	}
+}
+
+func TestLinkDeterminism(t *testing.T) {
+	run := func() LinkStats {
+		plan := &FaultPlan{Seed: 77}
+		plan.CRCRate[DirM2S] = 0.1
+		l := &Link{Mode: Mode68, Dir: DirM2S, Plan: plan}
+		if err := l.Send(randomMessages(5, 300)...); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return l.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed produced different stats:\n%+v\n%+v", a, b)
+	}
+	if a.CRCErrors == 0 || a.Retries == 0 {
+		t.Fatalf("expected faults at rate 0.1: %+v", a)
+	}
+}
+
+func TestLinkDown(t *testing.T) {
+	plan := &FaultPlan{Seed: 3}
+	plan.CRCRate[DirM2S] = 1.0
+	l := &Link{Mode: Mode68, Dir: DirM2S, Plan: plan, MaxAttempts: 8}
+	if err := l.Send(NewRead(0x1000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Flush(); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("total corruption: got %v, want ErrLinkDown", err)
+	}
+}
+
+func TestLinkBurstRecovers(t *testing.T) {
+	// Total corruption for the first 40 slots, clean afterwards: the link
+	// must stall through the burst and then deliver everything.
+	plan := &FaultPlan{
+		Seed:   11,
+		Bursts: []Burst{{Dir: DirM2S, Start: 0, Len: 40, Rate: 1.0}},
+	}
+	l := &Link{Mode: Mode68, Dir: DirM2S, Plan: plan, RetryBufEntries: 4}
+	sent := randomMessages(9, 50)
+	if err := l.Send(sent...); err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sent) {
+		t.Fatalf("delivered %d of %d through the burst", len(got), len(sent))
+	}
+	st := l.Stats()
+	if st.CRCErrors == 0 || st.Retries == 0 {
+		t.Fatalf("burst left no trace: %+v", st)
+	}
+	if st.MaxRetryBuf == 0 || st.MaxRetryBuf > 4 {
+		t.Fatalf("retry buffer occupancy %d, want 1..4", st.MaxRetryBuf)
+	}
+}
+
+func TestLinkStatsConservation(t *testing.T) {
+	plan := &FaultPlan{Seed: 21}
+	plan.CRCRate[DirS2M] = 0.05
+	l := &Link{Mode: Mode68, Dir: DirS2M, Plan: plan}
+	if err := l.Send(randomMessages(2, 400)...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	// Every transmission is either delivered in order, corrupted, or a
+	// discarded out-of-order flit; replays are a subset of transmissions.
+	if st.FlitsSent < st.FlitsDelivered+st.CRCErrors {
+		t.Fatalf("conservation violated: %+v", st)
+	}
+	if st.ReplayFlits >= st.FlitsSent {
+		t.Fatalf("more replays than transmissions: %+v", st)
+	}
+	if st.ReplayBytes != st.ReplayFlits*FlitSize {
+		t.Fatalf("replay byte accounting: %+v", st)
+	}
+}
+
+func ExampleLink() {
+	plan, _ := ParseFaultPlan("seed=42,crc=0.5")
+	l := &Link{Mode: Mode68, Dir: DirS2M, Plan: plan}
+	data := make([]byte, 64)
+	_ = l.Send(NewRead(0x40, 1), NewDataResponse(1, data), NewCompletion(2))
+	ms, _ := l.Flush()
+	st := l.Stats()
+	fmt.Printf("delivered %d messages, %d crc errors, %d retries\n",
+		len(ms), st.CRCErrors, st.Retries)
+	// Output: delivered 3 messages, 3 crc errors, 2 retries
+}

@@ -381,3 +381,63 @@ func TestPoolShape(t *testing.T) {
 		t.Fatalf("dev0 stall share = %v, want ~0.5", s)
 	}
 }
+
+func TestFaultsShape(t *testing.T) {
+	r := RunFaults(sim.SPR(), true)
+	if len(r.Rates) != len(r.Culprits) || len(r.Rates) != len(r.Sweep.X) {
+		t.Fatalf("ragged sweep: %d rates, %d culprits, %d points",
+			len(r.Rates), len(r.Culprits), len(r.Sweep.X))
+	}
+	for i, rate := range r.Rates {
+		crc := r.At(i, faultColCRCErrors)
+		retries := r.At(i, faultColRetries)
+		if rate == 0 {
+			if crc != 0 || retries != 0 {
+				t.Errorf("healthy link counted %v CRC errors, %v retries", crc, retries)
+			}
+			continue
+		}
+		if crc == 0 || retries == 0 {
+			t.Errorf("rate %v injected nothing (crc=%v retries=%v)", rate, crc, retries)
+		}
+		if r.At(i, faultColReplayKiB) == 0 {
+			t.Errorf("rate %v replayed no bytes", rate)
+		}
+	}
+	// Fault-domain localization: media-bound when healthy, link-bound once
+	// the CRC rate reaches 1e-3.
+	if r.Culprits[0] != "CXL DIMM" {
+		t.Errorf("healthy culprit = %q, want CXL DIMM", r.Culprits[0])
+	}
+	for i, rate := range r.Rates {
+		if rate >= 1e-3 && r.Culprits[i] != "FlexBus+MC" {
+			t.Errorf("culprit at rate %v = %q, want FlexBus+MC", rate, r.Culprits[i])
+		}
+	}
+	// Dev-timeout episodes only fire at the top rate.
+	if n := len(r.Rates) - 1; r.At(n, faultColTimeouts) == 0 {
+		t.Errorf("no device timeouts at rate %v", r.Rates[n])
+	}
+	if d := r.ThroughputDrop(); d <= 0.05 {
+		t.Errorf("throughput drop = %.3f, want noticeable loss", d)
+	}
+}
+
+func TestFaultsDeterministic(t *testing.T) {
+	a := RunFaults(sim.SPR(), true)
+	b := RunFaults(sim.SPR(), true)
+	for col := range a.Sweep.Names {
+		for i := range a.Sweep.X {
+			if a.Sweep.Y[col][i] != b.Sweep.Y[col][i] {
+				t.Fatalf("%s at rate %v differs across runs: %v vs %v",
+					a.Sweep.Names[col], a.Rates[i], a.Sweep.Y[col][i], b.Sweep.Y[col][i])
+			}
+		}
+	}
+	for i := range a.Culprits {
+		if a.Culprits[i] != b.Culprits[i] {
+			t.Fatalf("culprit at rate %v differs: %q vs %q",
+				a.Rates[i], a.Culprits[i], b.Culprits[i])
+		}
+	}
+}

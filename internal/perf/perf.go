@@ -62,12 +62,23 @@ var slotLimits = map[pmu.Unit]int{
 	pmu.UnitCXL:    8,
 }
 
+// CounterBits is the hardware width of the modeled PMU counters: like the
+// fixed and general-purpose counters on the modeled parts, they hold 48
+// bits and wrap.  The session reads masked values and unwraps them into
+// full-width running totals, the way perf accumulates the raw MSR.
+const CounterBits = 48
+
+// counterMask keeps the low CounterBits of a raw counter value.
+const counterMask = 1<<CounterBits - 1
+
 // counter is one resolved (bank, event) pair of a session.
 type counter struct {
 	spec  int // index into Session.specs
 	bank  *pmu.Bank
 	event pmu.Event
-	last  uint64
+	last  uint64 // masked raw value at the previous sync
+	total uint64 // unwrapped count accumulated since Open
+	prev  uint64 // total at the previous ReadDelta
 }
 
 // Session is an open set of event counters over a machine.
@@ -84,19 +95,46 @@ type Session struct {
 // spec must match at least one bank and name a cataloged event whose unit
 // matches the bank.
 func Open(m *sim.Machine, specs ...string) (*Session, error) {
+	s, _, err := open(m, false, specs)
+	return s, err
+}
+
+// OpenLenient resolves event specs like Open but degrades gracefully: a
+// spec naming an unknown event or matching no bank is skipped with a
+// warning instead of failing the session, the way perf keeps going when an
+// event is absent on the running kernel.  Skipped specs keep their index
+// and read as zero.  Malformed spec syntax is still an error, as is a
+// session in which every spec was skipped.
+func OpenLenient(m *sim.Machine, specs ...string) (*Session, []string, error) {
+	return open(m, true, specs)
+}
+
+func open(m *sim.Machine, lenient bool, specs []string) (*Session, []string, error) {
 	s := &Session{m: m, groupsPerBank: make(map[string]int)}
 	perBank := make(map[string]int)
+	var warnings []string
+	skip := func(format string, args ...any) error {
+		if !lenient {
+			return fmt.Errorf(format, args...)
+		}
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+		return nil
+	}
+	opened := 0
 	for _, raw := range specs {
 		sp, err := ParseSpec(raw)
 		if err != nil {
-			return nil, err
-		}
-		ev, ok := pmu.Default.Lookup(sp.Event)
-		if !ok {
-			return nil, fmt.Errorf("perf: unknown event %q", sp.Event)
+			return nil, warnings, err
 		}
 		idx := len(s.specs)
 		s.specs = append(s.specs, sp)
+		ev, ok := pmu.Default.Lookup(sp.Event)
+		if !ok {
+			if err := skip("perf: unknown event %q (skipped)", sp.Event); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
 		matched := 0
 		for _, b := range m.Banks() {
 			if !matchPattern(sp.Pattern, b.Name()) {
@@ -110,8 +148,15 @@ func Open(m *sim.Machine, specs ...string) (*Session, error) {
 			matched++
 		}
 		if matched == 0 {
-			return nil, fmt.Errorf("perf: spec %q matched no PMU bank", raw)
+			if err := skip("perf: spec %q matched no PMU bank (skipped)", raw); err != nil {
+				return nil, nil, err
+			}
+			continue
 		}
+		opened++
+	}
+	if len(specs) > 0 && opened == 0 {
+		return nil, warnings, fmt.Errorf("perf: no spec could be opened (%d skipped)", len(specs))
 	}
 	for name, n := range perBank {
 		unit := unitOfBank(name)
@@ -122,7 +167,7 @@ func Open(m *sim.Machine, specs ...string) (*Session, error) {
 		}
 		s.groupsPerBank[name] = groups
 	}
-	return s, nil
+	return s, warnings, nil
 }
 
 // unitOfBank infers the PMU unit from a bank instance name.
@@ -170,28 +215,45 @@ func (s *Session) MaxGroups() int {
 	return m
 }
 
-// Read returns the current totals per spec, aggregated across all banks the
-// spec matched.  It synchronizes the machine's trackers first.
-func (s *Session) Read() []uint64 {
+// syncCounters folds each counter's masked hardware value into its
+// unwrapped running total: the delta since the previous observation is
+// computed modulo the counter width, so a counter that wrapped between
+// reads contributes the true increment rather than a huge negative-as-
+// unsigned jump.  Like real hardware, an increment of 2^48 or more between
+// observations is undetectable.
+func (s *Session) syncCounters() {
 	s.m.Sync()
+	for i := range s.counters {
+		c := &s.counters[i]
+		raw := c.bank.Read(c.event) & counterMask
+		c.total += (raw - c.last) & counterMask
+		c.last = raw
+	}
+}
+
+// Read returns the unwrapped running totals per spec, aggregated across
+// all banks the spec matched.  It synchronizes the machine's trackers
+// first.
+func (s *Session) Read() []uint64 {
+	s.syncCounters()
 	out := make([]uint64, len(s.specs))
 	for i := range s.counters {
 		c := &s.counters[i]
-		out[c.spec] += c.bank.Read(c.event)
+		out[c.spec] += c.total
 	}
 	return out
 }
 
 // ReadDelta returns per-spec deltas since the previous ReadDelta (or since
-// Open), aggregated across matching banks.
+// Open), aggregated across matching banks.  Counter wraparound between
+// calls is handled by the width-masked unwrapping in syncCounters.
 func (s *Session) ReadDelta() []uint64 {
-	s.m.Sync()
+	s.syncCounters()
 	out := make([]uint64, len(s.specs))
 	for i := range s.counters {
 		c := &s.counters[i]
-		v := c.bank.Read(c.event)
-		out[c.spec] += v - c.last
-		c.last = v
+		out[c.spec] += c.total - c.prev
+		c.prev = c.total
 	}
 	return out
 }

@@ -1,0 +1,103 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+
+	"pathfinder/internal/pmu"
+)
+
+// TestReadDeltaWraparound forces a 48-bit counter wrap between reads: the
+// session must report the true increment, not the huge unsigned-underflow
+// value a full-width subtraction would produce.
+func TestReadDeltaWraparound(t *testing.T) {
+	m, _ := testMachine(t, 0)
+	s, err := Open(m, "core0/inst_retired.any/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, _ := pmu.Default.Lookup("inst_retired.any")
+	bank := m.Bank("core0")
+
+	// Age the counter to just below the wrap point, as if the session had
+	// attached to a long-running machine.
+	bank.Add(ev, counterMask-99) // masked value: 2^48 - 100
+	if d := s.ReadDelta()[0]; d != counterMask-99 {
+		t.Fatalf("pre-wrap delta = %d", d)
+	}
+
+	// 300 more events carry the masked value across the wrap boundary.
+	bank.Add(ev, 300)
+	if d := s.ReadDelta()[0]; d != 300 {
+		t.Fatalf("delta across wrap = %d, want 300", d)
+	}
+
+	// Totals keep accumulating past the hardware width.
+	bank.Add(ev, 50)
+	want := uint64(counterMask) - 99 + 300 + 50
+	if got := s.Read()[0]; got != want {
+		t.Fatalf("unwrapped total = %d, want %d", got, want)
+	}
+	if d := s.ReadDelta()[0]; d != 50 {
+		t.Fatalf("post-wrap delta = %d, want 50", d)
+	}
+
+	// A second wrap in the same session unwraps too.
+	bank.Add(ev, counterMask+1) // exactly one full period: masked value unchanged...
+	if d := s.ReadDelta()[0]; d != 0 {
+		// ...which is the documented blind spot: a full-period increment
+		// between observations is invisible, like real hardware.
+		t.Fatalf("full-period increment visible as %d", d)
+	}
+	bank.Add(ev, 7)
+	if d := s.ReadDelta()[0]; d != 7 {
+		t.Fatalf("second-wrap delta = %d, want 7", d)
+	}
+}
+
+func TestOpenLenient(t *testing.T) {
+	m, r := testMachine(t, 0)
+
+	s, warns, err := OpenLenient(m,
+		"core0/mem_inst_retired.all_loads/",
+		"core0/not_a_real_event/",   // unknown event: skipped
+		"core9/inst_retired.any/",   // unmatched bank: skipped
+		"core0/unc_cha_clockticks/", // wrong unit for bank: skipped
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 3 {
+		t.Fatalf("got %d warnings, want 3: %v", len(warns), warns)
+	}
+	for _, w := range warns {
+		if !strings.Contains(w, "skipped") {
+			t.Fatalf("warning %q does not say skipped", w)
+		}
+	}
+	if len(s.Specs()) != 4 {
+		t.Fatalf("skipped specs lost their slots: %d specs", len(s.Specs()))
+	}
+
+	m.Attach(0, &opList{ops: loads(r.Base, 500)})
+	m.Run(1_000_000)
+	vals := s.Read()
+	if vals[0] != 500 {
+		t.Fatalf("opened spec read %d, want 500", vals[0])
+	}
+	for i := 1; i < 4; i++ {
+		if vals[i] != 0 {
+			t.Fatalf("skipped spec %d read %d, want 0", i, vals[i])
+		}
+	}
+
+	// Malformed syntax still fails loudly.
+	if _, _, err := OpenLenient(m, "garbage"); err == nil {
+		t.Fatal("malformed spec accepted leniently")
+	}
+	// A session with nothing openable fails rather than silently measuring
+	// nothing.
+	if _, _, err := OpenLenient(m, "core0/bogus_a/", "core0/bogus_b/"); err == nil {
+		t.Fatal("all-skipped session accepted")
+	}
+}

@@ -519,4 +519,25 @@ var (
 	CXLQoS = regFamily("unc_cxlcm_qos", UnitCXL, PerDevice, KindCycles,
 		[]string{"light", "optimal", "moderate", "severe"},
 		"Cycles the device reported the given DevLoad class")
+
+	// Link-layer reliability counters: CRC detection, LRSM replay activity,
+	// and the retry buffer holding unacknowledged flits.  These make a
+	// degraded FlexBus link observable the same way queue counters make
+	// congestion observable.
+	CXLLinkCRCErrors = reg("unc_cxlcm_link.crc_errors", UnitCXL, PerDevice, KindEvent,
+		"Flits received with a CRC mismatch (either direction)")
+	CXLLinkRetries = reg("unc_cxlcm_link.retries", UnitCXL, PerDevice, KindEvent,
+		"Link-layer retry (replay) sequences initiated")
+	CXLLinkReplayBytes = reg("unc_cxlcm_link.replay_bytes", UnitCXL, PerDevice, KindEvent,
+		"Wire bytes spent retransmitting flits during replay")
+	CXLLinkRetryBufOcc = reg("unc_cxlcm_link.retry_buf_occupancy", UnitCXL, PerDevice, KindOccupancy,
+		"Link retry-buffer (unacknowledged flit) occupancy accumulated each cycle")
+	CXLLinkRetryBufNE = reg("unc_cxlcm_link.retry_buf_cycles_ne", UnitCXL, PerDevice, KindCycles,
+		"Cycles the link retry buffer holds unacknowledged flits")
+	CXLDevTimeouts = reg("unc_cxldimm_dev_timeouts", UnitCXL, PerDevice, KindEvent,
+		"Requests hit by a device completion-timeout episode")
+	CXLDevThrottled = reg("unc_cxldimm_throttled_cycles", UnitCXL, PerDevice, KindCycles,
+		"Cycles the device media ran rate-limited by a DevLoad throttle episode")
+	CXLDevPoisonRd = reg("unc_cxldimm_poison_reads", UnitCXL, PerDevice, KindEvent,
+		"Reads returning data flagged poisoned by the device")
 )

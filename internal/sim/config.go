@@ -1,5 +1,7 @@
 package sim
 
+import "pathfinder/internal/cxl"
+
 // Config describes a simulated machine.  The two stock configurations,
 // SPR and EMR, are calibrated against the paper's testbeds (§5.1) and its
 // Intel-MLC measurements (§2.3): local DDR5 ≈ 103 ns / 131 GB/s,
@@ -54,6 +56,13 @@ type Config struct {
 	PackBufEntries int     // ingress packing buffer entries (req and data each)
 	CXLRPQEntries  int
 	CXLWPQEntries  int
+
+	// Link reliability.  LinkRetryBufEntries bounds the flits a direction
+	// may have in flight awaiting ack (the LRSM retry buffer); Faults, when
+	// non-nil, injects the configured deterministic fault schedule into
+	// every CXL port.  A nil plan is a healthy link with zero overhead.
+	LinkRetryBufEntries int
+	Faults              *cxl.FaultPlan
 
 	// Hardware prefetchers.
 	L1PFDegree    int // lines issued per training event (0 disables)
@@ -133,6 +142,8 @@ func SPR() Config {
 		CXLRPQEntries:  48,
 		CXLWPQEntries:  48,
 
+		LinkRetryBufEntries: 32,
+
 		L1PFDegree:    2,
 		L1PFDistance:  10,
 		L2PFDegree:    4,
@@ -174,6 +185,9 @@ func (c *Config) validate() {
 		panic("sim: need at least one DRAM channel")
 	case c.GHz <= 0:
 		panic("sim: clock must be positive")
+	}
+	if err := c.Faults.Validate(); err != nil {
+		panic("sim: " + err.Error())
 	}
 }
 

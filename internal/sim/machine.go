@@ -520,7 +520,7 @@ func (m *Machine) accessLLCDown(c *Core, class ReqClass, la uint64, t Cycles, rt
 		loc = SrvRemoteDRAM
 	case mem.CXLDRAM:
 		dev := m.as.Node(m.as.NodeOf(la)).Device
-		data = m.ports[dev].read(m.eng, rt.memEnter)
+		data = m.ports[dev].read(m.eng, rt.memEnter, la)
 		loc = SrvCXL
 	}
 	done := data + m.cfg.MeshLat
@@ -978,6 +978,22 @@ func (m *Machine) DevLoad(dev int) cxl.DevLoad {
 	return m.ports[dev].devLoad()
 }
 
+// SetFaultPlan installs (or clears, with nil) the link-fault schedule of
+// CXL device dev.  The plan applies to traffic issued after the call;
+// in-flight requests already priced keep their timing.
+func (m *Machine) SetFaultPlan(dev int, plan *cxl.FaultPlan) {
+	if err := plan.Validate(); err != nil {
+		panic("sim: " + err.Error())
+	}
+	m.ports[dev].plan = plan
+}
+
+// Idle reports whether the machine has no scheduled work left: every
+// attached workload has run dry and all in-flight events drained.  The
+// profiler watchdog uses it to distinguish a finished workload from a
+// stalled epoch.
+func (m *Machine) Idle() bool { return m.eng.Pending() == 0 }
+
 // SetAccessHook installs fn as the memory-access observer: it fires for
 // every request served by a memory device (post-LLC), with the line
 // address and write intent.  Tiering policies use it the way TPP uses
@@ -1008,7 +1024,7 @@ func (m *Machine) MigratePage(addr uint64, dst mem.NodeID) error {
 		case mem.LocalDRAM:
 			m.imc[mem.ChannelOf(la, len(m.imc))].read(m.eng, now)
 		case mem.CXLDRAM:
-			m.ports[m.as.Node(src).Device].read(m.eng, now)
+			m.ports[m.as.Node(src).Device].read(m.eng, now, la)
 		case mem.RemoteDRAM:
 			m.remoteBus.acquire(now)
 		}

@@ -297,6 +297,15 @@ type cxlPort struct {
 	linkTx  byteServer      // host -> device link bandwidth
 	linkRx  byteServer      // device -> host link bandwidth
 
+	// Link reliability: the fault plan (nil = healthy), the per-direction
+	// transmission index feeding its deterministic corruption draws, the
+	// LRSM retry-buffer size, and the occupancy tracker observing flits
+	// parked awaiting acknowledgement.
+	plan         *cxl.FaultPlan
+	txIdx        [2]uint64
+	retryEntries int
+	retryOcc     *pmu.OccTracker
+
 	// qos integrates the CXL 3.x DevLoad telemetry over the device-side
 	// queue pressure (RPQ + WPQ + packing buffers).
 	qos     *cxl.LoadTracker
@@ -313,6 +322,10 @@ type cxlPort struct {
 
 func newCXLPort(cfg *Config, m2pBank, devBank *pmu.Bank) *cxlPort {
 	perByte := cfg.serviceCycles(cfg.FlexBusGBs) / 64 // cycles per wire byte
+	retryEntries := cfg.LinkRetryBufEntries
+	if retryEntries <= 0 {
+		retryEntries = cxl.DefaultRetryBufEntries
+	}
 	return &cxlPort{
 		cfg:     cfg,
 		m2pBank: m2pBank,
@@ -321,6 +334,11 @@ func newCXLPort(cfg *Config, m2pBank, devBank *pmu.Bank) *cxlPort {
 		linkTx:  byteServer{perByte: perByte},
 		linkRx:  byteServer{perByte: perByte},
 		qos:     cxl.NewLoadTracker(maxInt(cfg.CXLRPQEntries, cfg.CXLWPQEntries) + cfg.PackBufEntries),
+
+		plan:         cfg.Faults,
+		retryEntries: retryEntries,
+		retryOcc: pmu.NewOccTracker(devBank, pmu.CXLLinkRetryBufOcc,
+			pmu.CXLLinkRetryBufNE, -1, retryEntries),
 
 		packReq:  newBoundedQueue(cfg.PackBufEntries),
 		packData: newBoundedQueue(cfg.PackBufEntries),
@@ -339,26 +357,119 @@ func newCXLPort(cfg *Config, m2pBank, devBank *pmu.Bank) *cxlPort {
 	}
 }
 
-// read performs a CXL.mem load (M2S Req -> S2M DRS) arriving at the M2PCIe
-// ingress at arrival, returning the host data-return time.
-func (p *cxlPort) read(eng *Engine, arrival Cycles) Cycles {
+// linkMaxAttempts bounds per-transfer replay attempts in the timing model;
+// a transfer corrupted that many consecutive times is assumed to survive
+// the subsequent link retraining (the protocol-level Link surfaces
+// ErrLinkDown instead, but the timing model must always make progress).
+const linkMaxAttempts = 16
+
+// flitsOf returns the whole flits a transfer of size wire bytes parks in
+// the retry buffer.
+func flitsOf(size float64) int {
+	n := int(size) / cxl.FlitSize
+	if float64(n*cxl.FlitSize) < size {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// linkXfer serializes size wire bytes onto one link direction, applying
+// the fault plan: a corrupted transfer is detected by the receiver's CRC
+// one link crossing later, Nak'd back, and the retry buffer's outstanding
+// window is replayed through the same byte server — replay bytes consume
+// real wire bandwidth, so every later message queues behind them and the
+// inflation shows up in M2PCIe/packing-buffer occupancy.  Returns the
+// start of the final (successful) serialization, a drop-in for
+// byteServer.acquire.
+func (p *cxlPort) linkXfer(eng *Engine, srv *byteServer, dir cxl.Direction, ready Cycles, size float64) Cycles {
+	start := srv.acquire(ready, size)
+	if p.plan.Empty() {
+		return start
+	}
+
+	// The transfer's flits sit in the retry buffer from first transmission
+	// until the cumulative ack returns, one link round trip after arrival.
+	flits := flitsOf(size)
+	eng.Schedule(start, func(now Cycles) { p.retryOcc.Update(now, +flits) })
+
+	// A Nak rewinds the sender to the lost flit, retransmitting the
+	// flits in flight behind it — on average half the retry window.
+	replayBytes := float64(p.retryEntries/2) * cxl.FlitSize
+	for attempt := 0; attempt < linkMaxAttempts; attempt++ {
+		idx := p.txIdx[dir]
+		p.txIdx[dir]++
+		if !p.plan.Corrupts(dir, idx, uint64(start)) {
+			break
+		}
+		// CRC failure lands at the receiver a crossing later; the Nak
+		// crosses back; the replayed window then queues on the wire with
+		// this transfer riding at its tail.
+		nakBack := start + 2*p.cfg.FlexBusLat
+		reStart := srv.acquire(nakBack, replayBytes+size)
+		eng.Schedule(start+p.cfg.FlexBusLat, func(now Cycles) {
+			p.devBank.Inc(pmu.CXLLinkCRCErrors)
+			p.devBank.Inc(pmu.CXLLinkRetries)
+			p.devBank.Add(pmu.CXLLinkReplayBytes, uint64(replayBytes+size))
+		})
+		start = reStart + Cycles(replayBytes*srv.perByte)
+	}
+	ack := start + 2*p.cfg.FlexBusLat
+	eng.Schedule(ack, func(now Cycles) { p.retryOcc.Update(now, -flits) })
+	return start
+}
+
+// ctrlDelay returns the device-controller latency for a request reaching
+// it at t, inflated by an active completion-timeout episode.
+func (p *cxlPort) ctrlDelay(eng *Engine, t Cycles) Cycles {
+	lat := p.cfg.CXLCtrlLat
+	if p.plan.TimeoutAt(uint64(t)) {
+		lat += Cycles(p.plan.Penalty())
+		eng.Schedule(t, func(Cycles) { p.devBank.Inc(pmu.CXLDevTimeouts) })
+	}
+	return lat
+}
+
+// mediaAcquire claims a media service slot at t, paying a second slot (a
+// halved service rate) while a DevLoad-throttle episode is active.
+func (p *cxlPort) mediaAcquire(eng *Engine, t Cycles) Cycles {
+	start := p.media.acquire(t)
+	if p.plan.ThrottledAt(uint64(start)) {
+		start = p.media.acquire(start)
+		slot := uint64(p.media.service + 0.5)
+		eng.Schedule(start, func(Cycles) { p.devBank.Add(pmu.CXLDevThrottled, slot) })
+	}
+	return start
+}
+
+// read performs a CXL.mem load (M2S Req -> S2M DRS) of line la arriving at
+// the M2PCIe ingress at arrival, returning the host data-return time.
+func (p *cxlPort) read(eng *Engine, arrival Cycles, la uint64) Cycles {
 	// M2PCIe ingress: the entry waits for link credit, which is starved
 	// when the device request packing buffer is full.
 	ready := p.packReq.admit(arrival + p.cfg.M2PLat)
-	txStart := p.linkTx.acquire(ready, cxl.BytesPerMessage(cxl.MemRd))
+	txStart := p.linkXfer(eng, &p.linkTx, cxl.DirM2S, ready, cxl.BytesPerMessage(cxl.MemRd))
 	devArrive := txStart + p.cfg.FlexBusLat
 
 	// Device: packing buffer until the controller hands off to the MC.
-	ctrlDone := devArrive + p.cfg.CXLCtrlLat
+	ctrlDone := devArrive + p.ctrlDelay(eng, devArrive)
 	rpqAdmit := p.devRPQ.admit(ctrlDone)
 	p.packReq.commit(rpqAdmit)
 
-	mediaStart := p.media.acquire(rpqAdmit)
+	mediaStart := p.mediaAcquire(eng, rpqAdmit)
 	data := mediaStart + p.cfg.CXLMediaLat
+	if p.plan.Poisoned(la) {
+		// Poisoned media: the device's internal correction pass re-reads
+		// before returning data flagged poisoned.
+		data += p.cfg.CXLMediaLat
+		eng.Schedule(data, func(Cycles) { p.devBank.Inc(pmu.CXLDevPoisonRd) })
+	}
 	p.devRPQ.commit(data)
 
 	// Response: S2M DRS over the link back to the host.
-	rxStart := p.linkRx.acquire(data, cxl.BytesPerMessage(cxl.MemData))
+	rxStart := p.linkXfer(eng, &p.linkRx, cxl.DirS2M, data, cxl.BytesPerMessage(cxl.MemData))
 	hostArrive := rxStart + p.cfg.FlexBusLat
 	done := hostArrive + p.cfg.M2PLat
 
@@ -392,18 +503,18 @@ func (p *cxlPort) read(eng *Engine, arrival Cycles) Cycles {
 // time the write is durable at the device.
 func (p *cxlPort) write(eng *Engine, arrival Cycles) (admitted, drained Cycles) {
 	ready := p.packData.admit(arrival + p.cfg.M2PLat)
-	txStart := p.linkTx.acquire(ready, cxl.BytesPerMessage(cxl.MemWr))
+	txStart := p.linkXfer(eng, &p.linkTx, cxl.DirM2S, ready, cxl.BytesPerMessage(cxl.MemWr))
 	devArrive := txStart + p.cfg.FlexBusLat
 
-	ctrlDone := devArrive + p.cfg.CXLCtrlLat
+	ctrlDone := devArrive + p.ctrlDelay(eng, devArrive)
 	wpqAdmit := p.devWPQ.admit(ctrlDone)
 	p.packData.commit(wpqAdmit)
 
-	mediaStart := p.media.acquire(wpqAdmit)
+	mediaStart := p.mediaAcquire(eng, wpqAdmit)
 	done := mediaStart + p.cfg.CXLMediaLat
 	p.devWPQ.commit(done)
 
-	rxStart := p.linkRx.acquire(mediaStart, cxl.BytesPerMessage(cxl.Cmp)) // NDR
+	rxStart := p.linkXfer(eng, &p.linkRx, cxl.DirS2M, mediaStart, cxl.BytesPerMessage(cxl.Cmp)) // NDR
 	ackArrive := rxStart + p.cfg.FlexBusLat
 
 	eng.Schedule(arrival, func(now Cycles) {
@@ -437,6 +548,7 @@ func (p *cxlPort) sync(now Cycles) {
 	p.packDataOcc.Advance(now)
 	p.devRPQOcc.Advance(now)
 	p.devWPQOcc.Advance(now)
+	p.retryOcc.Advance(now)
 	// Export the QoS telemetry residency to the device bank.
 	p.qos.Advance(now)
 	for i, ev := range pmu.CXLQoS {

@@ -77,20 +77,27 @@ func ReadTrace(r io.Reader) ([]Op, error) {
 	}
 	ver, err := br.ReadByte()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("workload: reading trace version: %w", err)
 	}
 	if ver != traceVersion {
 		return nil, fmt.Errorf("workload: unsupported trace version %d", ver)
 	}
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("workload: reading trace op count: %w", err)
 	}
 	const sanityMax = 1 << 30
 	if n > sanityMax {
 		return nil, fmt.Errorf("workload: trace claims %d ops", n)
 	}
-	ops := make([]Op, 0, n)
+	// Preallocate conservatively: the count is attacker-controlled (a short
+	// header can claim 2^30 ops), so trust it only up to a modest bound and
+	// let append grow the slice if the data really is there.
+	preAlloc := n
+	if preAlloc > 1<<20 {
+		preAlloc = 1 << 20
+	}
+	ops := make([]Op, 0, preAlloc)
 	var prev uint64
 	for i := uint64(0); i < n; i++ {
 		flags, err := br.ReadByte()

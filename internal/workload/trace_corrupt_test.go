@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// validTrace records a small trace to corrupt in the tests below.
+func validTrace(t *testing.T, n uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	r := Region{Base: 0, Size: 1 << 20}
+	if err := WriteTrace(&buf, NewStream(r, 3, 0.25, 9), n); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceTruncationSweep feeds every prefix of a valid trace to
+// ReadTrace: each must either decode cleanly or return a descriptive
+// error — never panic, never return garbage alongside a nil error.
+func TestTraceTruncationSweep(t *testing.T) {
+	raw := validTrace(t, 64)
+	for cut := 0; cut < len(raw); cut++ {
+		ops, err := ReadTrace(bytes.NewReader(raw[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at byte %d of %d decoded %d ops without error",
+				cut, len(raw), len(ops))
+		}
+		if !strings.Contains(err.Error(), "workload:") {
+			t.Fatalf("truncation at byte %d: undescriptive error %q", cut, err)
+		}
+	}
+	if _, err := ReadTrace(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("untruncated trace failed: %v", err)
+	}
+}
+
+// TestTraceByteFlipSweep flips each byte of a valid trace in turn.  A flip
+// may still decode (the format has no checksum), but it must never panic,
+// and structured violations must surface as errors.
+func TestTraceByteFlipSweep(t *testing.T) {
+	raw := validTrace(t, 32)
+	for i := range raw {
+		for _, flip := range []byte{0xff, 0x80, 0x01} {
+			mut := append([]byte(nil), raw...)
+			mut[i] ^= flip
+			ops, err := ReadTrace(bytes.NewReader(mut))
+			if err == nil && uint64(len(ops)) > uint64(len(mut)) {
+				t.Fatalf("flip 0x%02x at byte %d decoded more ops (%d) than input bytes (%d)",
+					flip, i, len(ops), len(mut))
+			}
+		}
+	}
+}
+
+// TestTraceCorruptKind rejects the one flags encoding no writer produces.
+func TestTraceCorruptKind(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("PFTR")
+	buf.WriteByte(1)   // version
+	buf.WriteByte(1)   // count = 1
+	buf.WriteByte(0x3) // flags: kind 3 (invalid, writers emit 0-2)
+	buf.WriteByte(0)   // address delta 0
+	buf.WriteByte(0)   // think 0
+	_, err := ReadTrace(&buf)
+	if err == nil || !strings.Contains(err.Error(), "invalid kind") {
+		t.Fatalf("corrupt kind error = %v", err)
+	}
+}
+
+// TestTraceThinkOverflow rejects a think value that cannot fit Op.Think.
+func TestTraceThinkOverflow(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("PFTR")
+	buf.WriteByte(1)
+	buf.WriteByte(1)
+	buf.WriteByte(0)
+	buf.WriteByte(0)
+	var scratch [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(scratch[:], 1<<20)
+	buf.Write(scratch[:k])
+	_, err := ReadTrace(&buf)
+	if err == nil || !strings.Contains(err.Error(), "overflows") {
+		t.Fatalf("think overflow error = %v", err)
+	}
+}
+
+// TestTraceHugeClaimedCount hands ReadTrace a 12-byte file whose header
+// claims a billion ops.  It must fail fast on the missing data without
+// first allocating a billion-entry slice for the claimed count.
+func TestTraceHugeClaimedCount(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("PFTR")
+	buf.WriteByte(1)
+	var scratch [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(scratch[:], 1<<30) // at the sanity bound
+	buf.Write(scratch[:k])
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := ReadTrace(&buf)
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatal("empty body with huge claimed count decoded")
+	}
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 100<<20 {
+		t.Fatalf("claimed-count preallocation burned %d MiB", grew>>20)
+	}
+
+	// Above the sanity bound the count itself is rejected.
+	buf.Reset()
+	buf.WriteString("PFTR")
+	buf.WriteByte(1)
+	k = binary.PutUvarint(scratch[:], 1<<40)
+	buf.Write(scratch[:k])
+	_, err = ReadTrace(&buf)
+	if err == nil || !strings.Contains(err.Error(), "claims") {
+		t.Fatalf("over-bound claimed count error = %v", err)
+	}
+}
