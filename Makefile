@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz-short all
+.PHONY: build test race vet fuzz-short bench-json all
 
 all: build vet test
 
@@ -17,6 +17,14 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Snapshot the simulator/profiler micro-benchmarks (ns/op, allocs/op,
+# derived sim-ops/sec) into BENCH_<date>.json so the perf trajectory is
+# tracked across PRs.
+bench-json:
+	$(GO) test -run '^$$' -bench 'SimLocalStream|SimCXLStream|SnapshotCapture|PFBuilder|PFEstimator|PFAnalyzer' \
+		-benchmem -benchtime 200000x . | $(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y%m%d).json
+	@echo wrote BENCH_$$(date +%Y%m%d).json
 
 # Short fuzzing pass over the flit decoders and the fault-plan parser:
 # each target runs for 10 seconds and must only ever return structured

@@ -5,10 +5,16 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
+	"sync"
 
 	"pathfinder/internal/experiments"
 	"pathfinder/internal/sim"
@@ -19,108 +25,152 @@ func main() {
 		"experiment: mlc, fig2, fig3, fig4, emr, table7, fig6, fig78, fig910, fig11, fig12, fig13, overhead, faults, or all")
 	machine := flag.String("machine", "spr", "machine model: spr or emr")
 	quick := flag.Bool("quick", false, "shorter runs (coarser numbers)")
+	parallel := flag.Int("parallel", runtime.NumCPU(),
+		"worker goroutines for independent machine runs (1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
+	memprofile := flag.String("memprofile", "", "write heap profile to file")
+	traceFile := flag.String("trace", "", "write runtime execution trace to file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("pfbench: -cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("pfbench: start CPU profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatalf("pfbench: -trace: %v", err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fatalf("pfbench: start trace: %v", err)
+		}
+		defer trace.Stop()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatalf("pfbench: -memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("pfbench: write heap profile: %v", err)
+		}
+	}()
+
+	experiments.SetParallelism(*parallel)
 
 	cfg := sim.SPR()
 	if *machine == "emr" {
 		cfg = sim.EMR()
 	}
 
-	runners := map[string]func(){
-		"mlc": func() {
-			fmt.Print(experiments.RunMLC(cfg, *quick).Table())
+	runners := map[string]func(w io.Writer){
+		"mlc": func(w io.Writer) {
+			fmt.Fprint(w, experiments.RunMLC(cfg, *quick).Table())
 		},
-		"fig2": func() {
+		"fig2": func(w io.Writer) {
 			r := experiments.RunFig2(cfg, *quick)
-			fmt.Print(r.Main.Table())
-			fmt.Println()
-			fmt.Print(r.WrOnly.Table())
+			fmt.Fprint(w, r.Main.Table())
+			fmt.Fprintln(w)
+			fmt.Fprint(w, r.WrOnly.Table())
 		},
-		"fig3": func() {
-			fmt.Print(experiments.RunFig3(cfg, *quick).Table())
+		"fig3": func(w io.Writer) {
+			fmt.Fprint(w, experiments.RunFig3(cfg, *quick).Table())
 		},
-		"fig4": func() {
-			fmt.Print(experiments.RunFig4(cfg, *quick).Table())
+		"fig4": func(w io.Writer) {
+			fmt.Fprint(w, experiments.RunFig4(cfg, *quick).Table())
 		},
-		"emr": func() {
+		"emr": func(w io.Writer) {
 			// Figures 14-16: the same characterization on the EMR machine.
 			emr := sim.EMR()
 			r := experiments.RunFig2(emr, *quick)
-			fmt.Print(r.Main.Table())
-			fmt.Println()
-			fmt.Print(r.WrOnly.Table())
-			fmt.Println()
-			fmt.Print(experiments.RunFig3(emr, *quick).Table())
-			fmt.Println()
-			fmt.Print(experiments.RunFig4(emr, *quick).Table())
+			fmt.Fprint(w, r.Main.Table())
+			fmt.Fprintln(w)
+			fmt.Fprint(w, r.WrOnly.Table())
+			fmt.Fprintln(w)
+			fmt.Fprint(w, experiments.RunFig3(emr, *quick).Table())
+			fmt.Fprintln(w)
+			fmt.Fprint(w, experiments.RunFig4(emr, *quick).Table())
 		},
-		"table7": func() {
+		"table7": func(w io.Writer) {
 			r := experiments.RunTable7(cfg, *quick)
-			fmt.Print(r.Table())
-			fmt.Printf("\nFOTS hot core path: %v; hot uncore path: %v (%.1f%% of uncore traffic)\n",
+			fmt.Fprint(w, r.Table())
+			fmt.Fprintf(w, "\nFOTS hot core path: %v; hot uncore path: %v (%.1f%% of uncore traffic)\n",
 				r.FOTSHotCore, r.FOTSHotUncore, r.FOTSUncoreHWPF*100)
-			fmt.Printf("GCCS core-request growth snapshot2/snapshot1: %.1fx\n", r.GCCSReqGrowth)
+			fmt.Fprintf(w, "GCCS core-request growth snapshot2/snapshot1: %.1fx\n", r.GCCSReqGrowth)
 		},
-		"fig6": func() {
+		"fig6": func(w io.Writer) {
 			r := experiments.RunFig6(cfg, *quick)
-			fmt.Print(r.Table())
-			fmt.Printf("\nmean DRd FlexBus+MC + CXL DIMM stall share: %.1f%%\n",
+			fmt.Fprint(w, r.Table())
+			fmt.Fprintf(w, "\nmean DRd FlexBus+MC + CXL DIMM stall share: %.1f%%\n",
 				r.DownstreamShare()*100)
 		},
-		"fig78": func() {
+		"fig78": func(w io.Writer) {
 			r := experiments.RunFig78(cfg, *quick)
-			fmt.Print(r.Stall)
-			fmt.Println()
-			fmt.Print(r.Queues)
-			fmt.Printf("\nin-core CXL-induced stall growth 20%%->100%%: %.2fx\n", r.CoreStallGrowth())
+			fmt.Fprint(w, r.Stall)
+			fmt.Fprintln(w)
+			fmt.Fprint(w, r.Queues)
+			fmt.Fprintf(w, "\nin-core CXL-induced stall growth 20%%->100%%: %.2fx\n", r.CoreStallGrowth())
 		},
-		"fig910": func() {
+		"fig910": func(w io.Writer) {
 			r := experiments.RunFig910(cfg, *quick)
-			fmt.Print(r.Throughput)
-			fmt.Println()
-			fmt.Print(r.Stall)
-			fmt.Println()
-			fmt.Print(r.Latency)
-			fmt.Println()
-			fmt.Print(r.Queues)
-			fmt.Println("\nculprits per load step:", strings.Join(r.Culprits, "; "))
-			fmt.Printf("YCSB throughput drop: %.1f%%; FlexBus+MC latency growth: %.2fx\n",
+			fmt.Fprint(w, r.Throughput)
+			fmt.Fprintln(w)
+			fmt.Fprint(w, r.Stall)
+			fmt.Fprintln(w)
+			fmt.Fprint(w, r.Latency)
+			fmt.Fprintln(w)
+			fmt.Fprint(w, r.Queues)
+			fmt.Fprintln(w, "\nculprits per load step:", strings.Join(r.Culprits, "; "))
+			fmt.Fprintf(w, "YCSB throughput drop: %.1f%%; FlexBus+MC latency growth: %.2fx\n",
 				r.ThroughputDrop()*100, r.FlexLatencyGrowth())
 		},
-		"fig11": func() {
+		"fig11": func(w io.Writer) {
 			for _, r := range experiments.RunFig11(cfg, *quick) {
-				fmt.Print(r.Table())
-				fmt.Println()
+				fmt.Fprint(w, r.Table())
+				fmt.Fprintln(w)
 			}
 		},
-		"fig12": func() {
-			fmt.Print(experiments.RunFig12(cfg, *quick).Table())
+		"fig12": func(w io.Writer) {
+			fmt.Fprint(w, experiments.RunFig12(cfg, *quick).Table())
 		},
-		"fig13": func() {
+		"fig13": func(w io.Writer) {
 			r := experiments.RunFig13(cfg, *quick)
-			fmt.Print(r.Table())
+			fmt.Fprint(w, r.Table())
 			ratio := 0.0
 			if r.ColloidOps > 0 {
 				ratio = r.GuidedOps / r.ColloidOps
 			}
-			fmt.Printf("\nTPP+Colloid vs PathFinder-guided (write-heavy): %.0f vs %.0f ops (%.2fx)\n",
+			fmt.Fprintf(w, "\nTPP+Colloid vs PathFinder-guided (write-heavy): %.0f vs %.0f ops (%.2fx)\n",
 				r.ColloidOps, r.GuidedOps, ratio)
 		},
-		"overhead": func() {
-			fmt.Print(experiments.RunOverhead(cfg, *quick).Table())
+		"overhead": func(w io.Writer) {
+			fmt.Fprint(w, experiments.RunOverhead(cfg, *quick).Table())
 		},
 		// Extensions beyond the paper's artifacts.
-		"baseline": func() {
-			fmt.Print(experiments.RunTMABaseline(cfg, *quick).Table())
+		"baseline": func(w io.Writer) {
+			fmt.Fprint(w, experiments.RunTMABaseline(cfg, *quick).Table())
 		},
-		"pool": func() {
-			fmt.Print(experiments.RunPool(cfg, *quick).Table())
+		"pool": func(w io.Writer) {
+			fmt.Fprint(w, experiments.RunPool(cfg, *quick).Table())
 		},
-		"faults": func() {
+		"faults": func(w io.Writer) {
 			r := experiments.RunFaults(cfg, *quick)
-			fmt.Print(r.Sweep)
-			fmt.Println("\nfault-domain culprit per rate:", strings.Join(r.Culprits, "; "))
-			fmt.Printf("YCSB throughput drop healthy -> sickest link: %.1f%%\n",
+			fmt.Fprint(w, r.Sweep)
+			fmt.Fprintln(w, "\nfault-domain culprit per rate:", strings.Join(r.Culprits, "; "))
+			fmt.Fprintf(w, "YCSB throughput drop healthy -> sickest link: %.1f%%\n",
 				r.ThroughputDrop()*100)
 		},
 	}
@@ -130,11 +180,7 @@ func main() {
 		"faults"}
 
 	if *exp == "all" {
-		for _, name := range order {
-			fmt.Printf("==== %s ====\n", name)
-			runners[name]()
-			fmt.Println()
-		}
+		runAll(order, runners, *parallel)
 		return
 	}
 	run, ok := runners[*exp]
@@ -143,5 +189,41 @@ func main() {
 			*exp, strings.Join(order, ", "))
 		os.Exit(2)
 	}
-	run()
+	run(os.Stdout)
+}
+
+// runAll executes the full suite.  Experiments run concurrently (each
+// writing to its own buffer, on top of each experiment's own internal
+// machine-level fan-out) but output is flushed strictly in suite order,
+// so `-exp all` prints byte-identical text at any -parallel setting.
+func runAll(order []string, runners map[string]func(io.Writer), workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(order) {
+		workers = len(order)
+	}
+	bufs := make([]bytes.Buffer, len(order))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, name := range order {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fmt.Fprintf(&bufs[i], "==== %s ====\n", name)
+			runners[name](&bufs[i])
+			fmt.Fprintln(&bufs[i])
+		}(i, name)
+	}
+	wg.Wait()
+	for i := range bufs {
+		os.Stdout.Write(bufs[i].Bytes())
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
 }

@@ -33,14 +33,16 @@ type BaselineResult struct {
 func RunTMABaseline(cfg sim.Config, quick bool) *BaselineResult {
 	opt := defaultChar(cfg, quick)
 	k := core.ConstsFor(opt.cfg)
-	out := &BaselineResult{}
-	for _, tc := range []struct {
+	cases := []struct {
 		name string
 		node mem.NodeID
 	}{
 		{"local DDR", 0},
 		{"CXL Type-3", 2},
-	} {
+	}
+	out := &BaselineResult{Rows: make([]BaselineRow, len(cases))}
+	runIndexed(len(cases), func(ci int) {
+		tc := cases[ci]
 		rig := NewRig(RigOptions{Config: opt.cfg})
 		reg := rig.Alloc(opt.ws, tc.node)
 		cap := core.NewCapturer(rig.Machine)
@@ -66,15 +68,15 @@ func RunTMABaseline(cfg sim.Config, quick bool) *BaselineResult {
 				topName, topV = c.String(), v
 			}
 		}
-		out.Rows = append(out.Rows, BaselineRow{
+		out.Rows[ci] = BaselineRow{
 			Placement:      tc.name,
 			TMABottleneck:  td.Bottleneck(),
 			TMADRAMBound:   td.L3.DRAMBound,
 			PFCulprit:      qr.CulpritPath.String() + " on " + qr.CulpritComp.String(),
 			PFCXLFraction:  core.CXLWaitFraction(s),
 			PFTopComponent: topName,
-		})
-	}
+		}
+	})
 	return out
 }
 

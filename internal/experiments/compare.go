@@ -128,25 +128,34 @@ func runPlacement(opt charOptions, app workload.App, node mem.NodeID) *core.Snap
 }
 
 // RunCompare characterizes the named applications on local versus CXL
-// memory with the given metric set.
+// memory with the given metric set.  The 2*len(apps) placements are
+// independent machines; they fan out across the experiment worker pool
+// with results slotted by (app, placement) index.
 func RunCompare(title string, opt charOptions, apps []string, metrics []Metric) *CompareResult {
 	res := &CompareResult{Title: title, Apps: apps, Metrics: metrics}
 	cores := []int{0}
-	for _, name := range apps {
-		app, ok := workload.Lookup(name)
+	res.Local = make([][]float64, len(apps))
+	res.CXL = make([][]float64, len(apps))
+	runIndexed(2*len(apps), func(i int) {
+		ai := i / 2
+		app, ok := workload.Lookup(apps[ai])
 		if !ok {
-			panic("experiments: unknown app " + name)
+			panic("experiments: unknown app " + apps[ai])
 		}
-		sLocal := runPlacement(opt, app, 0)
-		sCXL := runPlacement(opt, app, 2)
-		lv := make([]float64, len(metrics))
-		cv := make([]float64, len(metrics))
-		for i, m := range metrics {
-			lv[i] = m.Get(sLocal, cores)
-			cv[i] = m.Get(sCXL, cores)
+		node := mem.NodeID(0)
+		if i%2 == 1 {
+			node = 2
 		}
-		res.Local = append(res.Local, lv)
-		res.CXL = append(res.CXL, cv)
-	}
+		s := runPlacement(opt, app, node)
+		vals := make([]float64, len(metrics))
+		for mi, m := range metrics {
+			vals[mi] = m.Get(s, cores)
+		}
+		if i%2 == 0 {
+			res.Local[ai] = vals
+		} else {
+			res.CXL[ai] = vals
+		}
+	})
 	return res
 }

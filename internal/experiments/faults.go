@@ -85,7 +85,10 @@ func RunFaults(cfg sim.Config, quick bool) *FaultsResult {
 		},
 	}
 
-	for _, rate := range out.Rates {
+	rows := make([][]float64, len(out.Rates))
+	out.Culprits = make([]string, len(out.Rates))
+	runIndexed(len(out.Rates), func(i int) {
+		rate := out.Rates[i]
 		c := opt.cfg
 		c.Faults = faultPlanFor(rate, epoch)
 		rig := NewRig(RigOptions{Config: c})
@@ -114,14 +117,18 @@ func RunFaults(cfg sim.Config, quick bool) *FaultsResult {
 		if flexQ > dimmQ {
 			culprit = core.CompFlexBusMC
 		}
-		out.Sweep.Add(rate,
+		rows[i] = []float64{
 			float64(counting.Total()),
 			s.CXL(0, pmu.CXLLinkCRCErrors),
 			s.CXL(0, pmu.CXLLinkRetries),
-			s.CXL(0, pmu.CXLLinkReplayBytes)/1024,
+			s.CXL(0, pmu.CXLLinkReplayBytes) / 1024,
 			s.CXL(0, pmu.CXLDevTimeouts),
-			flexQ, dimmQ)
-		out.Culprits = append(out.Culprits, culprit.String())
+			flexQ, dimmQ,
+		}
+		out.Culprits[i] = culprit.String()
+	})
+	for i, rate := range out.Rates {
+		out.Sweep.Add(rate, rows[i]...)
 	}
 	return out
 }

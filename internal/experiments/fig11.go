@@ -65,16 +65,17 @@ func runFig11Scenario(opt charOptions, k core.Consts, shape string, epoch sim.Cy
 
 	res := &Fig11Result{Scenario: shape}
 
-	// Solo bandwidths.
-	for i := 0; i < 4; i++ {
+	// Solo bandwidths: four independent rigs, fanned out.
+	res.Solo = make([]float64, 4)
+	runIndexed(4, func(i int) {
 		rig := NewRig(RigOptions{Config: opt.cfg})
 		gens := makeGens(rig, i)
 		for th, g := range gens {
 			rig.Machine.Attach(th, g)
 		}
 		rig.Machine.Run(epoch)
-		res.Solo = append(res.Solo, bw(gens, epoch))
-	}
+		res.Solo[i] = bw(gens, epoch)
+	})
 
 	// Contended: all four instances share the CXL device.
 	rig := NewRig(RigOptions{Config: opt.cfg})

@@ -53,8 +53,9 @@ func RunFig12(cfg sim.Config, quick bool) *Fig12Result {
 		{"with lbm+mcf+roms (mixed)", []launch{{"LBM", 0, 4}, {"MCF", 0, 4}, {"ROMS", 2, 4}}},
 	}
 
-	out := &Fig12Result{}
-	for _, sc := range scenarios {
+	out := &Fig12Result{Runs: make([]Fig12Run, len(scenarios))}
+	runIndexed(len(scenarios), func(si int) {
+		sc := scenarios[si]
 		rig := NewRig(RigOptions{Config: opt.cfg})
 		// The observed app's working set is sized near the LLC so it has
 		// cache reuse for the co-runners to disturb.
@@ -109,8 +110,8 @@ func RunFig12(cfg sim.Config, quick bool) *Fig12Result {
 		run.MissBefore /= float64(half)
 		run.MissAfter /= float64(epochs - half)
 		run.Windows = len(p.Materializer().LocalityWindows("BWA", core.LvlCXL, 0.4))
-		out.Runs = append(out.Runs, run)
-	}
+		out.Runs[si] = run
+	})
 	return out
 }
 

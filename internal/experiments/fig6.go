@@ -23,15 +23,16 @@ type Fig6Result struct {
 func RunFig6(cfg sim.Config, quick bool) *Fig6Result {
 	opt := defaultChar(cfg, quick)
 	k := core.ConstsFor(opt.cfg)
-	out := &Fig6Result{Apps: fig6Apps}
-	for _, name := range fig6Apps {
-		app, ok := workload.Lookup(name)
+	out := &Fig6Result{Apps: fig6Apps,
+		Stalls: make([]*core.StallBreakdown, len(fig6Apps))}
+	runIndexed(len(fig6Apps), func(i int) {
+		app, ok := workload.Lookup(fig6Apps[i])
 		if !ok {
-			panic("experiments: unknown app " + name)
+			panic("experiments: unknown app " + fig6Apps[i])
 		}
 		s := runPlacement(opt, app, 2)
-		out.Stalls = append(out.Stalls, core.EstimateStalls(s, []int{0}, 0, k))
-	}
+		out.Stalls[i] = core.EstimateStalls(s, []int{0}, 0, k)
+	})
 	return out
 }
 

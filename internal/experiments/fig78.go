@@ -34,7 +34,11 @@ func RunFig78(cfg sim.Config, quick bool) *Fig78Result {
 		},
 	}
 
-	for _, share := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+	shares := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	stallRows := make([][]float64, len(shares))
+	queueRows := make([][]float64, len(shares))
+	runIndexed(len(shares), func(i int) {
+		share := shares[i]
 		rig := NewRig(RigOptions{Config: opt.cfg})
 		local := rig.Alloc(opt.ws/2, 0)
 		cxl := rig.Alloc(opt.ws/2, 2)
@@ -62,9 +66,9 @@ func RunFig78(cfg sim.Config, quick bool) *Fig78Result {
 			}
 			return t
 		}
-		out.Stall.Add(share,
+		stallRows[i] = []float64{
 			sum(core.CompSB), sum(core.CompL1D), sum(core.CompLFB),
-			sum(core.CompL2), sum(core.CompLLC))
+			sum(core.CompL2), sum(core.CompLLC)}
 
 		qr := core.AnalyzeQueues(s, []int{0}, 0, k)
 		qsum := func(c core.Component) float64 {
@@ -75,9 +79,13 @@ func RunFig78(cfg sim.Config, quick bool) *Fig78Result {
 			return t
 		}
 		meas := core.MeasuredQueues(s, []int{0}, 0)
-		out.Queues.Add(share,
+		queueRows[i] = []float64{
 			qsum(core.CompL1D), meas[core.CompLFB], qsum(core.CompL2),
-			meas[core.CompFlexBusMC], meas[core.CompCHA])
+			meas[core.CompFlexBusMC], meas[core.CompCHA]}
+	})
+	for i, share := range shares {
+		out.Stall.Add(share, stallRows[i]...)
+		out.Queues.Add(share, queueRows[i]...)
 		out.Loads = append(out.Loads, share)
 	}
 	return out

@@ -50,7 +50,17 @@ func RunFig910(cfg sim.Config, quick bool) *Fig910Result {
 		},
 	}
 
-	for _, load := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+	loads := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	type row struct {
+		ops     float64
+		stall   []float64
+		latency []float64
+		queues  []float64
+		culprit string
+	}
+	rows := make([]row, len(loads))
+	runIndexed(len(loads), func(i int) {
+		load := loads[i]
 		rig := NewRig(RigOptions{Config: opt.cfg})
 		m := rig.Machine
 
@@ -81,10 +91,10 @@ func RunFig910(cfg sim.Config, quick bool) *Fig910Result {
 			}
 			return t
 		}
-		out.Throughput.Add(load, float64(counting.Total()))
-		out.Stall.Add(load,
+		rows[i].ops = float64(counting.Total())
+		rows[i].stall = []float64{
 			sumStall(core.CompSB), sumStall(core.CompL1D), sumStall(core.CompLFB),
-			sumStall(core.CompL2), sumStall(core.CompLLC))
+			sumStall(core.CompL2), sumStall(core.CompLLC)}
 
 		// Uncore latencies from residency/throughput (socket scope).
 		chaLat := 0.0
@@ -95,7 +105,7 @@ func RunFig910(cfg sim.Config, quick bool) *Fig910Result {
 		if ins := s.M2P(0, pmu.M2PRxInserts); ins > 0 {
 			flexLat = s.M2P(0, pmu.M2PRxOccupancy)/ins + k.LinkTransit
 		}
-		out.Latency.Add(load, chaLat, flexLat)
+		rows[i].latency = []float64{chaLat, flexLat}
 
 		qr := core.AnalyzeQueues(s, []int{0}, 0, k)
 		qsum := func(c core.Component) float64 {
@@ -105,13 +115,19 @@ func RunFig910(cfg sim.Config, quick bool) *Fig910Result {
 			}
 			return t
 		}
-		out.Queues.Add(load,
+		rows[i].queues = []float64{
 			qsum(core.CompL1D), qsum(core.CompLFB), qsum(core.CompL2),
 			qsum(core.CompLLC),
 			qr.Q[core.PathDRd][core.CompFlexBusMC],
-			qr.Q[core.PathHWPF][core.CompFlexBusMC])
-		out.Culprits = append(out.Culprits,
-			qr.CulpritPath.String()+" on "+qr.CulpritComp.String())
+			qr.Q[core.PathHWPF][core.CompFlexBusMC]}
+		rows[i].culprit = qr.CulpritPath.String() + " on " + qr.CulpritComp.String()
+	})
+	for i, load := range loads {
+		out.Throughput.Add(load, rows[i].ops)
+		out.Stall.Add(load, rows[i].stall...)
+		out.Latency.Add(load, rows[i].latency...)
+		out.Queues.Add(load, rows[i].queues...)
+		out.Culprits = append(out.Culprits, rows[i].culprit)
 	}
 	return out
 }

@@ -106,20 +106,28 @@ func RunMLC(cfg sim.Config, quick bool) *MLCResult {
 	if quick {
 		latCycles, bwCycles = 800_000, 500_000
 	}
-	res := &MLCResult{}
-	for _, tier := range []struct {
+	tiers := []struct {
 		name string
 		node mem.NodeID
 	}{
 		{"local DDR", 0},
 		{"cross-NUMA DDR", 1},
 		{"CXL Type-3", 2},
-	} {
-		res.Rows = append(res.Rows, MLCRow{
-			Tier:        tier.name,
-			LatencyNS:   measureLatency(cfg, tier.node, latCycles),
-			BandwidthGB: measureBandwidth(cfg, tier.node, bwCycles),
-		})
 	}
+	res := &MLCResult{Rows: make([]MLCRow, len(tiers))}
+	for i, tier := range tiers {
+		res.Rows[i].Tier = tier.name
+	}
+	// Latency and bandwidth rigs are independent: 2 runs per tier,
+	// each writing a distinct field of its tier's row.
+	runIndexed(2*len(tiers), func(i int) {
+		tier := tiers[i/2]
+		row := &res.Rows[i/2]
+		if i%2 == 0 {
+			row.LatencyNS = measureLatency(cfg, tier.node, latCycles)
+		} else {
+			row.BandwidthGB = measureBandwidth(cfg, tier.node, bwCycles)
+		}
+	})
 	return res
 }

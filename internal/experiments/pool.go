@@ -29,8 +29,16 @@ func RunPool(cfg sim.Config, quick bool) *PoolResult {
 	if quick {
 		epoch = 1_500_000
 	}
-	out := &PoolResult{}
-	for _, devs := range []int{1, 2} {
+	devCounts := []int{1, 2}
+	out := &PoolResult{
+		Devices:    make([]int, len(devCounts)),
+		Bandwidth:  make([]float64, len(devCounts)),
+		AvgLatency: make([]float64, len(devCounts)),
+		DevLoads:   make([][]string, len(devCounts)),
+		StallSplit: make([]float64, len(devCounts)),
+	}
+	runIndexed(len(devCounts), func(di int) {
+		devs := devCounts[di]
 		c := cfg
 		c.CXLDevices = devs
 		c.LLCSize /= 4
@@ -68,18 +76,16 @@ func RunPool(cfg sim.Config, quick bool) *PoolResult {
 			cnt += s.Core(i, pmu.MemTransLoadCount)
 		}
 		secs := float64(epoch) / (c.GHz * 1e9)
-		out.Devices = append(out.Devices, devs)
-		out.Bandwidth = append(out.Bandwidth, lines*64/secs/1e9)
+		out.Devices[di] = devs
+		out.Bandwidth[di] = lines * 64 / secs / 1e9
 		if cnt > 0 {
-			out.AvgLatency = append(out.AvgLatency, lat/cnt)
-		} else {
-			out.AvgLatency = append(out.AvgLatency, 0)
+			out.AvgLatency[di] = lat / cnt
 		}
 		var loads []string
 		for d := 0; d < devs; d++ {
 			loads = append(loads, m.DevLoad(d).String())
 		}
-		out.DevLoads = append(out.DevLoads, loads)
+		out.DevLoads[di] = loads
 
 		// PFEstimator attributes per-device stall via each RC's counters.
 		bd0 := core.EstimateStalls(s, nil, 0, k)
@@ -92,8 +98,8 @@ func RunPool(cfg sim.Config, quick bool) *PoolResult {
 				split = total / (total + other)
 			}
 		}
-		out.StallSplit = append(out.StallSplit, split)
-	}
+		out.StallSplit[di] = split
+	})
 	return out
 }
 

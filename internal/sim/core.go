@@ -56,7 +56,6 @@ type Core struct {
 
 	gen     workload.Generator
 	running bool
-	stepFn  func(now Cycles)
 }
 
 func newCore(id, cluster int, cfg *Config, bank *pmu.Bank) *Core {

@@ -17,58 +17,102 @@
 // per-cycle ticking.
 package sim
 
-import "container/heap"
+import (
+	"fmt"
+	"math/bits"
+
+	"pathfinder/internal/pmu"
+)
 
 // Cycles is a point in simulated time, in core clock cycles.
 type Cycles = uint64
 
-// event is a scheduled callback.
+// evKind selects the pre-bound payload an event dispatches to.  The hot
+// schedule sites (core stepping, queue-occupancy edges, IMC and CXL
+// completions) use dedicated kinds so scheduling allocates nothing; evFunc
+// is the general closure fallback for cold paths and tests.
+type evKind uint8
+
+const (
+	evFunc     evKind = iota // fn(now)
+	evCoreStep               // target *Core: execute the next workload op
+	evOcc                    // target *pmu.OccTracker: Update(now, aux)
+	evBusyBegin              // target *pmu.BusyTracker
+	evBusyEnd
+	evPFDone  // target *Core: one hardware/software prefetch retired
+	evBankInc // target *pmu.Bank: Inc(Event(aux))
+	evBankAdd // target *pmu.Bank: Add(Event(aux), arg)
+	evServe   // target *Core: retired-load/OCR serve counters, aux=class|loc
+	evTOREnter
+	evTORLeave // target *chaSlice: TOR insert/occupancy edges, aux=class|loc
+	evWBInsert // target *chaSlice: writeback TOR inserts, aux=transition
+	evIMCReadAdmit
+	evIMCWriteAdmit // target *imcChannel: RPQ/WPQ insert + CAS counters
+	evCXLArrive     // target *cxlPort: M2PCIe ingress insert
+	evCXLReadDev
+	evCXLReadRPQ
+	evCXLReadData
+	evCXLWriteDev
+	evCXLWriteWPQ
+	evCXLWriteDone // target *cxlPort: device-side read/write stages
+	evCXLCRC       // target *cxlPort: link CRC error + replay, arg=bytes
+)
+
+// event is a scheduled action: either a pre-bound payload (kind != evFunc)
+// or a callback.  target always holds a pointer, so boxing it in the
+// interface never allocates.
 type event struct {
-	when Cycles
-	seq  uint64 // tie-breaker for deterministic ordering
-	fn   func(now Cycles)
+	when   Cycles
+	seq    uint64 // tie-breaker for deterministic ordering
+	arg    uint64
+	target any
+	fn     func(now Cycles)
+	aux    int32
+	kind   evKind
 }
 
-type eventHeap []event
+// The near-horizon timing wheel: one slot per cycle for the next wheelSlots
+// cycles.  The dominant event delays (cache latencies, queue residencies,
+// DRAM/CXL media trips) are well under this horizon, so most events take
+// the O(1) wheel path; only far-future events pay the O(log n) heap.
+const (
+	wheelBits  = 12
+	wheelSlots = 1 << wheelBits
+	wheelMask  = wheelSlots - 1
+	wheelWords = wheelSlots / 64
+)
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
-// Engine is the discrete-event core: a time-ordered heap of callbacks.
+// Engine is the discrete-event core: a timing wheel for near events and a
+// flat binary min-heap (ordered by when, then seq) for far ones.
 type Engine struct {
-	h   eventHeap
-	now Cycles
-	seq uint64
+	now  Cycles
+	seq  uint64
+	mach *Machine // payload dispatch context (nil for bare engines)
+
+	heap []event // far-horizon events, (when, seq)-ordered binary heap
+
+	wheel    [][]event // wheelSlots buckets; a bucket holds one `when` only
+	occupied [wheelWords]uint64
+	wheelLen int
 }
 
 // NewEngine returns an engine at cycle zero.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine {
+	return &Engine{wheel: make([][]event, wheelSlots)}
+}
 
 // Now returns the current simulated cycle.
 func (e *Engine) Now() Cycles { return e.now }
 
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.heap) + e.wheelLen }
+
 // Schedule runs fn at cycle when.  Scheduling in the past is a simulator
 // bug and panics.
 func (e *Engine) Schedule(when Cycles, fn func(now Cycles)) {
-	if when < e.now {
-		panic("sim: scheduling into the past")
-	}
+	e.checkPast(when)
 	e.seq++
-	heap.Push(&e.h, event{when: when, seq: e.seq, fn: fn})
+	e.push(event{when: when, seq: e.seq, kind: evFunc, fn: fn})
 }
 
 // After runs fn d cycles from now.
@@ -76,17 +120,179 @@ func (e *Engine) After(d Cycles, fn func(now Cycles)) {
 	e.Schedule(e.now+d, fn)
 }
 
-// Pending reports the number of scheduled events.
-func (e *Engine) Pending() int { return len(e.h) }
+// at schedules a pre-bound payload event; the hot-path twin of Schedule.
+func (e *Engine) at(when Cycles, kind evKind, target any, aux int32, arg uint64) {
+	e.checkPast(when)
+	e.seq++
+	e.push(event{when: when, seq: e.seq, kind: kind, target: target, aux: aux, arg: arg})
+}
+
+func (e *Engine) checkPast(when Cycles) {
+	if when < e.now {
+		panic(fmt.Sprintf(
+			"sim: scheduling into the past: when=%d now=%d (%d cycles behind, %d events pending)",
+			when, e.now, e.now-when, e.Pending()))
+	}
+}
+
+// push routes an event to the wheel (near horizon) or the heap (far).
+func (e *Engine) push(ev event) {
+	if ev.when-e.now < wheelSlots {
+		slot := int(ev.when) & wheelMask
+		e.wheel[slot] = append(e.wheel[slot], ev)
+		e.occupied[slot>>6] |= 1 << uint(slot&63)
+		e.wheelLen++
+		return
+	}
+	e.heap = append(e.heap, ev)
+	e.siftUp(len(e.heap) - 1)
+}
+
+func evLess(a, b *event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	for i > 0 {
+		p := (i - 1) / 2
+		if !evLess(&h[i], &h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && evLess(&h[r], &h[l]) {
+			m = r
+		}
+		if !evLess(&h[m], &h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func (e *Engine) heapPop() event {
+	h := e.heap
+	ev := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release target/fn references
+	e.heap = h[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+	return ev
+}
+
+// wheelNextWhen returns the earliest wheel-resident cycle, scanning the
+// occupancy bitmap forward from now (wrapping once around the horizon).
+func (e *Engine) wheelNextWhen() (Cycles, bool) {
+	if e.wheelLen == 0 {
+		return 0, false
+	}
+	start := int(e.now) & wheelMask
+	wi := start >> 6
+	mask := ^uint64(0) << uint(start&63)
+	for i := 0; i <= wheelWords; i++ {
+		if w := e.occupied[wi] & mask; w != 0 {
+			slot := wi<<6 + bits.TrailingZeros64(w)
+			return e.wheel[slot][0].when, true
+		}
+		mask = ^uint64(0)
+		wi++
+		if wi == wheelWords {
+			wi = 0
+		}
+	}
+	return 0, false
+}
+
+// nextWhen returns the earliest scheduled cycle across wheel and heap.
+func (e *Engine) nextWhen() (Cycles, bool) {
+	when := ^Cycles(0)
+	ok := false
+	if len(e.heap) > 0 {
+		when, ok = e.heap[0].when, true
+	}
+	if w, wok := e.wheelNextWhen(); wok && w < when {
+		when, ok = w, true
+	}
+	return when, ok
+}
+
+// runAt executes every event scheduled for exactly cycle `when`, merging
+// the wheel bucket and same-cycle heap entries in seq order so determinism
+// matches a single global priority queue.  Events scheduled for `when`
+// during execution (same-cycle cascades) are appended to the bucket and
+// drained in the same pass.
+func (e *Engine) runAt(when Cycles) {
+	slot := int(when) & wheelMask
+	i := 0
+	for {
+		haveW := i < len(e.wheel[slot])
+		haveH := len(e.heap) > 0 && e.heap[0].when == when
+		var ev event
+		switch {
+		case haveW && (!haveH || e.wheel[slot][i].seq < e.heap[0].seq):
+			ev = e.wheel[slot][i]
+			i++
+		case haveH:
+			ev = e.heapPop()
+		default:
+			if i > 0 {
+				b := e.wheel[slot]
+				clear(b) // release target/fn references
+				e.wheel[slot] = b[:0]
+				e.occupied[slot>>6] &^= 1 << uint(slot&63)
+				e.wheelLen -= i
+			}
+			return
+		}
+		e.dispatch(&ev, when)
+	}
+}
 
 // Step executes the earliest event, returning false when none remain.
 func (e *Engine) Step() bool {
-	if len(e.h) == 0 {
+	when, ok := e.nextWhen()
+	if !ok {
 		return false
 	}
-	ev := heap.Pop(&e.h).(event)
-	e.now = ev.when
-	ev.fn(e.now)
+	e.now = when
+	slot := int(when) & wheelMask
+	haveW := len(e.wheel[slot]) > 0
+	haveH := len(e.heap) > 0 && e.heap[0].when == when
+	var ev event
+	if haveW && (!haveH || e.wheel[slot][0].seq < e.heap[0].seq) {
+		b := e.wheel[slot]
+		ev = b[0]
+		n := copy(b, b[1:])
+		b[n] = event{}
+		e.wheel[slot] = b[:n]
+		if n == 0 {
+			e.occupied[slot>>6] &^= 1 << uint(slot&63)
+		}
+		e.wheelLen--
+	} else {
+		ev = e.heapPop()
+	}
+	e.dispatch(&ev, when)
 	return true
 }
 
@@ -94,12 +300,114 @@ func (e *Engine) Step() bool {
 // clock to t.  Events scheduled during execution are honored if they fall
 // within the horizon.
 func (e *Engine) RunUntil(t Cycles) {
-	for len(e.h) > 0 && e.h[0].when <= t {
-		ev := heap.Pop(&e.h).(event)
-		e.now = ev.when
-		ev.fn(e.now)
+	for {
+		when, ok := e.nextWhen()
+		if !ok || when > t {
+			break
+		}
+		e.now = when
+		e.runAt(when)
 	}
 	if t > e.now {
 		e.now = t
+	}
+}
+
+// packClassLoc folds a request class and serve location into an event aux.
+func packClassLoc(class ReqClass, loc ServeLoc) int32 {
+	return int32(class)<<8 | int32(loc)
+}
+
+func unpackClassLoc(aux int32) (ReqClass, ServeLoc) {
+	return ReqClass(aux >> 8), ServeLoc(aux & 0xff)
+}
+
+// dispatch runs one event.  The payload kinds inline the bodies that were
+// per-event closures before the allocation-free rewrite; evFunc remains
+// the general path.
+func (e *Engine) dispatch(ev *event, now Cycles) {
+	switch ev.kind {
+	case evFunc:
+		ev.fn(now)
+	case evCoreStep:
+		e.mach.coreStep(ev.target.(*Core), now)
+	case evOcc:
+		ev.target.(*pmu.OccTracker).Update(now, int(ev.aux))
+	case evBusyBegin:
+		ev.target.(*pmu.BusyTracker).Begin(now)
+	case evBusyEnd:
+		ev.target.(*pmu.BusyTracker).End(now)
+	case evPFDone:
+		ev.target.(*Core).pfInFlight--
+	case evBankInc:
+		ev.target.(*pmu.Bank).Inc(pmu.Event(ev.aux))
+	case evBankAdd:
+		ev.target.(*pmu.Bank).Add(pmu.Event(ev.aux), ev.arg)
+	case evServe:
+		class, loc := unpackClassLoc(ev.aux)
+		ev.target.(*Core).serveRetired(class, loc)
+	case evTOREnter:
+		class, loc := unpackClassLoc(ev.aux)
+		ev.target.(*chaSlice).torEnter(now, class, loc)
+	case evTORLeave:
+		class, loc := unpackClassLoc(ev.aux)
+		ev.target.(*chaSlice).torLeave(now, class, loc)
+	case evWBInsert:
+		s := ev.target.(*chaSlice)
+		s.bank.Inc(pmu.TORInsertsIAWB[int(ev.aux)])
+		s.bank.Inc(pmu.TORInsertsIA[pmu.IAAll])
+	case evIMCReadAdmit:
+		ch := ev.target.(*imcChannel)
+		ch.bank.Inc(pmu.RPQInserts)
+		ch.bank.Inc(pmu.CASCountRd)
+		ch.bank.Inc(pmu.CASCountAll)
+		ch.rpqOcc.Update(now, +1)
+	case evIMCWriteAdmit:
+		ch := ev.target.(*imcChannel)
+		ch.bank.Inc(pmu.WPQInserts)
+		ch.bank.Inc(pmu.CASCountWr)
+		ch.bank.Inc(pmu.CASCountAll)
+		ch.wpqOcc.Update(now, +1)
+	case evCXLArrive:
+		p := ev.target.(*cxlPort)
+		p.m2pBank.Inc(pmu.M2PRxInserts)
+		p.ingress.Update(now, +1)
+	case evCXLReadDev:
+		p := ev.target.(*cxlPort)
+		p.devBank.Inc(pmu.CXLRxPackBufInsertsReq)
+		p.packReqOcc.Update(now, +1)
+		p.qos.Update(now, +1)
+	case evCXLReadRPQ:
+		p := ev.target.(*cxlPort)
+		p.packReqOcc.Update(now, -1)
+		p.devBank.Inc(pmu.CXLDevRPQInserts)
+		p.devRPQOcc.Update(now, +1)
+	case evCXLReadData:
+		p := ev.target.(*cxlPort)
+		p.devRPQOcc.Update(now, -1)
+		p.qos.Update(now, -1)
+		p.devBank.Inc(pmu.CXLDevCASRd)
+		p.devBank.Inc(pmu.CXLTxPackBufInsertsData)
+	case evCXLWriteDev:
+		p := ev.target.(*cxlPort)
+		p.devBank.Inc(pmu.CXLRxPackBufInsertsData)
+		p.packDataOcc.Update(now, +1)
+		p.qos.Update(now, +1)
+	case evCXLWriteWPQ:
+		p := ev.target.(*cxlPort)
+		p.packDataOcc.Update(now, -1)
+		p.devBank.Inc(pmu.CXLDevWPQInserts)
+		p.devWPQOcc.Update(now, +1)
+	case evCXLWriteDone:
+		p := ev.target.(*cxlPort)
+		p.devWPQOcc.Update(now, -1)
+		p.qos.Update(now, -1)
+		p.devBank.Inc(pmu.CXLDevCASWr)
+		p.devBank.Inc(pmu.CXLTxPackBufInsertsReq)
+	case evCXLCRC:
+		p := ev.target.(*cxlPort)
+		p.devBank.Inc(pmu.CXLLinkCRCErrors)
+		p.devBank.Inc(pmu.CXLLinkRetries)
+		p.devBank.Add(pmu.CXLLinkReplayBytes, ev.arg)
 	}
 }

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestEngineWheelHeapMerge: events at the same cycle must fire in
+// schedule (seq) order even when some were routed to the timing wheel
+// (scheduled near the horizon) and others to the overflow heap
+// (scheduled from far away) — the merge in runAt preserves the single
+// global (when, seq) total order the old boxed heap provided.
+func TestEngineWheelHeapMerge(t *testing.T) {
+	e := NewEngine()
+	target := Cycles(2 * wheelSlots)
+	var got []int
+
+	// Scheduled while target is beyond the wheel horizon: heap path.
+	e.Schedule(target, func(Cycles) { got = append(got, 0) })
+	e.Schedule(target, func(Cycles) { got = append(got, 1) })
+	// Advance to within the horizon, then schedule at the same cycle:
+	// wheel path, with larger seq than the heap events.
+	e.RunUntil(target - 10)
+	e.Schedule(target, func(Cycles) { got = append(got, 2) })
+	// And one more far event that lands back in the heap.
+	e.Schedule(target, func(Cycles) { got = append(got, 3) })
+
+	e.RunUntil(target + 1)
+	want := []int{0, 1, 2, 3}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("same-cycle order = %v, want %v", got, want)
+	}
+}
+
+// TestEngineWheelWrap exercises the wheel across several full rotations
+// with nested same-cycle cascades.
+func TestEngineWheelWrap(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	var chain func(now Cycles)
+	chain = func(now Cycles) {
+		fired++
+		if fired < 10 {
+			// Hop a fraction of the wheel each time so slots wrap.
+			e.Schedule(now+wheelSlots/3+7, chain)
+			// Same-cycle cascade: scheduled during the drain of `now`.
+			e.Schedule(now, func(Cycles) { fired++ })
+		}
+	}
+	e.Schedule(5, chain)
+	e.RunUntil(20 * wheelSlots)
+	// Each hop fires the chain plus its same-cycle cascade (fired += 2),
+	// so the chain observes fired = 1,3,5,7,9 before stopping at 11.
+	if fired != 11 {
+		t.Fatalf("fired %d events, want 11", fired)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events still pending", e.Pending())
+	}
+}
+
+// TestEnginePastPanicMessage: the past-scheduling panic must carry
+// enough context to debug the misbehaving schedule site.
+func TestEnginePastPanicMessage(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(50, func(Cycles) {})
+	e.Schedule(60, func(Cycles) {})
+	e.RunUntil(100)
+	e.Schedule(200, func(Cycles) {})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("scheduling into the past did not panic")
+		}
+		msg := fmt.Sprint(r)
+		for _, part := range []string{"when=40", "now=100", "60 cycles behind", "1 events pending"} {
+			if !strings.Contains(msg, part) {
+				t.Errorf("panic message %q missing %q", msg, part)
+			}
+		}
+	}()
+	e.Schedule(40, func(Cycles) {})
+}
+
+// TestMachineBankUnknownPanics: a misnamed bank must fail loudly with
+// the available names, not return nil for the caller to deref.
+func TestMachineBankUnknownPanics(t *testing.T) {
+	m := New(smallConfig(), testSpace(t))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("unknown bank name did not panic")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "cxl9") || !strings.Contains(msg, "cxl0") {
+			t.Errorf("panic %q should name the missing bank and the available ones", msg)
+		}
+	}()
+	m.Bank("cxl9")
+}

@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"math/bits"
+	"sort"
+	"strings"
 
 	"pathfinder/internal/cxl"
 	"pathfinder/internal/mem"
@@ -48,6 +50,7 @@ func New(cfg Config, as *mem.AddressSpace) *Machine {
 		remoteBus:  server{service: cfg.serviceCycles(cfg.RemoteDRAMGBs)},
 		bankByName: make(map[string]*pmu.Bank),
 	}
+	m.eng.mach = m
 	addBank := func(name string) *pmu.Bank {
 		b := pmu.NewBank(pmu.Default, name)
 		m.banks = append(m.banks, b)
@@ -102,8 +105,23 @@ func (m *Machine) Now() Cycles { return m.eng.Now() }
 func (m *Machine) Banks() []*pmu.Bank { return m.banks }
 
 // Bank returns the bank of the named module instance (e.g. "core3",
-// "cha0", "imc1", "m2pcie0", "cxl0"), or nil.
-func (m *Machine) Bank(name string) *pmu.Bank { return m.bankByName[name] }
+// "cha0", "imc1", "m2pcie0", "cxl0").  Asking for a bank the machine was
+// not configured with is a rig bug and panics with the offending name, so
+// misconfigured experiments fail descriptively instead of dereferencing
+// nil.
+func (m *Machine) Bank(name string) *pmu.Bank {
+	b, ok := m.bankByName[name]
+	if !ok {
+		names := make([]string, 0, len(m.bankByName))
+		for n := range m.bankByName {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		panic(fmt.Sprintf("sim: machine %q has no PMU bank %q (have: %s)",
+			m.cfg.Name, name, strings.Join(names, ", ")))
+	}
+	return b
+}
 
 // Core returns core i.
 func (m *Machine) Core(i int) *Core { return m.cores[i] }
@@ -118,11 +136,8 @@ func (m *Machine) Attach(i int, gen workload.Generator) {
 	wasRunning := c.running
 	c.gen = gen
 	c.running = gen != nil
-	if c.stepFn == nil {
-		c.stepFn = func(now Cycles) { m.coreStep(c, now) }
-	}
 	if c.running && !wasRunning {
-		m.eng.Schedule(m.eng.Now(), c.stepFn)
+		m.eng.at(m.eng.Now(), evCoreStep, c, 0, 0)
 	}
 }
 
@@ -198,7 +213,7 @@ func (m *Machine) coreStep(c *Core, now Cycles) {
 		next = now + 1
 	}
 	c.bank.Add(pmu.CPUClkUnhalted, next-now)
-	m.eng.Schedule(next, c.stepFn)
+	m.eng.at(next, evCoreStep, c, 0, 0)
 }
 
 // load executes a demand load issued at t, returning when the core may
@@ -268,17 +283,17 @@ func (m *Machine) missPath(c *Core, class ReqClass, la uint64, t Cycles) accessR
 
 	c.lfb = append(c.lfb, lfbEntry{line: la, done: res.done, times: res.times,
 		class: class, missedL2: res.missedL2, missedLLC: res.missedLLC})
-	m.eng.Schedule(start, func(now Cycles) { c.lfbOcc.Update(now, +1) })
+	m.eng.at(start, evOcc, c.lfbOcc, +1, 0)
 	done := res.done
-	m.eng.Schedule(done, func(now Cycles) { c.lfbOcc.Update(now, -1) })
+	m.eng.at(done, evOcc, c.lfbOcc, -1, 0)
 
 	if class == ClassDRd {
-		m.eng.Schedule(start, func(now Cycles) { c.missL1Busy.Begin(now) })
-		m.eng.Schedule(done, func(now Cycles) { c.missL1Busy.End(now) })
+		m.eng.at(start, evBusyBegin, c.missL1Busy, 0, 0)
+		m.eng.at(done, evBusyEnd, c.missL1Busy, 0, 0)
 		if res.missedL2 {
 			enter := res.times.torEnter
-			m.eng.Schedule(enter, func(now Cycles) { c.missL2Busy.Begin(now) })
-			m.eng.Schedule(done, func(now Cycles) { c.missL2Busy.End(now) })
+			m.eng.at(enter, evBusyBegin, c.missL2Busy, 0, 0)
+			m.eng.at(done, evBusyEnd, c.missL2Busy, 0, 0)
 		}
 	}
 	return res
@@ -339,21 +354,21 @@ func (m *Machine) accessL2Down(c *Core, class ReqClass, la uint64, t Cycles) acc
 	isRead := class != ClassRFO && class != ClassL2PFRFO
 	done := res.done
 	if isRead {
-		m.eng.Schedule(tOff, func(now Cycles) { c.oroData.Update(now, +1) })
-		m.eng.Schedule(done, func(now Cycles) { c.oroData.Update(now, -1) })
+		m.eng.at(tOff, evOcc, c.oroData, +1, 0)
+		m.eng.at(done, evOcc, c.oroData, -1, 0)
 	}
 	if class == ClassDRd {
-		m.eng.Schedule(tOff, func(now Cycles) { c.oroDemand.Update(now, +1) })
-		m.eng.Schedule(done, func(now Cycles) { c.oroDemand.Update(now, -1) })
+		m.eng.at(tOff, evOcc, c.oroDemand, +1, 0)
+		m.eng.at(done, evOcc, c.oroDemand, -1, 0)
 		if res.missedLLC {
 			enter := res.times.memEnter
-			m.eng.Schedule(enter, func(now Cycles) { c.oroL3Miss.Update(now, +1) })
-			m.eng.Schedule(done, func(now Cycles) { c.oroL3Miss.Update(now, -1) })
+			m.eng.at(enter, evOcc, c.oroL3Miss, +1, 0)
+			m.eng.at(done, evOcc, c.oroL3Miss, -1, 0)
 		}
 	}
 	if class == ClassRFO {
-		m.eng.Schedule(tOff, func(now Cycles) { c.rfoBusy.Begin(now) })
-		m.eng.Schedule(done, func(now Cycles) { c.rfoBusy.End(now) })
+		m.eng.at(tOff, evBusyBegin, c.rfoBusy, 0, 0)
+		m.eng.at(done, evBusyEnd, c.rfoBusy, 0, 0)
 	}
 
 	// Fill the hierarchy on the way back.
@@ -656,80 +671,58 @@ func (m *Machine) evictLLCVictim(s *chaSlice, v Line, t Cycles) Cycles {
 // torTransit records a TOR residency for a request: insert counters at
 // enter, occupancy over [enter, leave).
 func (m *Machine) torTransit(s *chaSlice, c *Core, class ReqClass, loc ServeLoc, enter, leave Cycles) {
-	fam := s.torClassFamily(class)
-	if fam == nil {
+	if s.torClassFamily(class) == nil {
 		return
 	}
-	var scns []int
-	if class.IsRFOLike() {
-		scns = rfoScnTable[loc]
-	} else {
-		scns = drdScnTable[loc]
-	}
-	ia := iaScnTable[loc]
-	m.eng.Schedule(enter, func(now Cycles) {
-		for _, scn := range scns {
-			s.bank.Inc(fam.inserts[scn])
-			fam.occ[scn].Update(now, +1)
-		}
-		for _, scn := range ia {
-			s.bank.Inc(s.ia.inserts[scn])
-			s.ia.occ[scn].Update(now, +1)
-		}
-	})
-	m.eng.Schedule(leave, func(now Cycles) {
-		for _, scn := range scns {
-			fam.occ[scn].Update(now, -1)
-		}
-		for _, scn := range ia {
-			s.ia.occ[scn].Update(now, -1)
-		}
-	})
+	aux := packClassLoc(class, loc)
+	m.eng.at(enter, evTOREnter, s, aux, 0)
+	m.eng.at(leave, evTORLeave, s, aux, 0)
 }
 
 // coreServeCounters increments the core-PMU offcore-response family and
 // the retired-load serve-location events at completion time.
 func (m *Machine) coreServeCounters(c *Core, class ReqClass, loc ServeLoc, done Cycles) {
-	fam := ocrFamilyOf(class)
+	m.eng.at(done, evServe, c, packClassLoc(class, loc), 0)
+}
+
+// serveRetired is the evServe payload: the OCR response-scenario family of
+// the class plus, for demand loads, the retired-load serve-location events.
+func (c *Core) serveRetired(class ReqClass, loc ServeLoc) {
 	// All OCR families (including RFO) use the nine-way response-scenario
 	// vector, so the DRd scenario table applies to every class.
-	scns := drdScnTable[loc]
-	demand := class == ClassDRd
-	m.eng.Schedule(done, func(now Cycles) {
-		if fam != nil {
-			for _, scn := range scns {
-				c.bank.Inc(fam[scn])
-			}
+	if fam := ocrFamilyOf(class); fam != nil {
+		for _, scn := range drdScnTable[loc] {
+			c.bank.Inc(fam[scn])
 		}
-		if !demand {
-			return
-		}
-		switch loc {
-		case SrvLLC:
-			c.bank.Inc(pmu.MemLoadL3Hit)
-			c.bank.Inc(pmu.MemLoadL3HitRetired[0]) // xsnp_none
-		case SrvPeerCache:
-			c.bank.Inc(pmu.MemLoadL3Hit)
-			c.bank.Inc(pmu.MemLoadL3HitRetired[3]) // xsnp_fwd
-		case SrvSNCLLC:
-			c.bank.Inc(pmu.MemLoadL3Hit)
-			c.bank.Inc(pmu.MemLoadL3HitRetired[2]) // xsnp_no_fwd
-		case SrvRemoteLLC:
-			c.bank.Inc(pmu.MemLoadL3Miss)
-			c.bank.Inc(pmu.MemLoadL3MissRetired[2]) // remote_fwd
-		case SrvLocalDRAM:
-			c.bank.Inc(pmu.MemLoadL3Miss)
-			c.bank.Inc(pmu.MemLoadL3MissRetired[0])
-		case SrvRemoteDRAM:
-			c.bank.Inc(pmu.MemLoadL3Miss)
-			c.bank.Inc(pmu.MemLoadL3MissRetired[1])
-		case SrvCXL:
-			// The CXL node appears as remote DRAM to the retired-load
-			// facility; the OCR miss_cxl scenario carries the CXL split.
-			c.bank.Inc(pmu.MemLoadL3Miss)
-			c.bank.Inc(pmu.MemLoadL3MissRetired[1])
-		}
-	})
+	}
+	if class != ClassDRd {
+		return
+	}
+	switch loc {
+	case SrvLLC:
+		c.bank.Inc(pmu.MemLoadL3Hit)
+		c.bank.Inc(pmu.MemLoadL3HitRetired[0]) // xsnp_none
+	case SrvPeerCache:
+		c.bank.Inc(pmu.MemLoadL3Hit)
+		c.bank.Inc(pmu.MemLoadL3HitRetired[3]) // xsnp_fwd
+	case SrvSNCLLC:
+		c.bank.Inc(pmu.MemLoadL3Hit)
+		c.bank.Inc(pmu.MemLoadL3HitRetired[2]) // xsnp_no_fwd
+	case SrvRemoteLLC:
+		c.bank.Inc(pmu.MemLoadL3Miss)
+		c.bank.Inc(pmu.MemLoadL3MissRetired[2]) // remote_fwd
+	case SrvLocalDRAM:
+		c.bank.Inc(pmu.MemLoadL3Miss)
+		c.bank.Inc(pmu.MemLoadL3MissRetired[0])
+	case SrvRemoteDRAM:
+		c.bank.Inc(pmu.MemLoadL3Miss)
+		c.bank.Inc(pmu.MemLoadL3MissRetired[1])
+	case SrvCXL:
+		// The CXL node appears as remote DRAM to the retired-load
+		// facility; the OCR miss_cxl scenario carries the CXL split.
+		c.bank.Inc(pmu.MemLoadL3Miss)
+		c.bank.Inc(pmu.MemLoadL3MissRetired[1])
+	}
 }
 
 // fillL1 installs la into the L1D, spilling a dirty victim into the L2.
@@ -766,10 +759,7 @@ func (m *Machine) fillL2(c *Core, la uint64, st State, t Cycles) {
 // path's core->CHA writeback).
 func (m *Machine) l2VictimWriteback(c *Core, la uint64, t Cycles) {
 	s := m.slices[mem.SliceOf(la, len(m.slices))]
-	m.eng.Schedule(t, func(now Cycles) {
-		s.bank.Inc(pmu.TORInsertsIAWB[pmu.WBMToE])
-		s.bank.Inc(pmu.TORInsertsIA[pmu.IAAll])
-	})
+	m.eng.at(t, evWBInsert, s, int32(pmu.WBMToE), 0)
 	c.bank.Inc(pmu.OCRModifiedWriteAny)
 	// The evicting core may still hold the line in its L1 (the L2 victim
 	// was selected independently), so its presence bit must survive —
@@ -797,10 +787,7 @@ func (m *Machine) l2VictimWriteback(c *Core, la uint64, t Cycles) {
 // CXL-resident lines.  It returns the device-queue admission time, which a
 // caller uses as fill backpressure when the write queue is full.
 func (m *Machine) writebackToMemory(s *chaSlice, la uint64, t Cycles, transition int) Cycles {
-	m.eng.Schedule(t, func(now Cycles) {
-		s.bank.Inc(pmu.TORInsertsIAWB[transition])
-		s.bank.Inc(pmu.TORInsertsIA[pmu.IAAll])
-	})
+	m.eng.at(t, evWBInsert, s, int32(transition), 0)
 	depart := t + m.cfg.MeshLat
 	var admit, done Cycles
 	switch m.as.KindOf(la) {
@@ -820,8 +807,8 @@ func (m *Machine) writebackToMemory(s *chaSlice, la uint64, t Cycles, transition
 		admit, done = m.ports[dev].write(m.eng, depart)
 	}
 	if transition == pmu.WBMToI {
-		m.eng.Schedule(t, func(now Cycles) { s.wbmtoi.Update(now, +1) })
-		m.eng.Schedule(done, func(now Cycles) { s.wbmtoi.Update(now, -1) })
+		m.eng.at(t, evOcc, s.wbmtoi, +1, 0)
+		m.eng.at(done, evOcc, s.wbmtoi, -1, 0)
 	}
 	return admit
 }
@@ -918,7 +905,7 @@ func (m *Machine) trainL1PF(c *Core, la uint64, t Cycles) {
 		}
 		c.pfInFlight++
 		res := m.missPath(c, ClassL1PF, cand, t)
-		m.eng.Schedule(res.done, func(now Cycles) { c.pfInFlight-- })
+		m.eng.at(res.done, evPFDone, c, 0, 0)
 	}
 }
 
@@ -949,7 +936,7 @@ func (m *Machine) trainL2PF(c *Core, trigger ReqClass, la uint64, t Cycles) {
 			st = Shared
 		}
 		m.fillL2(c, cand, st, llc.done)
-		m.eng.Schedule(llc.done, func(now Cycles) { c.pfInFlight-- })
+		m.eng.at(llc.done, evPFDone, c, 0, 0)
 	}
 	c.pfScratch = buf[:0]
 }
@@ -966,7 +953,7 @@ func (m *Machine) swPrefetch(c *Core, addr uint64, t Cycles) {
 	}
 	c.pfInFlight++
 	res := m.missPath(c, ClassSWPF, la, t)
-	m.eng.Schedule(res.done, func(now Cycles) { c.pfInFlight-- })
+	m.eng.at(res.done, evPFDone, c, 0, 0)
 }
 
 // trailingZeros returns the index of the lowest set bit.

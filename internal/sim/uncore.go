@@ -190,6 +190,40 @@ func newCHASlice(id, cluster int, llcBytes, ways int, bank *pmu.Bank) *chaSlice 
 	return s
 }
 
+// torEnter is the evTOREnter payload: the insert counters and occupancy
+// rising edges of one TOR residency.  The class/location scenario lists are
+// re-derived from the static tables, so the event carries no closure state.
+func (s *chaSlice) torEnter(now Cycles, class ReqClass, loc ServeLoc) {
+	fam := s.torClassFamily(class)
+	scns := drdScnTable[loc]
+	if class.IsRFOLike() {
+		scns = rfoScnTable[loc]
+	}
+	for _, scn := range scns {
+		s.bank.Inc(fam.inserts[scn])
+		fam.occ[scn].Update(now, +1)
+	}
+	for _, scn := range iaScnTable[loc] {
+		s.bank.Inc(s.ia.inserts[scn])
+		s.ia.occ[scn].Update(now, +1)
+	}
+}
+
+// torLeave is the evTORLeave payload: the falling occupancy edges.
+func (s *chaSlice) torLeave(now Cycles, class ReqClass, loc ServeLoc) {
+	fam := s.torClassFamily(class)
+	scns := drdScnTable[loc]
+	if class.IsRFOLike() {
+		scns = rfoScnTable[loc]
+	}
+	for _, scn := range scns {
+		fam.occ[scn].Update(now, -1)
+	}
+	for _, scn := range iaScnTable[loc] {
+		s.ia.occ[scn].Update(now, -1)
+	}
+}
+
 // torClassFamily returns the TOR family tracking the given request class.
 func (s *chaSlice) torClassFamily(class ReqClass) *torFamily {
 	switch class {
@@ -250,13 +284,8 @@ func (ch *imcChannel) read(eng *Engine, arrival Cycles) Cycles {
 	start := ch.bus.acquire(admit)
 	data := start + ch.lat
 	ch.rpq.commit(data) // RPQ entry is held until data returns
-	eng.Schedule(admit, func(now Cycles) {
-		ch.bank.Inc(pmu.RPQInserts)
-		ch.bank.Inc(pmu.CASCountRd)
-		ch.bank.Inc(pmu.CASCountAll)
-		ch.rpqOcc.Update(now, +1)
-	})
-	eng.Schedule(data, func(now Cycles) { ch.rpqOcc.Update(now, -1) })
+	eng.at(admit, evIMCReadAdmit, ch, 0, 0)
+	eng.at(data, evOcc, ch.rpqOcc, -1, 0)
 	return data
 }
 
@@ -268,13 +297,8 @@ func (ch *imcChannel) write(eng *Engine, arrival Cycles) (admitted, drained Cycl
 	start := ch.bus.acquire(admit)
 	done := start + ch.lat
 	ch.wpq.commit(done)
-	eng.Schedule(admit, func(now Cycles) {
-		ch.bank.Inc(pmu.WPQInserts)
-		ch.bank.Inc(pmu.CASCountWr)
-		ch.bank.Inc(pmu.CASCountAll)
-		ch.wpqOcc.Update(now, +1)
-	})
-	eng.Schedule(done, func(now Cycles) { ch.wpqOcc.Update(now, -1) })
+	eng.at(admit, evIMCWriteAdmit, ch, 0, 0)
+	eng.at(done, evOcc, ch.wpqOcc, -1, 0)
 	return admit, done
 }
 
@@ -393,7 +417,7 @@ func (p *cxlPort) linkXfer(eng *Engine, srv *byteServer, dir cxl.Direction, read
 	// The transfer's flits sit in the retry buffer from first transmission
 	// until the cumulative ack returns, one link round trip after arrival.
 	flits := flitsOf(size)
-	eng.Schedule(start, func(now Cycles) { p.retryOcc.Update(now, +flits) })
+	eng.at(start, evOcc, p.retryOcc, int32(flits), 0)
 
 	// A Nak rewinds the sender to the lost flit, retransmitting the
 	// flits in flight behind it — on average half the retry window.
@@ -409,15 +433,11 @@ func (p *cxlPort) linkXfer(eng *Engine, srv *byteServer, dir cxl.Direction, read
 		// this transfer riding at its tail.
 		nakBack := start + 2*p.cfg.FlexBusLat
 		reStart := srv.acquire(nakBack, replayBytes+size)
-		eng.Schedule(start+p.cfg.FlexBusLat, func(now Cycles) {
-			p.devBank.Inc(pmu.CXLLinkCRCErrors)
-			p.devBank.Inc(pmu.CXLLinkRetries)
-			p.devBank.Add(pmu.CXLLinkReplayBytes, uint64(replayBytes+size))
-		})
+		eng.at(start+p.cfg.FlexBusLat, evCXLCRC, p, 0, uint64(replayBytes+size))
 		start = reStart + Cycles(replayBytes*srv.perByte)
 	}
 	ack := start + 2*p.cfg.FlexBusLat
-	eng.Schedule(ack, func(now Cycles) { p.retryOcc.Update(now, -flits) })
+	eng.at(ack, evOcc, p.retryOcc, int32(-flits), 0)
 	return start
 }
 
@@ -427,7 +447,7 @@ func (p *cxlPort) ctrlDelay(eng *Engine, t Cycles) Cycles {
 	lat := p.cfg.CXLCtrlLat
 	if p.plan.TimeoutAt(uint64(t)) {
 		lat += Cycles(p.plan.Penalty())
-		eng.Schedule(t, func(Cycles) { p.devBank.Inc(pmu.CXLDevTimeouts) })
+		eng.at(t, evBankInc, p.devBank, int32(pmu.CXLDevTimeouts), 0)
 	}
 	return lat
 }
@@ -439,7 +459,7 @@ func (p *cxlPort) mediaAcquire(eng *Engine, t Cycles) Cycles {
 	if p.plan.ThrottledAt(uint64(start)) {
 		start = p.media.acquire(start)
 		slot := uint64(p.media.service + 0.5)
-		eng.Schedule(start, func(Cycles) { p.devBank.Add(pmu.CXLDevThrottled, slot) })
+		eng.at(start, evBankAdd, p.devBank, int32(pmu.CXLDevThrottled), slot)
 	}
 	return start
 }
@@ -464,7 +484,7 @@ func (p *cxlPort) read(eng *Engine, arrival Cycles, la uint64) Cycles {
 		// Poisoned media: the device's internal correction pass re-reads
 		// before returning data flagged poisoned.
 		data += p.cfg.CXLMediaLat
-		eng.Schedule(data, func(Cycles) { p.devBank.Inc(pmu.CXLDevPoisonRd) })
+		eng.at(data, evBankInc, p.devBank, int32(pmu.CXLDevPoisonRd), 0)
 	}
 	p.devRPQ.commit(data)
 
@@ -473,28 +493,12 @@ func (p *cxlPort) read(eng *Engine, arrival Cycles, la uint64) Cycles {
 	hostArrive := rxStart + p.cfg.FlexBusLat
 	done := hostArrive + p.cfg.M2PLat
 
-	eng.Schedule(arrival, func(now Cycles) {
-		p.m2pBank.Inc(pmu.M2PRxInserts)
-		p.ingress.Update(now, +1)
-	})
-	eng.Schedule(txStart, func(now Cycles) { p.ingress.Update(now, -1) })
-	eng.Schedule(devArrive, func(now Cycles) {
-		p.devBank.Inc(pmu.CXLRxPackBufInsertsReq)
-		p.packReqOcc.Update(now, +1)
-		p.qos.Update(now, +1)
-	})
-	eng.Schedule(rpqAdmit, func(now Cycles) {
-		p.packReqOcc.Update(now, -1)
-		p.devBank.Inc(pmu.CXLDevRPQInserts)
-		p.devRPQOcc.Update(now, +1)
-	})
-	eng.Schedule(data, func(now Cycles) {
-		p.devRPQOcc.Update(now, -1)
-		p.qos.Update(now, -1)
-		p.devBank.Inc(pmu.CXLDevCASRd)
-		p.devBank.Inc(pmu.CXLTxPackBufInsertsData)
-	})
-	eng.Schedule(hostArrive, func(now Cycles) { p.m2pBank.Inc(pmu.M2PTxInsertsBL) })
+	eng.at(arrival, evCXLArrive, p, 0, 0)
+	eng.at(txStart, evOcc, p.ingress, -1, 0)
+	eng.at(devArrive, evCXLReadDev, p, 0, 0)
+	eng.at(rpqAdmit, evCXLReadRPQ, p, 0, 0)
+	eng.at(data, evCXLReadData, p, 0, 0)
+	eng.at(hostArrive, evBankInc, p.m2pBank, int32(pmu.M2PTxInsertsBL), 0)
 	return done
 }
 
@@ -517,28 +521,12 @@ func (p *cxlPort) write(eng *Engine, arrival Cycles) (admitted, drained Cycles) 
 	rxStart := p.linkXfer(eng, &p.linkRx, cxl.DirS2M, mediaStart, cxl.BytesPerMessage(cxl.Cmp)) // NDR
 	ackArrive := rxStart + p.cfg.FlexBusLat
 
-	eng.Schedule(arrival, func(now Cycles) {
-		p.m2pBank.Inc(pmu.M2PRxInserts)
-		p.ingress.Update(now, +1)
-	})
-	eng.Schedule(txStart, func(now Cycles) { p.ingress.Update(now, -1) })
-	eng.Schedule(devArrive, func(now Cycles) {
-		p.devBank.Inc(pmu.CXLRxPackBufInsertsData)
-		p.packDataOcc.Update(now, +1)
-		p.qos.Update(now, +1)
-	})
-	eng.Schedule(wpqAdmit, func(now Cycles) {
-		p.packDataOcc.Update(now, -1)
-		p.devBank.Inc(pmu.CXLDevWPQInserts)
-		p.devWPQOcc.Update(now, +1)
-	})
-	eng.Schedule(done, func(now Cycles) {
-		p.devWPQOcc.Update(now, -1)
-		p.qos.Update(now, -1)
-		p.devBank.Inc(pmu.CXLDevCASWr)
-		p.devBank.Inc(pmu.CXLTxPackBufInsertsReq)
-	})
-	eng.Schedule(ackArrive, func(now Cycles) { p.m2pBank.Inc(pmu.M2PTxInsertsAK) })
+	eng.at(arrival, evCXLArrive, p, 0, 0)
+	eng.at(txStart, evOcc, p.ingress, -1, 0)
+	eng.at(devArrive, evCXLWriteDev, p, 0, 0)
+	eng.at(wpqAdmit, evCXLWriteWPQ, p, 0, 0)
+	eng.at(done, evCXLWriteDone, p, 0, 0)
+	eng.at(ackArrive, evBankInc, p.m2pBank, int32(pmu.M2PTxInsertsAK), 0)
 	return ready, done
 }
 
