@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz-short bench-json all
+.PHONY: build test race vet fuzz-short bench-json bench-regress all
 
 all: build vet test
 
@@ -22,9 +22,18 @@ vet:
 # derived sim-ops/sec) into BENCH_<date>.json so the perf trajectory is
 # tracked across PRs.
 bench-json:
-	$(GO) test -run '^$$' -bench 'SimLocalStream|SimCXLStream|SnapshotCapture|PFBuilder|PFEstimator|PFAnalyzer' \
+	$(GO) test -run '^$$' -bench 'SimLocalStream|SimCXLStream|CaptureSnapshot|PFBuilder|PFEstimator|PFAnalyzer|AnalyzeQueues|EpochLoop' \
 		-benchmem -benchtime 200000x . | $(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y%m%d).json
 	@echo wrote BENCH_$$(date +%Y%m%d).json
+
+# Gate the profiler hot paths against the committed baseline: fail when
+# SimCXLStream or CaptureSnapshot ns/op regresses more than 20% versus the
+# latest BENCH_*.json.  The iteration count must match bench-json's, or the
+# differently-amortized warmup skews the comparison; the gate takes the
+# fastest of three repetitions to filter scheduler noise.
+bench-regress:
+	$(GO) test -run '^$$' -bench 'SimCXLStream|CaptureSnapshot' -benchmem -benchtime 200000x -count 3 . \
+		| $(GO) run ./cmd/benchregress
 
 # Short fuzzing pass over the flit decoders and the fault-plan parser:
 # each target runs for 10 seconds and must only ever return structured

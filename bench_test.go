@@ -192,16 +192,19 @@ func BenchmarkSimCXLStream(b *testing.B) {
 	}
 }
 
-// BenchmarkSnapshotCapture measures the cost of a full-machine snapshot.
-func BenchmarkSnapshotCapture(b *testing.B) {
+// BenchmarkCaptureSnapshot measures the cost of a full-machine snapshot
+// (formerly BenchmarkSnapshotCapture; the arena capturer recycles snapshots
+// through Release, so steady state is allocation-free).
+func BenchmarkCaptureSnapshot(b *testing.B) {
 	m, r := benchRig(b, 1)
 	m.Attach(0, workload.NewStream(r, 2, 0, 1))
 	m.Run(500_000)
 	cap := core.NewCapturer(m)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Run(1000)
-		_ = cap.Capture()
+		cap.Capture().Release()
 	}
 }
 
@@ -243,6 +246,52 @@ func BenchmarkPFAnalyzer(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = core.AnalyzeQueues(s, []int{0}, 0, k)
+	}
+}
+
+// BenchmarkAnalyzeQueues measures the wait-time attribution per snapshot.
+func BenchmarkAnalyzeQueues(b *testing.B) {
+	m, r := benchRig(b, 1)
+	k := core.ConstsFor(m.Config())
+	m.Attach(0, workload.NewStream(r, 2, 0.2, 1))
+	cap := core.NewCapturer(m)
+	m.Run(2_000_000)
+	s := cap.Capture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.AnalyzeQueues(s, []int{0}, 0, k)
+	}
+}
+
+// BenchmarkEpochLoop measures one full profiler epoch in steady state:
+// capture, path map, stall estimate, queue report, digest, release.  The
+// simulator is advanced outside the timed region — this is the profiler's
+// per-epoch overhead, the number the snapshot arena exists to shrink.  The
+// pre-arena pipeline cost ~214us and ~400 allocs per epoch (SnapshotCapture
+// + PFBuilder + PFEstimator + PFAnalyzer in pfbench_full.txt); the arena
+// target is >=2x faster at <=2 allocs per epoch.
+func BenchmarkEpochLoop(b *testing.B) {
+	m, r := benchRig(b, 1)
+	k := core.ConstsFor(m.Config())
+	m.Attach(0, workload.NewStream(r, 2, 0.2, 1))
+	cap := core.NewCapturer(m)
+	m.Run(2_000_000)
+	plan := core.NewPlan(cap.Index(), []int{0}, 0)
+	var pm core.PathMap
+	var bd core.StallBreakdown
+	var qr core.QueueReport
+	buf := make(core.Digest, 0, 4096)
+	cap.Capture().Release() // warm the recycler
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := cap.Capture()
+		plan.BuildPathMapInto(s, &pm)
+		plan.EstimateStallsInto(s, k, &bd)
+		plan.AnalyzeQueuesInto(s, k, &qr)
+		buf = core.AppendDigest(buf[:0], s)
+		s.Release()
 	}
 }
 

@@ -11,34 +11,15 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 	"time"
+
+	"pathfinder/internal/benchparse"
 )
-
-// Benchmark is one parsed benchmark result.
-type Benchmark struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
-	SimOpsSec  float64            `json:"sim_ops_per_sec,omitempty"`
-}
-
-// Doc is the emitted file.
-type Doc struct {
-	Date       string      `json:"date"`
-	GoOS       string      `json:"goos,omitempty"`
-	GoArch     string      `json:"goarch,omitempty"`
-	Pkg        string      `json:"pkg,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
@@ -54,29 +35,11 @@ func main() {
 		in = f
 	}
 
-	doc := Doc{Date: time.Now().UTC().Format("2006-01-02T15:04:05Z")}
-	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case strings.HasPrefix(line, "goos:"):
-			doc.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
-		case strings.HasPrefix(line, "goarch:"):
-			doc.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
-		case strings.HasPrefix(line, "pkg:"):
-			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
-		case strings.HasPrefix(line, "cpu:"):
-			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
-		case strings.HasPrefix(line, "Benchmark"):
-			if b, ok := parseLine(line); ok {
-				doc.Benchmarks = append(doc.Benchmarks, b)
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
+	doc, err := benchparse.Parse(in)
+	if err != nil {
 		fatal(err)
 	}
+	doc.Date = time.Now().UTC().Format("2006-01-02T15:04:05Z")
 
 	w := os.Stdout
 	if *out != "" {
@@ -92,39 +55,6 @@ func main() {
 	if err := enc.Encode(doc); err != nil {
 		fatal(err)
 	}
-}
-
-// parseLine parses one result line:
-//
-//	BenchmarkSimCXLStream-8   300000   671.0 ns/op   43 B/op   1 allocs/op
-func parseLine(line string) (Benchmark, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 {
-		return Benchmark{}, false
-	}
-	name := fields[0]
-	if i := strings.LastIndexByte(name, '-'); i > 0 {
-		// Strip the -GOMAXPROCS suffix; it is not part of the identity.
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
-		}
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Benchmark{}, false
-	}
-	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			continue
-		}
-		b.Metrics[fields[i+1]] = v
-	}
-	if ns, ok := b.Metrics["ns/op"]; ok && ns > 0 {
-		b.SimOpsSec = 1e9 / ns
-	}
-	return b, true
 }
 
 func fatal(err error) {

@@ -1,0 +1,73 @@
+// Command benchregress gates perf regressions on the profiler hot paths:
+// it parses a current `go test -bench` run (stdin or a file argument),
+// compares the watched benchmarks against the committed BENCH_*.json
+// baseline, and exits nonzero when any ns/op grew beyond the tolerance
+// (see `make bench-regress`).
+//
+//	go test -run '^$' -bench 'SimCXLStream|CaptureSnapshot' -benchmem . | benchregress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pathfinder/internal/benchparse"
+)
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline BENCH_*.json (default: latest in the current directory)")
+	watch := flag.String("watch", "BenchmarkSimCXLStream,BenchmarkCaptureSnapshot",
+		"comma-separated benchmark names to gate")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed ns/op growth fraction")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	cur, err := benchparse.Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	basePath := *baseline
+	if basePath == "" {
+		basePath, err = benchparse.LatestBaseline(".")
+		if err != nil {
+			fatal(err)
+		}
+	}
+	base, err := benchparse.ReadDoc(basePath)
+	if err != nil {
+		fatal(err)
+	}
+
+	names := strings.Split(*watch, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	regs := benchparse.Compare(base, cur, names, *tolerance)
+	if len(regs) == 0 {
+		fmt.Printf("benchregress: %d watched benchmarks within %.0f%% of %s\n",
+			len(names), *tolerance*100, basePath)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "benchregress: regression vs %s:\n", basePath)
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "  %s\n", r)
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchregress:", err)
+	os.Exit(1)
+}

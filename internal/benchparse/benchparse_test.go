@@ -1,0 +1,98 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: pathfinder
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimCXLStream-8   	  300000	       992.9 ns/op	      43 B/op	       1 allocs/op
+BenchmarkCaptureSnapshot-8	    9337	    125968 ns/op	    2906 B/op	      88 allocs/op
+BenchmarkEpochLoop-8      	   53414	     22706 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	pathfinder	15.294s
+`
+
+func parseSample(t *testing.T) *Doc {
+	t.Helper()
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestParse(t *testing.T) {
+	doc := parseSample(t)
+	if doc.GoOS != "linux" || doc.GoArch != "amd64" || doc.Pkg != "pathfinder" {
+		t.Fatalf("header: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks", len(doc.Benchmarks))
+	}
+	b := doc.Find("BenchmarkSimCXLStream")
+	if b == nil {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if b.Iterations != 300000 || b.Metrics["ns/op"] != 992.9 || b.Metrics["allocs/op"] != 1 {
+		t.Fatalf("parsed: %+v", b)
+	}
+	if b.SimOpsSec < 1e6 || b.SimOpsSec > 1.1e6 {
+		t.Fatalf("sim_ops_per_sec = %v", b.SimOpsSec)
+	}
+	if doc.Find("BenchmarkMissing") != nil {
+		t.Fatal("Find invented a benchmark")
+	}
+}
+
+func TestBestCollapsesRepetitions(t *testing.T) {
+	doc := parseSample(t)
+	noisy, _ := ParseLine("BenchmarkSimCXLStream-8   200000   1250.0 ns/op   53 B/op   1 allocs/op")
+	doc.Benchmarks = append(doc.Benchmarks, noisy)
+	if got := doc.Best("BenchmarkSimCXLStream").Metrics["ns/op"]; got != 992.9 {
+		t.Fatalf("Best picked %v ns/op, want the 992.9 run", got)
+	}
+	if doc.Best("BenchmarkMissing") != nil {
+		t.Fatal("Best invented a benchmark")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := parseSample(t)
+	cur := parseSample(t)
+	watch := []string{"BenchmarkSimCXLStream", "BenchmarkCaptureSnapshot"}
+
+	if regs := Compare(base, cur, watch, 0.20); len(regs) != 0 {
+		t.Fatalf("identical runs flagged: %v", regs)
+	}
+
+	// +25% on one watched benchmark crosses the 20% gate.
+	cur.Find("BenchmarkSimCXLStream").Metrics["ns/op"] = 992.9 * 1.25
+	regs := Compare(base, cur, watch, 0.20)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkSimCXLStream" {
+		t.Fatalf("regressions: %v", regs)
+	}
+	if regs[0].Growth < 0.24 || regs[0].Growth > 0.26 {
+		t.Fatalf("growth = %v", regs[0].Growth)
+	}
+
+	// +25% under a 30% tolerance passes.
+	if regs := Compare(base, cur, watch, 0.30); len(regs) != 0 {
+		t.Fatalf("within-tolerance run flagged: %v", regs)
+	}
+
+	// A watched benchmark missing from either side fails loudly rather than
+	// silently passing the gate.
+	regs = Compare(base, cur, []string{"BenchmarkNotInBaseline"}, 0.20)
+	if len(regs) != 1 || !regs[0].MissingBaseline {
+		t.Fatalf("missing-baseline: %v", regs)
+	}
+	cur.Benchmarks = cur.Benchmarks[:1] // drop CaptureSnapshot from the current run
+	regs = Compare(base, cur, []string{"BenchmarkCaptureSnapshot"}, 0.20)
+	if len(regs) != 1 || !regs[0].MissingCurrent {
+		t.Fatalf("missing-current: %v", regs)
+	}
+}

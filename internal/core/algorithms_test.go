@@ -18,24 +18,22 @@ type synthRig struct {
 }
 
 func newSynthRig(cores, chas, imcs, cxls int, cycles sim.Cycles) *synthRig {
-	s := &Snapshot{Start: 0, End: cycles, deltas: map[string][]uint64{}}
-	add := func(name string) {
-		s.deltas[name] = make([]uint64, pmu.Default.Len())
-		s.countBank(name)
-	}
+	var names []string
 	for i := 0; i < cores; i++ {
-		add(bankName("core", i))
+		names = append(names, bankName("core", i))
 	}
 	for i := 0; i < chas; i++ {
-		add(bankName("cha", i))
+		names = append(names, bankName("cha", i))
 	}
 	for i := 0; i < imcs; i++ {
-		add(bankName("imc", i))
+		names = append(names, bankName("imc", i))
 	}
 	for i := 0; i < cxls; i++ {
-		add(bankName("m2pcie", i))
-		add(bankName("cxl", i))
+		names = append(names, bankName("m2pcie", i))
+		names = append(names, bankName("cxl", i))
 	}
+	idx := NewBankIndex(names, pmu.Default.Len())
+	s := &Snapshot{Start: 0, End: cycles, idx: idx, arena: make([]uint64, idx.ArenaLen())}
 	return &synthRig{s: s}
 }
 
@@ -44,7 +42,7 @@ func bankName(prefix string, i int) string {
 }
 
 func (r *synthRig) set(bank string, e pmu.Event, v uint64) *synthRig {
-	r.s.deltas[bank][e] = v
+	r.s.bankDelta(bank)[e] = v
 	return r
 }
 

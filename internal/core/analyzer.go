@@ -1,7 +1,5 @@
 package core
 
-import "pathfinder/internal/pmu"
-
 // QueueReport is PFAnalyzer's output: Little's-law queue-length estimates
 // per (path, component), and the culprit — the maximum-occupancy pair that
 // bottlenecks the snapshot (Algorithm 1).
@@ -11,167 +9,33 @@ type QueueReport struct {
 	CulpritComp Component
 }
 
-// pathHitMiss extracts a path's hit/miss counts at one cache level from the
-// snapshot, honoring the PMU blind spots (RFO/HWPF are invisible at L1D).
-func pathHitMiss(s *Snapshot, cores []int, p PathType, c Component) (hit, miss float64) {
-	switch c {
-	case CompL1D:
-		if p == PathDRd {
-			return s.CoreSum(cores, pmu.MemLoadL1Hit), s.CoreSum(cores, pmu.MemLoadL1Miss)
-		}
-	case CompL2:
-		switch p {
-		case PathDRd:
-			return s.CoreSum(cores, pmu.L2DemandDataRdHit), s.CoreSum(cores, pmu.L2DemandDataRdMiss)
-		case PathRFO:
-			return s.CoreSum(cores, pmu.L2RFOHit), s.CoreSum(cores, pmu.L2RFOMiss)
-		case PathHWPF:
-			return s.CoreSum(cores, pmu.L2HWPFHit), s.CoreSum(cores, pmu.L2HWPFMiss)
-		}
-	case CompLLC:
-		var fams []pmu.Family
-		switch p {
-		case PathDRd:
-			fams = []pmu.Family{pmu.OCRDemandDataRd}
-		case PathRFO:
-			fams = []pmu.Family{pmu.OCRRFO}
-		case PathHWPF:
-			fams = []pmu.Family{pmu.OCRL1DHWPF, pmu.OCRL2HWPFDRd, pmu.OCRL2HWPFRFO}
-		}
-		for _, f := range fams {
-			hit += s.CoreFamilySum(cores, f, pmu.ScnHit)
-			miss += s.CoreFamilySum(cores, f, pmu.ScnMiss)
-		}
-		return hit, miss
-	}
-	return 0, 0
-}
-
-// llcMissDelay measures the average TOR residency of missing entries for a
-// path — PFAnalyzer's W_miss at the LLC ("missing requests remain in the
-// CHA TOR queue until completed", §4.5).
-func llcMissDelay(s *Snapshot, p PathType) float64 {
-	var occ, ins float64
-	switch p {
-	case PathDRd:
-		occ = s.CHASum(pmu.TOROccupancyIADRd[pmu.ScnMiss])
-		ins = s.CHASum(pmu.TORInsertsIADRd[pmu.ScnMiss])
-	case PathRFO:
-		occ = s.CHASum(pmu.TOROccupancyIARFO[pmu.RFOMiss])
-		ins = s.CHASum(pmu.TORInsertsIARFO[pmu.RFOMiss])
-	case PathHWPF:
-		occ = s.CHASum(pmu.TOROccupancyIADRdPref[pmu.ScnMiss]) +
-			s.CHASum(pmu.TOROccupancyIARFOPref[pmu.RFOMiss])
-		ins = s.CHASum(pmu.TORInsertsIADRdPref[pmu.ScnMiss]) +
-			s.CHASum(pmu.TORInsertsIARFOPref[pmu.RFOMiss])
-	}
-	if ins == 0 {
-		return 0
-	}
-	return occ / ins
-}
-
-// cxlPathReads returns a path's CXL read traffic for the flow.
-func cxlPathReads(s *Snapshot, cores []int, p PathType) float64 {
-	switch p {
-	case PathDRd:
-		return s.CoreFamilySum(cores, pmu.OCRDemandDataRd, pmu.ScnMissCXL)
-	case PathRFO:
-		return s.CoreFamilySum(cores, pmu.OCRRFO, pmu.ScnMissCXL)
-	case PathHWPF:
-		return s.CoreFamilySum(cores, pmu.OCRL1DHWPF, pmu.ScnMissCXL) +
-			s.CoreFamilySum(cores, pmu.OCRL2HWPFDRd, pmu.ScnMissCXL) +
-			s.CoreFamilySum(cores, pmu.OCRL2HWPFRFO, pmu.ScnMissCXL)
-	}
-	return 0
-}
-
 // AnalyzeQueues runs PFAnalyzer (Algorithm 1): it models each component as
 // an FCFS queue, combines hit/miss rates with hit/tag/miss delays through
 // Little's law (L = λ_hit·W_hit + λ_miss·W_miss at L1D/L2/LLC;
 // L = λ_hit·W_hit at LFB and the memory devices), and flags the
 // maximum-occupancy (path, component) pair as the culprit.
+//
+// This is the compatibility entry point: it compiles a throwaway read plan
+// per call.  Epoch loops should hold a Plan and use AnalyzeQueuesInto.
 func AnalyzeQueues(s *Snapshot, cores []int, dev int, k Consts) *QueueReport {
 	r := &QueueReport{}
-	clocks := s.Cycles()
-	if clocks == 0 {
-		return r
-	}
-
-	devReads := s.CXL(dev, pmu.CXLRxPackBufInsertsReq)
-	devReadOcc := s.CXL(dev, pmu.CXLDevRPQOccupancy) + s.CXL(dev, pmu.CXLRxPackBufOccReq)
-	m2pIns := s.M2P(dev, pmu.M2PRxInserts)
-	m2pOcc := s.M2P(dev, pmu.M2PRxOccupancy)
-
-	for _, p := range []PathType{PathDRd, PathRFO, PathHWPF} {
-		// L1D, L2: hit/miss with constant tag-lookup miss penalty.
-		for _, c := range []Component{CompL1D, CompL2} {
-			hit, miss := pathHitMiss(s, cores, p, c)
-			wHit, wTag := k.L1Lat, k.L1Tag
-			if c == CompL2 {
-				wHit, wTag = k.L2Lat, k.L2Tag
-			}
-			r.Q[p][c] = (hit*wHit + miss*wTag) / clocks
-		}
-		// LLC: measured miss residency as W_miss.
-		hit, miss := pathHitMiss(s, cores, p, CompLLC)
-		r.Q[p][CompLLC] = (hit*k.LLCLat + miss*llcMissDelay(s, p)) / clocks
-
-		// LFB (demand-load path only): L = λ_hit · W_hit with the measured
-		// average offcore read latency as the fill delay.
-		if p == PathDRd {
-			fills := s.CoreSum(cores, pmu.MemLoadL1Miss)
-			offIns := s.CoreSum(cores, pmu.OffcoreDataRd)
-			var wFill float64
-			if offIns > 0 {
-				wFill = s.CoreSum(cores, pmu.ORODataRd) / offIns
-			}
-			r.Q[p][CompLFB] = fills * wFill / clocks
-		}
-
-		// FlexBus+MC and CXL DIMM: arrival rate x measured per-request
-		// residency, apportioned to the path by its CXL traffic share.
-		fr := cxlPathReads(s, cores, p)
-		if devReads > 0 && fr > 0 {
-			var wFlex float64
-			if m2pIns > 0 {
-				wFlex = m2pOcc/m2pIns + k.LinkTransit
-			}
-			r.Q[p][CompFlexBusMC] = (fr / clocks) * wFlex
-			r.Q[p][CompCXLDIMM] = devReadOcc * (fr / devReads) / clocks
-		}
-	}
-
-	// Culprit: the maximum estimated queue length.
-	best := -1.0
-	for _, p := range Paths() {
-		for _, c := range Components() {
-			if r.Q[p][c] > best {
-				best = r.Q[p][c]
-				r.CulpritPath, r.CulpritComp = p, c
-			}
-		}
-	}
+	NewPlan(s.idx, cores, dev).AnalyzeQueuesInto(s, k, r)
 	return r
 }
 
 // MeasuredQueues returns the directly-integrated average queue lengths per
 // component from the occupancy counters — the ground truth PFAnalyzer's
 // estimates are validated against in tests, and the series plotted in
-// Figures 8 and 10.
+// Figures 8 and 10.  Epoch loops should use Plan.MeasuredQueuesInto.
 func MeasuredQueues(s *Snapshot, cores []int, dev int) map[Component]float64 {
-	clocks := s.Cycles()
-	if clocks == 0 {
+	var q [CompCount]float64
+	if !NewPlan(s.idx, cores, dev).MeasuredQueuesInto(s, &q) {
 		return nil
 	}
-	out := map[Component]float64{
-		CompLFB:       s.CoreSum(cores, pmu.L1DPendMissPending) / clocks,
-		CompCHA:       s.CHASum(pmu.TOROccupancyIA[pmu.IAAll]) / clocks,
-		CompFlexBusMC: s.M2P(dev, pmu.M2PRxOccupancy) / clocks,
-		CompCXLDIMM: (s.CXL(dev, pmu.CXLDevRPQOccupancy) +
-			s.CXL(dev, pmu.CXLRxPackBufOccReq) +
-			s.CXL(dev, pmu.CXLDevWPQOccupancy) +
-			s.CXL(dev, pmu.CXLRxPackBufOccData)) / clocks,
+	return map[Component]float64{
+		CompLFB:       q[CompLFB],
+		CompCHA:       q[CompCHA],
+		CompFlexBusMC: q[CompFlexBusMC],
+		CompCXLDIMM:   q[CompCXLDIMM],
 	}
-	return out
 }

@@ -1,7 +1,5 @@
 package core
 
-import "pathfinder/internal/pmu"
-
 // PathMap is PFBuilder's output: per-path traffic load (request hits) at
 // each level of the hierarchy, from the store buffer down to the memory
 // devices — the structure of Table 7.
@@ -20,79 +18,12 @@ type PathMap struct {
 // cannot be observed at L1D/LFB; the L2 RFO counter mixes demand and
 // prefetch RFOs; HWPF hits cannot be split between the local and distant
 // SNC cluster per-core, so the split is estimated from the DRd ratio.
+//
+// This is the compatibility entry point: it compiles a throwaway read plan
+// per call.  Epoch loops should hold a Plan and use BuildPathMapInto.
 func BuildPathMap(s *Snapshot, cores []int) *PathMap {
-	pm := &PathMap{Cores: cores}
-	cs := func(e pmu.Event) float64 { return s.CoreSum(cores, e) }
-	fam := func(f pmu.Family, scn int) float64 { return s.CoreFamilySum(cores, f, scn) }
-
-	// --- DRd (software prefetches merge into DRd after the L1D, §3.2) ---
-	drd := &pm.Load[PathDRd]
-	drd[LvlL1D] = cs(pmu.MemLoadL1Hit)
-	drd[LvlLFB] = cs(pmu.MemLoadFBHit)
-	drd[LvlL2] = cs(pmu.L2DemandDataRdHit) + cs(pmu.L2SWPFHit)
-	drd[LvlLocalLLC] = cs(pmu.MemLoadL3HitRetired[0]) + cs(pmu.MemLoadL3HitRetired[3])
-	drd[LvlSNCLLC] = cs(pmu.MemLoadL3HitRetired[2])
-	drd[LvlRemoteLLC] = cs(pmu.MemLoadL3MissRetired[2])
-	drd[LvlLocalDRAM] = fam(pmu.OCRDemandDataRd, pmu.ScnMissLocalDDR)
-	drd[LvlRemoteDRAM] = fam(pmu.OCRDemandDataRd, pmu.ScnMissRemoteDDR)
-	drd[LvlCXL] = fam(pmu.OCRDemandDataRd, pmu.ScnMissCXL)
-
-	// --- RFO ---
-	rfo := &pm.Load[PathRFO]
-	rfo[LvlL2] = cs(pmu.L2RFOHit) // includes prefetch RFOs: PMU limitation
-	rfo[LvlLocalLLC] = fam(pmu.OCRRFO, pmu.ScnHit)
-	rfo[LvlRemoteLLC] = 0 // not observable per-core for RFOs
-	rfo[LvlLocalDRAM] = fam(pmu.OCRRFO, pmu.ScnMissLocalDDR)
-	rfo[LvlRemoteDRAM] = fam(pmu.OCRRFO, pmu.ScnMissRemoteDDR)
-	rfo[LvlCXL] = fam(pmu.OCRRFO, pmu.ScnMissCXL)
-
-	// --- HW PF: the three prefetch OCR matrices combined ---
-	hw := &pm.Load[PathHWPF]
-	pfScn := func(scn int) float64 {
-		return fam(pmu.OCRL1DHWPF, scn) + fam(pmu.OCRL2HWPFDRd, scn) + fam(pmu.OCRL2HWPFRFO, scn)
-	}
-	hw[LvlL2] = cs(pmu.L2HWPFHit)
-	hitLLC := pfScn(pmu.ScnHit)
-	// Split LLC hits between the local and distant cluster using the DRd
-	// ratio (no per-core prefetch xsnp counters exist).
-	if dl, ds := drd[LvlLocalLLC], drd[LvlSNCLLC]; dl+ds > 0 {
-		hw[LvlLocalLLC] = hitLLC * dl / (dl + ds)
-		hw[LvlSNCLLC] = hitLLC * ds / (dl + ds)
-	} else {
-		hw[LvlLocalLLC] = hitLLC
-	}
-	hw[LvlLocalDRAM] = pfScn(pmu.ScnMissLocalDDR)
-	hw[LvlRemoteDRAM] = pfScn(pmu.ScnMissRemoteDDR)
-	hw[LvlCXL] = pfScn(pmu.ScnMissCXL)
-
-	// --- DWr ---
-	dwr := &pm.Load[PathDWr]
-	stores := cs(pmu.MemInstAllStores)
-	l2StoreHits := cs(pmu.MemStoreL2Hit)
-	offcoreRFOs := cs(pmu.L2AllRFO)
-	sb := stores - offcoreRFOs
-	if sb < 0 {
-		sb = 0
-	}
-	dwr[LvlSB] = sb
-	dwr[LvlL2] = l2StoreHits
-	dwr[LvlLocalLLC] = cs(pmu.OCRModifiedWriteAny) // L2 dirty victims landing at the LLC
-
-	// Writeback destinations: device-level ground truth (Table 5's
-	// M2PCIe/IMC rows), scaled to the flow's share of socket writebacks.
-	flowWB := cs(pmu.OCRModifiedWriteAny)
-	allWB := s.CoreSum(nil, pmu.OCRModifiedWriteAny)
-	share := 1.0
-	if allWB > 0 {
-		share = flowWB / allWB
-	}
-	dwr[LvlLocalDRAM] = s.IMCSum(pmu.WPQInserts) * share
-	var cxlWr float64
-	for d := 0; d < s.NumCXL(); d++ {
-		cxlWr += s.CXL(d, pmu.CXLRxPackBufInsertsData)
-	}
-	dwr[LvlCXL] = cxlWr * share
-
+	pm := &PathMap{}
+	NewPlan(s.idx, cores, 0).BuildPathMapInto(s, pm)
 	return pm
 }
 

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
 
 	"pathfinder/internal/sim"
 )
@@ -32,23 +31,26 @@ const digestVersion = 1
 
 // EncodeDigest serializes a snapshot.
 func EncodeDigest(s *Snapshot) Digest {
-	var buf []byte
+	return AppendDigest(nil, s)
+}
+
+// AppendDigest serializes a snapshot onto buf and returns the extended
+// buffer — the allocation-free form for epoch loops that reuse one buffer.
+func AppendDigest(buf []byte, s *Snapshot) Digest {
 	buf = append(buf, digestMagic...)
 	buf = append(buf, digestVersion)
 	buf = binary.AppendUvarint(buf, uint64(s.Seq))
 	buf = binary.AppendUvarint(buf, s.Start)
 	buf = binary.AppendUvarint(buf, s.End)
 
-	names := make([]string, 0, len(s.deltas))
-	for name := range s.deltas {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	buf = binary.AppendUvarint(buf, uint64(len(names)))
-	for _, name := range names {
+	idx := s.idx
+	ec := idx.eventCount
+	buf = binary.AppendUvarint(buf, uint64(len(idx.sorted)))
+	for _, slot := range idx.sorted {
+		name := idx.names[slot]
 		buf = binary.AppendUvarint(buf, uint64(len(name)))
 		buf = append(buf, name...)
-		vals := s.deltas[name]
+		vals := s.arena[slot*ec : (slot+1)*ec]
 		nz := 0
 		for _, v := range vals {
 			if v != 0 {
@@ -97,7 +99,8 @@ func (r *digestReader) bytes(n int) ([]byte, error) {
 
 // DecodeDigest reconstructs a snapshot.  eventCount is the catalog size
 // the digest was produced against (pmu.Default.Len()); counter vectors are
-// materialized at that length.
+// materialized at that length, under a BankIndex rebuilt from the encoded
+// bank names.
 func DecodeDigest(d Digest, eventCount int) (*Snapshot, error) {
 	r := &digestReader{b: d}
 	magic, err := r.bytes(4)
@@ -130,12 +133,13 @@ func DecodeDigest(d Digest, eventCount int) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Snapshot{
-		Seq:    int(seq),
-		Start:  sim.Cycles(start),
-		End:    sim.Cycles(end),
-		deltas: make(map[string][]uint64, nBanks),
+	// Each encoded bank takes at least two bytes, so a count beyond the
+	// buffer length is corrupt — reject before sizing the arena by it.
+	if nBanks > uint64(len(d)) {
+		return nil, errDigestTruncated
 	}
+	names := make([]string, 0, nBanks)
+	arena := make([]uint64, int(nBanks)*eventCount)
 	for b := uint64(0); b < nBanks; b++ {
 		nameLen, err := r.uvarint()
 		if err != nil {
@@ -145,12 +149,11 @@ func DecodeDigest(d Digest, eventCount int) (*Snapshot, error) {
 		if err != nil {
 			return nil, err
 		}
-		name := string(nameBytes)
 		pairs, err := r.uvarint()
 		if err != nil {
 			return nil, err
 		}
-		vals := make([]uint64, eventCount)
+		vals := arena[int(b)*eventCount : (int(b)+1)*eventCount]
 		idx := -1
 		for p := uint64(0); p < pairs; p++ {
 			gap, err := r.uvarint()
@@ -167,26 +170,13 @@ func DecodeDigest(d Digest, eventCount int) (*Snapshot, error) {
 			}
 			vals[idx] = v
 		}
-		s.deltas[name] = vals
-		s.countBank(name)
+		names = append(names, string(nameBytes))
 	}
-	return s, nil
-}
-
-// countBank updates the bank census for a decoded bank name.
-func (s *Snapshot) countBank(name string) {
-	switch {
-	case hasPrefix(name, "core"):
-		s.nCores++
-	case hasPrefix(name, "cha"):
-		s.nCHA++
-	case hasPrefix(name, "imc"):
-		s.nIMC++
-	case hasPrefix(name, "cxl"):
-		s.nCXL++
-	}
-}
-
-func hasPrefix(s, p string) bool {
-	return len(s) >= len(p) && s[:len(p)] == p
+	return &Snapshot{
+		Seq:   int(seq),
+		Start: sim.Cycles(start),
+		End:   sim.Cycles(end),
+		idx:   NewBankIndex(names, eventCount),
+		arena: arena,
+	}, nil
 }

@@ -28,11 +28,11 @@ func TestDigestRoundTrip(t *testing.T) {
 		got.NumCXL() != s.NumCXL() {
 		t.Fatal("bank census mismatch")
 	}
-	for name, want := range s.deltas {
-		have := got.deltas[name]
-		if have == nil {
+	for _, name := range s.idx.names {
+		if _, ok := got.idx.byName[name]; !ok {
 			t.Fatalf("bank %s missing after decode", name)
 		}
+		want, have := s.bankDelta(name), got.bankDelta(name)
 		for e := range want {
 			if want[e] != have[e] {
 				t.Fatalf("%s[%s] = %d, want %d", name, pmu.Default.Name(pmu.Event(e)), have[e], want[e])
@@ -54,10 +54,7 @@ func TestDigestCompression(t *testing.T) {
 	m.Run(500_000)
 	s := cap.Capture()
 
-	raw := 0
-	for _, v := range s.deltas {
-		raw += 8 * len(v)
-	}
+	raw := 8 * len(s.arena)
 	d := EncodeDigest(s)
 	if len(d) >= raw/4 {
 		t.Fatalf("digest %d bytes vs raw %d: expected >4x compression from sparsity", len(d), raw)
@@ -100,16 +97,17 @@ func TestDigestProperty(t *testing.T) {
 		if len(vals) > nEvents {
 			vals = vals[:nEvents]
 		}
-		v := make([]uint64, nEvents)
-		copy(v, vals)
+		idx := NewBankIndex([]string{"core0", "cxl0"}, nEvents)
 		s := &Snapshot{Seq: int(seq), Start: 10, End: 20,
-			deltas: map[string][]uint64{"core0": v, "cxl0": v}}
+			idx: idx, arena: make([]uint64, idx.ArenaLen())}
+		copy(s.bankDelta("core0"), vals)
+		copy(s.bankDelta("cxl0"), vals)
 		got, err := DecodeDigest(EncodeDigest(s), nEvents)
 		if err != nil {
 			return false
 		}
-		for name, want := range s.deltas {
-			have := got.deltas[name]
+		for _, name := range []string{"core0", "cxl0"} {
+			want, have := s.bankDelta(name), got.bankDelta(name)
 			for i := range want {
 				if want[i] != have[i] {
 					return false

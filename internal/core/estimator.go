@@ -102,117 +102,11 @@ func EstimateStallsAll(s *Snapshot, cores []int, k Consts) *StallBreakdown {
 // backward — device -> FlexBus RC -> uncore/CHA -> core components —
 // proportionally to each segment's attributable traffic, with each segment
 // adding its own measured waiting.
+//
+// This is the compatibility entry point: it compiles a throwaway read plan
+// per call.  Epoch loops should hold a Plan and use EstimateStallsInto.
 func EstimateStalls(s *Snapshot, cores []int, dev int, k Consts) *StallBreakdown {
 	bd := &StallBreakdown{}
-
-	// Per-path CXL read traffic for the flow and for the whole socket.
-	flowReads := map[PathType]float64{
-		PathDRd: s.CoreFamilySum(cores, pmu.OCRDemandDataRd, pmu.ScnMissCXL),
-		PathRFO: s.CoreFamilySum(cores, pmu.OCRRFO, pmu.ScnMissCXL),
-		PathHWPF: s.CoreFamilySum(cores, pmu.OCRL1DHWPF, pmu.ScnMissCXL) +
-			s.CoreFamilySum(cores, pmu.OCRL2HWPFDRd, pmu.ScnMissCXL) +
-			s.CoreFamilySum(cores, pmu.OCRL2HWPFRFO, pmu.ScnMissCXL),
-	}
-	allReads := map[PathType]float64{
-		PathDRd: s.CoreFamilySum(nil, pmu.OCRDemandDataRd, pmu.ScnMissCXL),
-		PathRFO: s.CoreFamilySum(nil, pmu.OCRRFO, pmu.ScnMissCXL),
-		PathHWPF: s.CoreFamilySum(nil, pmu.OCRL1DHWPF, pmu.ScnMissCXL) +
-			s.CoreFamilySum(nil, pmu.OCRL2HWPFDRd, pmu.ScnMissCXL) +
-			s.CoreFamilySum(nil, pmu.OCRL2HWPFRFO, pmu.ScnMissCXL),
-	}
-
-	// Level 0: CXL DIMM queue buildup (device command queues + ingress
-	// packing buffers), split read/write.
-	devReadOcc := s.CXL(dev, pmu.CXLDevRPQOccupancy) + s.CXL(dev, pmu.CXLRxPackBufOccReq)
-	devWriteOcc := s.CXL(dev, pmu.CXLDevWPQOccupancy) + s.CXL(dev, pmu.CXLRxPackBufOccData)
-	devReads := s.CXL(dev, pmu.CXLRxPackBufInsertsReq)
-	devWrites := s.CXL(dev, pmu.CXLRxPackBufInsertsData)
-
-	// Level 1: FlexBus RC waiting (M2PCIe ingress occupancy), split by
-	// read/write traffic through the port.
-	m2pOcc := s.M2P(dev, pmu.M2PRxOccupancy)
-	rdResp := s.M2P(dev, pmu.M2PTxInsertsBL)
-	wrAck := s.M2P(dev, pmu.M2PTxInsertsAK)
-	m2pRead, m2pWrite := m2pOcc, 0.0
-	if rdResp+wrAck > 0 {
-		m2pRead = m2pOcc * rdResp / (rdResp + wrAck)
-		m2pWrite = m2pOcc - m2pRead
-	}
-
-	// Per-path TOR residency of CXL-destined entries (socket counters,
-	// scaled to the flow's share of that path's CXL traffic).
-	torOcc := map[PathType]float64{
-		PathDRd: s.CHASum(pmu.TOROccupancyIADRd[pmu.ScnMissCXL]),
-		PathRFO: s.CHASum(pmu.TOROccupancyIARFO[pmu.RFOMissCXL]),
-		PathHWPF: s.CHASum(pmu.TOROccupancyIADRdPref[pmu.ScnMissCXL]) +
-			s.CHASum(pmu.TOROccupancyIARFOPref[pmu.RFOMissCXL]),
-	}
-
-	for _, p := range []PathType{PathDRd, PathRFO, PathHWPF} {
-		fr := flowReads[p]
-		if fr == 0 {
-			continue
-		}
-		devShare := 0.0
-		if devReads > 0 {
-			devShare = fr / devReads
-		}
-		flowFrac := 1.0
-		if allReads[p] > 0 {
-			flowFrac = fr / allReads[p]
-		}
-		bd.Stall[p][CompCXLDIMM] = devReadOcc * devShare
-		bd.Stall[p][CompFlexBusMC] = m2pRead*devShare + fr*k.LinkTransit
-		tor := torOcc[p] * flowFrac
-		chaOwn := tor - bd.Stall[p][CompCXLDIMM] - bd.Stall[p][CompFlexBusMC] - fr*k.Mesh
-		if chaOwn < 0 {
-			chaOwn = 0
-		}
-		bd.Stall[p][CompCHA] = chaOwn
-		bd.Stall[p][CompLLC] = fr * k.LLCTag
-	}
-
-	// In-core segments for the DRd path: the hierarchical stall counters
-	// give own-level stalls by differencing; the CXL-induced portion is
-	// the TOR-residency fraction (bottom-up, not miss-count-proportional).
-	frac := CXLWaitFraction(s)
-	stL1 := s.CoreSum(cores, pmu.StallsL1DMiss)
-	stL2 := s.CoreSum(cores, pmu.StallsL2Miss)
-	stL3 := s.CoreSum(cores, pmu.StallsL3Miss)
-	own := func(a, b float64) float64 {
-		if a > b {
-			return a - b
-		}
-		return 0
-	}
-	bd.Stall[PathDRd][CompL1D] = own(stL1, stL2) * frac
-	bd.Stall[PathDRd][CompLFB] = s.CoreSum(cores, pmu.L1DPendMissFBFull) * frac
-	bd.Stall[PathDRd][CompL2] = own(stL2, stL3) * frac
-
-	// RFO/HWPF in-core components: only tag-lookup transit is attributable
-	// (the core PMU cannot break non-demand stalls down by type, §5.9).
-	bd.Stall[PathRFO][CompL1D] = flowReads[PathRFO] * k.L1Tag
-	bd.Stall[PathRFO][CompL2] = flowReads[PathRFO] * k.L2Tag
-	bd.Stall[PathHWPF][CompL2] = flowReads[PathHWPF] * k.L2Tag
-
-	// DWr path: SB-full stalls scaled by the CXL share of write drain, and
-	// the write-side device/FlexBus occupancies.
-	sbStall := s.CoreSum(cores, pmu.ResourceStallsSB) + s.CoreSum(cores, pmu.ExeBoundOnStores)
-	localWr := s.IMCSum(pmu.WPQInserts)
-	wrFrac := 0.0
-	if devWrites+localWr > 0 {
-		wrFrac = devWrites / (devWrites + localWr)
-	}
-	flowWB := s.CoreSum(cores, pmu.OCRModifiedWriteAny)
-	allWB := s.CoreSum(nil, pmu.OCRModifiedWriteAny)
-	wbShare := 1.0
-	if allWB > 0 {
-		wbShare = flowWB / allWB
-	}
-	bd.Stall[PathDWr][CompSB] = sbStall * wrFrac
-	bd.Stall[PathDWr][CompCHA] = s.CHASum(pmu.TOROccupancyIAWBMToI) * wbShare
-	bd.Stall[PathDWr][CompFlexBusMC] = m2pWrite*wbShare + devWrites*wbShare*k.LinkTransit
-	bd.Stall[PathDWr][CompCXLDIMM] = devWriteOcc * wbShare
-
+	NewPlan(s.idx, cores, dev).EstimateStallsInto(s, k, bd)
 	return bd
 }

@@ -10,15 +10,51 @@ import (
 // compact record in the internal time-series database and answers
 // cross-snapshot questions — phase windows of stable locality, trends and
 // seasonality, and correlations between concurrent flows.
+//
+// Record* calls run every epoch, so the materializer interns each
+// (measurement, app, path, destination) tag set into a tsdb.SeriesID once
+// and appends through the InsertSeries fast path afterwards — steady-state
+// epochs build no per-point tag maps.
 type Materializer struct {
-	db *tsdb.DB
+	db  *tsdb.DB
+	ids map[seriesCacheKey]tsdb.SeriesID
+}
+
+// seriesCacheKey identifies one interned series; sub is the dst/comp tag
+// value (the measurement fixes which tag name it is).
+type seriesCacheKey struct {
+	meas, app, path, sub string
 }
 
 // NewMaterializer returns a materializer over a fresh database.
-func NewMaterializer() *Materializer { return &Materializer{db: tsdb.New()} }
+func NewMaterializer() *Materializer {
+	return &Materializer{
+		db:  tsdb.New(),
+		ids: make(map[seriesCacheKey]tsdb.SeriesID),
+	}
+}
 
 // DB exposes the underlying database for ad-hoc queries (the CLI surface).
 func (mt *Materializer) DB() *tsdb.DB { return mt.db }
+
+// seriesID resolves (measurement, app, path, subTag=subVal) through the
+// intern cache, building the tag map only on first use.
+func (mt *Materializer) seriesID(meas, app, path, subTag, subVal string) (tsdb.SeriesID, error) {
+	k := seriesCacheKey{meas: meas, app: app, path: path, sub: subVal}
+	if id, ok := mt.ids[k]; ok {
+		return id, nil
+	}
+	id, err := mt.db.Series(meas, map[string]string{
+		"app":  app,
+		"path": path,
+		subTag: subVal,
+	})
+	if err != nil {
+		return id, err
+	}
+	mt.ids[k] = id
+	return id, nil
+}
 
 // RecordPathMap digests a snapshot's path map into the "path_set"
 // measurement: one point per (path, destination level) with the hit load,
@@ -30,15 +66,10 @@ func (mt *Materializer) RecordPathMap(app string, s *Snapshot, pm *PathMap) erro
 			if v == 0 {
 				continue
 			}
-			err := mt.db.Insert("path_set", tsdb.Point{
-				Time: s.End,
-				Tags: map[string]string{
-					"app":  app,
-					"path": p.String(),
-					"dst":  l.String(),
-				},
-				Fields: map[string]float64{"hits": v},
-			})
+			id, err := mt.seriesID("path_set", app, p.String(), "dst", l.String())
+			if err == nil {
+				err = mt.db.InsertSeries(id, s.End, tsdb.F("hits", v))
+			}
 			if err != nil {
 				return fmt.Errorf("core: recording path map: %w", err)
 			}
@@ -55,15 +86,10 @@ func (mt *Materializer) RecordStalls(app string, s *Snapshot, bd *StallBreakdown
 			if v == 0 {
 				continue
 			}
-			err := mt.db.Insert("stall", tsdb.Point{
-				Time: s.End,
-				Tags: map[string]string{
-					"app":  app,
-					"path": p.String(),
-					"comp": c.String(),
-				},
-				Fields: map[string]float64{"cycles": v},
-			})
+			id, err := mt.seriesID("stall", app, p.String(), "comp", c.String())
+			if err == nil {
+				err = mt.db.InsertSeries(id, s.End, tsdb.F("cycles", v))
+			}
 			if err != nil {
 				return fmt.Errorf("core: recording stalls: %w", err)
 			}
@@ -80,15 +106,10 @@ func (mt *Materializer) RecordQueues(app string, s *Snapshot, qr *QueueReport) e
 			if v == 0 {
 				continue
 			}
-			err := mt.db.Insert("queue", tsdb.Point{
-				Time: s.End,
-				Tags: map[string]string{
-					"app":  app,
-					"path": p.String(),
-					"comp": c.String(),
-				},
-				Fields: map[string]float64{"len": v},
-			})
+			id, err := mt.seriesID("queue", app, p.String(), "comp", c.String())
+			if err == nil {
+				err = mt.db.InsertSeries(id, s.End, tsdb.F("len", v))
+			}
 			if err != nil {
 				return fmt.Errorf("core: recording queues: %w", err)
 			}

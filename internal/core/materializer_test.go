@@ -8,8 +8,9 @@ import (
 
 // fakeSnapshot builds a minimal snapshot for materializer unit tests.
 func fakeSnapshot(seq int, end uint64) *Snapshot {
+	idx := NewBankIndex([]string{"core0"}, 1)
 	return &Snapshot{Seq: seq, Start: end - 100, End: end,
-		deltas: map[string][]uint64{}}
+		idx: idx, arena: make([]uint64, idx.ArenaLen())}
 }
 
 func pathMapWith(p PathType, l Level, v float64) *PathMap {

@@ -72,6 +72,11 @@ type Profiler struct {
 	cores  map[string][]int
 	gens   map[string]workload.Generator
 	graph  *Graph
+
+	// plans holds one precompiled read plan per application, built once
+	// against the capturer's bank layout (and rebuilt on Migrate) so the
+	// per-epoch analyses are flat arena walks with no per-call setup.
+	plans map[string]*Plan
 }
 
 // NewProfiler validates the spec and prepares a profiler.  Workloads are
@@ -116,6 +121,10 @@ func NewProfiler(spec Spec) (*Profiler, error) {
 		p.gens[a.Label] = a.Gen
 	}
 	p.cap = NewCapturer(spec.Machine)
+	p.plans = make(map[string]*Plan, len(cores))
+	for label, cs := range cores {
+		p.plans[label] = NewPlan(p.cap.Index(), cs, spec.CXLDevice)
+	}
 	return p, nil
 }
 
@@ -147,6 +156,7 @@ func (p *Profiler) Migrate(label string, to int) error {
 	p.spec.Machine.Detach(from)
 	p.spec.Machine.Attach(to, p.gens[label])
 	p.cores[label] = []int{to}
+	p.plans[label] = NewPlan(p.cap.Index(), p.cores[label], p.spec.CXLDevice)
 	return nil
 }
 
@@ -215,11 +225,16 @@ func (p *Profiler) Step() (*EpochResult, error) {
 		Truncated: truncated,
 		Note:      note,
 	}
-	for label, cores := range p.cores {
-		pm := BuildPathMap(snap, cores)
+	for label, plan := range p.plans {
+		pm := &PathMap{}
+		bd := &StallBreakdown{}
+		qr := &QueueReport{}
+		plan.BuildPathMapInto(snap, pm)
+		plan.EstimateStallsInto(snap, p.consts, bd)
+		plan.AnalyzeQueuesInto(snap, p.consts, qr)
 		res.PathMaps[label] = pm
-		res.Stalls[label] = EstimateStalls(snap, cores, p.spec.CXLDevice, p.consts)
-		res.Queues[label] = AnalyzeQueues(snap, cores, p.spec.CXLDevice, p.consts)
+		res.Stalls[label] = bd
+		res.Queues[label] = qr
 		if err := p.mat.RecordPathMap(label, snap, pm); err != nil {
 			return nil, err
 		}

@@ -76,6 +76,7 @@ func RunTMABaseline(cfg sim.Config, quick bool) *BaselineResult {
 			PFCXLFraction:  core.CXLWaitFraction(s),
 			PFTopComponent: topName,
 		}
+		s.Release()
 	})
 	return out
 }

@@ -151,6 +151,7 @@ func RunCompare(title string, opt charOptions, apps []string, metrics []Metric) 
 		for mi, m := range metrics {
 			vals[mi] = m.Get(s, cores)
 		}
+		s.Release()
 		if i%2 == 0 {
 			res.Local[ai] = vals
 		} else {

@@ -126,6 +126,7 @@ func RunFaults(cfg sim.Config, quick bool) *FaultsResult {
 			flexQ, dimmQ,
 		}
 		out.Culprits[i] = culprit.String()
+		s.Release()
 	})
 	for i, rate := range out.Rates {
 		out.Sweep.Add(rate, rows[i]...)

@@ -104,6 +104,7 @@ func runFig11Scenario(opt charOptions, k core.Consts, shape string, epoch sim.Cy
 	}
 	qr := core.AnalyzeQueues(s, nil, 0, k)
 	res.CulpritStr = qr.CulpritPath.String() + " on " + qr.CulpritComp.String()
+	s.Release()
 	return res
 }
 

@@ -64,9 +64,6 @@ func tppRun(opt charOptions, k core.Consts, makeGen func(r workload.Region) work
 	for e := 0; e < epochs; e++ {
 		rig.Machine.Run(epoch)
 		s := cap.Capture()
-		if agg == nil {
-			agg = s
-		}
 		if mgr != nil {
 			if mode.Mode == tier.ModeColloid {
 				localLat, cxlLat, class := tierLatencies(s)
@@ -79,7 +76,12 @@ func tppRun(opt charOptions, k core.Consts, makeGen func(r workload.Region) work
 			}
 			mgr.Tick()
 		}
-		agg = s // keep the last epoch's snapshot for steady-state analysis
+		// Keep only the last epoch's snapshot for steady-state analysis;
+		// recycle the rest so the loop runs allocation-free.
+		if agg != nil {
+			agg.Release()
+		}
+		agg = s
 	}
 	promoted := 0
 	if mgr != nil {

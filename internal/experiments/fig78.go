@@ -82,6 +82,7 @@ func RunFig78(cfg sim.Config, quick bool) *Fig78Result {
 		queueRows[i] = []float64{
 			qsum(core.CompL1D), meas[core.CompLFB], qsum(core.CompL2),
 			meas[core.CompFlexBusMC], meas[core.CompCHA]}
+		s.Release()
 	})
 	for i, share := range shares {
 		out.Stall.Add(share, stallRows[i]...)

@@ -121,6 +121,7 @@ func RunFig910(cfg sim.Config, quick bool) *Fig910Result {
 			qr.Q[core.PathDRd][core.CompFlexBusMC],
 			qr.Q[core.PathHWPF][core.CompFlexBusMC]}
 		rows[i].culprit = qr.CulpritPath.String() + " on " + qr.CulpritComp.String()
+		s.Release()
 	})
 	for i, load := range loads {
 		out.Throughput.Add(load, rows[i].ops)

@@ -99,6 +99,7 @@ func RunPool(cfg sim.Config, quick bool) *PoolResult {
 			}
 		}
 		out.StallSplit[di] = split
+		s.Release()
 	})
 	return out
 }

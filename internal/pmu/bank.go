@@ -12,7 +12,10 @@ type Bank struct {
 	name string
 	vals []uint64
 
-	samplers map[Event]*Sampler
+	// samplers is dense, indexed by Event, and nil until the first Attach:
+	// the common no-sampler increment pays one length test, never a map
+	// lookup.
+	samplers []*Sampler
 }
 
 // NewBank allocates a zeroed bank over cat.  The name identifies the owning
@@ -31,8 +34,8 @@ func (b *Bank) Catalog() *Catalog { return b.cat }
 // Add increments event e by n.
 func (b *Bank) Add(e Event, n uint64) {
 	b.vals[e] += n
-	if b.samplers != nil {
-		if s, ok := b.samplers[e]; ok {
+	if int(e) < len(b.samplers) {
+		if s := b.samplers[e]; s != nil {
 			s.observe(b.vals[e])
 		}
 	}
@@ -80,16 +83,31 @@ func (b *Bank) CopyInto(dst []uint64) []uint64 {
 	return dst
 }
 
+// CopyTo copies all counter values into dst, which must hold exactly
+// Catalog().Len() values.  Unlike CopyInto it never reallocates, so the
+// snapshot arena can hand out fixed per-bank windows.
+func (b *Bank) CopyTo(dst []uint64) {
+	if len(dst) != len(b.vals) {
+		panic(fmt.Sprintf("pmu: bank %s: CopyTo dst holds %d values, want %d",
+			b.name, len(dst), len(b.vals)))
+	}
+	copy(dst, b.vals)
+}
+
 // Attach registers a sampler on event e.  A later Attach for the same event
 // replaces the earlier sampler.
 func (b *Bank) Attach(e Event, s *Sampler) {
-	if b.samplers == nil {
-		b.samplers = make(map[Event]*Sampler)
+	if int(e) >= len(b.samplers) {
+		grown := make([]*Sampler, b.cat.Len())
+		copy(grown, b.samplers)
+		b.samplers = grown
 	}
 	b.samplers[e] = s
 }
 
 // Detach removes any sampler from event e.
 func (b *Bank) Detach(e Event) {
-	delete(b.samplers, e)
+	if int(e) < len(b.samplers) {
+		b.samplers[e] = nil
+	}
 }

@@ -3,16 +3,23 @@
 // query interface provides the windowed aggregation, moving averages,
 // Holt-Winters forecasting, Pearson correlation, and phase-window
 // clustering the paper performs with InfluxDB Flux queries.
+//
+// Storage is columnar: each series holds one timestamp column plus one
+// float64 column per field (NaN marks a field absent at a timestamp).
+// Writers on the epoch hot path intern their tag set once into a SeriesID
+// and append through InsertSeries without building per-point maps.
 package tsdb
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
 
 // Point is one record: a measurement name, identifying tags, and numeric
-// fields at a timestamp (simulated cycles).
+// fields at a timestamp (simulated cycles).  It is the convenience insert
+// form; hot paths use SeriesID + InsertSeries instead.
 type Point struct {
 	Time   uint64
 	Tags   map[string]string
@@ -42,11 +49,71 @@ func keyOf(measurement string, tags map[string]string) seriesKey {
 	return seriesKey(b.String())
 }
 
-// series is the stored form: points in insertion (time) order.
+// series is the stored form: a timestamp column plus one value column per
+// field, all the same length.  NaN marks "field not set at this time".
 type series struct {
-	tags   map[string]string
-	points []Point
+	tags  map[string]string
+	times []uint64
+	cols  map[string][]float64
 }
+
+// append adds one timestamp row; field columns are filled by the caller and
+// padded to the new length afterwards.
+func (s *series) appendRow(t uint64, key seriesKey) error {
+	if n := len(s.times); n > 0 && t < s.times[n-1] {
+		return fmt.Errorf("tsdb: out-of-order insert into %s at t=%d", key, t)
+	}
+	s.times = append(s.times, t)
+	return nil
+}
+
+// padCols brings every column up to the timestamp column's length with NaN.
+func (s *series) padCols() {
+	n := len(s.times)
+	for f, col := range s.cols {
+		for len(col) < n {
+			col = append(col, math.NaN())
+		}
+		s.cols[f] = col
+	}
+}
+
+// setField writes a value into the current (last) row of a field column,
+// creating the column NaN-padded if this is its first appearance.
+func (s *series) setField(name string, v float64) {
+	col := s.cols[name]
+	n := len(s.times)
+	for len(col) < n-1 {
+		col = append(col, math.NaN())
+	}
+	if len(col) < n {
+		col = append(col, v)
+	} else {
+		col[n-1] = v
+	}
+	s.cols[name] = col
+}
+
+// SeriesID is an interned handle to one series of one measurement: writers
+// resolve their tag set once (DB.Series) and then append points through
+// InsertSeries with no per-point tag handling.  The zero SeriesID is
+// invalid.
+type SeriesID struct {
+	s   *series
+	key seriesKey
+}
+
+// Valid reports whether the ID refers to a series.
+func (id SeriesID) Valid() bool { return id.s != nil }
+
+// FieldValue is one (field name, value) pair for InsertSeries.
+type FieldValue struct {
+	Name  string
+	Value float64
+}
+
+// F is shorthand for a FieldValue.
+func F(name string, v float64) FieldValue { return FieldValue{Name: name, Value: v} }
 
 // DB is an in-memory time-series store.  It is not safe for concurrent use;
 // the profiler is single-threaded.
@@ -59,31 +126,63 @@ func New() *DB {
 	return &DB{data: make(map[string]map[seriesKey]*series)}
 }
 
-// Insert appends a point to the given measurement.  Points must be
-// inserted in non-decreasing time order per series (snapshots are).
-func (db *DB) Insert(measurement string, p Point) error {
+// Series interns a (measurement, tag set) into a stable SeriesID, creating
+// the series if it does not exist.  The tags map is copied; the caller may
+// reuse it.
+func (db *DB) Series(measurement string, tags map[string]string) (SeriesID, error) {
 	if measurement == "" {
-		return fmt.Errorf("tsdb: empty measurement name")
+		return SeriesID{}, fmt.Errorf("tsdb: empty measurement name")
 	}
 	mm := db.data[measurement]
 	if mm == nil {
 		mm = make(map[seriesKey]*series)
 		db.data[measurement] = mm
 	}
-	k := keyOf(measurement, p.Tags)
+	k := keyOf(measurement, tags)
 	s := mm[k]
 	if s == nil {
-		tags := make(map[string]string, len(p.Tags))
-		for kk, v := range p.Tags {
-			tags[kk] = v
+		tc := make(map[string]string, len(tags))
+		for kk, v := range tags {
+			tc[kk] = v
 		}
-		s = &series{tags: tags}
+		s = &series{tags: tc, cols: make(map[string][]float64)}
 		mm[k] = s
 	}
-	if n := len(s.points); n > 0 && p.Time < s.points[n-1].Time {
-		return fmt.Errorf("tsdb: out-of-order insert into %s at t=%d", k, p.Time)
+	return SeriesID{s: s, key: k}, nil
+}
+
+// InsertSeries appends one point to an interned series — the allocation-free
+// epoch hot path (amortized: column growth still reallocates on capacity
+// edges).  Fields must be passed as F(name, value) pairs; times must be
+// non-decreasing per series.
+func (db *DB) InsertSeries(id SeriesID, t uint64, fields ...FieldValue) error {
+	if id.s == nil {
+		return fmt.Errorf("tsdb: insert through zero SeriesID")
 	}
-	s.points = append(s.points, p)
+	if err := id.s.appendRow(t, id.key); err != nil {
+		return err
+	}
+	for _, fv := range fields {
+		id.s.setField(fv.Name, fv.Value)
+	}
+	id.s.padCols()
+	return nil
+}
+
+// Insert appends a point to the given measurement.  Points must be
+// inserted in non-decreasing time order per series (snapshots are).
+func (db *DB) Insert(measurement string, p Point) error {
+	id, err := db.Series(measurement, p.Tags)
+	if err != nil {
+		return err
+	}
+	if err := id.s.appendRow(p.Time, id.key); err != nil {
+		return err
+	}
+	for name, v := range p.Fields {
+		id.s.setField(name, v)
+	}
+	id.s.padCols()
 	return nil
 }
 
@@ -168,15 +267,19 @@ func (q *Query) Field(name string) Series {
 	}
 	var merged []acc
 	for _, s := range q.matchSeries() {
-		for _, p := range s.points {
-			if p.Time < q.t0 || p.Time >= q.t1 {
+		col, ok := s.cols[name]
+		if !ok {
+			continue
+		}
+		for i, t := range s.times {
+			if t < q.t0 || t >= q.t1 {
 				continue
 			}
-			v, ok := p.Fields[name]
-			if !ok {
+			v := col[i]
+			if math.IsNaN(v) {
 				continue
 			}
-			merged = append(merged, acc{p.Time, v})
+			merged = append(merged, acc{t, v})
 		}
 	}
 	sort.SliceStable(merged, func(i, j int) bool { return merged[i].t < merged[j].t })

@@ -353,3 +353,61 @@ func TestAnomaliesDegenerate(t *testing.T) {
 		t.Fatal("non-positive threshold flagged")
 	}
 }
+
+func TestSeriesInterning(t *testing.T) {
+	db := New()
+	id1, err := db.Series("path_set", map[string]string{"app": "bfs", "dst": "CXL"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same tag set through a different map instance must intern to the same
+	// series, not create a second one.
+	id2, err := db.Series("path_set", map[string]string{"dst": "CXL", "app": "bfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatal("same-tag Series calls interned to different IDs")
+	}
+	if !id1.Valid() {
+		t.Fatal("interned ID reports invalid")
+	}
+
+	// Repeated inserts through the interned ID land in one series and skip
+	// tag hashing entirely.
+	for i := 0; i < 100; i++ {
+		if err := db.InsertSeries(id1, uint64(i), F("hits", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pts := db.Query("path_set").Where("app", "bfs").Field("hits")
+	if len(pts) != 100 {
+		t.Fatalf("interned inserts produced %d points across series, want 100 in one", len(pts))
+	}
+
+	// Steady state: an insert through an interned ID allocates only for
+	// amortized column growth — preallocate past the measurement window and
+	// the hot path is allocation-free.
+	id1.s.times = append(make([]uint64, 0, 4096), id1.s.times...)
+	id1.s.cols["hits"] = append(make([]float64, 0, 4096), id1.s.cols["hits"]...)
+	next := uint64(100)
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := db.InsertSeries(id1, next, F("hits", 1)); err != nil {
+			t.Fatal(err)
+		}
+		next++
+	})
+	if allocs != 0 {
+		t.Fatalf("interned insert allocates %.1f allocs/point, want 0", allocs)
+	}
+}
+
+func TestInsertSeriesZeroID(t *testing.T) {
+	db := New()
+	if err := db.InsertSeries(SeriesID{}, 0, F("x", 1)); err == nil {
+		t.Fatal("insert through zero SeriesID accepted")
+	}
+	if _, err := db.Series("", nil); err == nil {
+		t.Fatal("empty measurement accepted")
+	}
+}
