@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz-short bench-json bench-regress all
+.PHONY: build test race vet fuzz-short bench-json bench-regress obs-smoke all
 
 all: build vet test
 
@@ -27,13 +27,22 @@ bench-json:
 	@echo wrote BENCH_$$(date +%Y%m%d).json
 
 # Gate the profiler hot paths against the committed baseline: fail when
-# SimCXLStream or CaptureSnapshot ns/op regresses more than 20% versus the
-# latest BENCH_*.json.  The iteration count must match bench-json's, or the
-# differently-amortized warmup skews the comparison; the gate takes the
-# fastest of three repetitions to filter scheduler noise.
+# SimCXLStream, CaptureSnapshot, or EpochLoop ns/op regresses more than 20%
+# versus the latest BENCH_*.json.  The iteration count must match
+# bench-json's, or the differently-amortized warmup skews the comparison;
+# the gate takes the fastest of three repetitions to filter scheduler noise.
+# The TracerOff pairs additionally bound the cost of an attached-but-
+# disabled request tracer to 2% — compared within the same run, where a
+# tolerance that tight is meaningful.
 bench-regress:
-	$(GO) test -run '^$$' -bench 'SimCXLStream|CaptureSnapshot' -benchmem -benchtime 200000x -count 3 . \
-		| $(GO) run ./cmd/benchregress
+	$(GO) test -run '^$$' -bench 'SimCXLStream|CaptureSnapshot|EpochLoop' -benchmem -benchtime 200000x -count 3 . \
+		| $(GO) run ./cmd/benchregress \
+		-pairs 'BenchmarkSimCXLStreamTracerOff=BenchmarkSimCXLStream,BenchmarkEpochLoopTracerOff=BenchmarkEpochLoop'
+
+# End-to-end check of `pathfinder -serve`: boots the introspection server
+# on a random port and requires live /metrics and /status content.
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 # Short fuzzing pass over the flit decoders and the fault-plan parser:
 # each target runs for 10 seconds and must only ever return structured

@@ -12,6 +12,7 @@ import (
 	"pathfinder/internal/core"
 	"pathfinder/internal/experiments"
 	"pathfinder/internal/mem"
+	"pathfinder/internal/obs"
 	"pathfinder/internal/pmu"
 	"pathfinder/internal/sim"
 	"pathfinder/internal/workload"
@@ -283,6 +284,52 @@ func BenchmarkEpochLoop(b *testing.B) {
 	var qr core.QueueReport
 	buf := make(core.Digest, 0, 4096)
 	cap.Capture().Release() // warm the recycler
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := cap.Capture()
+		plan.BuildPathMapInto(s, &pm)
+		plan.EstimateStallsInto(s, k, &bd)
+		plan.AnalyzeQueuesInto(s, k, &qr)
+		buf = core.AppendDigest(buf[:0], s)
+		s.Release()
+	}
+}
+
+// --- Tracer-off overhead (observability must be free when off) -----------------
+
+// BenchmarkSimCXLStreamTracerOff is BenchmarkSimCXLStream with a request
+// tracer attached but disabled: the only extra work on the request path is
+// one atomic load.  `make bench-regress` gates this against its untraced
+// twin from the same run (<=2% growth) — a same-run pair, so machine drift
+// between baseline snapshots cannot mask or fake a regression.
+func BenchmarkSimCXLStreamTracerOff(b *testing.B) {
+	m, r := benchRig(b, 1)
+	m.SetTracer(obs.NewTracer(4096, 64)) // attached, never enabled
+	g := workload.NewStream(r, 2, 0.2, 1)
+	g.Reuse = 4
+	m.Attach(0, workload.NewLimit(g, uint64(b.N)))
+	b.ResetTimer()
+	for m.Core(0).Running() {
+		m.Run(1_000_000)
+	}
+}
+
+// BenchmarkEpochLoopTracerOff is BenchmarkEpochLoop with a disabled tracer
+// attached, gated the same way.
+func BenchmarkEpochLoopTracerOff(b *testing.B) {
+	m, r := benchRig(b, 1)
+	m.SetTracer(obs.NewTracer(4096, 64))
+	k := core.ConstsFor(m.Config())
+	m.Attach(0, workload.NewStream(r, 2, 0.2, 1))
+	cap := core.NewCapturer(m)
+	m.Run(2_000_000)
+	plan := core.NewPlan(cap.Index(), []int{0}, 0)
+	var pm core.PathMap
+	var bd core.StallBreakdown
+	var qr core.QueueReport
+	buf := make(core.Digest, 0, 4096)
+	cap.Capture().Release()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -2,7 +2,9 @@
 // it parses a current `go test -bench` run (stdin or a file argument),
 // compares the watched benchmarks against the committed BENCH_*.json
 // baseline, and exits nonzero when any ns/op grew beyond the tolerance
-// (see `make bench-regress`).
+// (see `make bench-regress`).  -pairs additionally gates Variant=Base
+// pairs within the same run (e.g. the tracer-off overhead bound), which
+// supports much tighter tolerances than a committed baseline.
 //
 //	go test -run '^$' -bench 'SimCXLStream|CaptureSnapshot' -benchmem . | benchregress
 package main
@@ -19,9 +21,13 @@ import (
 
 func main() {
 	baseline := flag.String("baseline", "", "baseline BENCH_*.json (default: latest in the current directory)")
-	watch := flag.String("watch", "BenchmarkSimCXLStream,BenchmarkCaptureSnapshot",
+	watch := flag.String("watch", "BenchmarkSimCXLStream,BenchmarkCaptureSnapshot,BenchmarkEpochLoop",
 		"comma-separated benchmark names to gate")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed ns/op growth fraction")
+	pairs := flag.String("pairs", "",
+		"comma-separated Variant=Base same-run pairs to gate (e.g. BenchmarkSimCXLStreamTracerOff=BenchmarkSimCXLStream)")
+	pairTolerance := flag.Float64("pair-tolerance", 0.02,
+		"allowed ns/op growth of a pair's variant over its base, same run")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -55,14 +61,38 @@ func main() {
 		names[i] = strings.TrimSpace(names[i])
 	}
 	regs := benchparse.Compare(base, cur, names, *tolerance)
-	if len(regs) == 0 {
-		fmt.Printf("benchregress: %d watched benchmarks within %.0f%% of %s\n",
+
+	var pairRegs []benchparse.Regression
+	var pairList []string
+	if *pairs != "" {
+		pairList = strings.Split(*pairs, ",")
+		pairRegs, err = benchparse.ComparePairs(cur, pairList, *pairTolerance)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if len(regs) == 0 && len(pairRegs) == 0 {
+		fmt.Printf("benchregress: %d watched benchmarks within %.0f%% of %s",
 			len(names), *tolerance*100, basePath)
+		if len(pairList) > 0 {
+			fmt.Printf("; %d same-run pairs within %.0f%%", len(pairList), *pairTolerance*100)
+		}
+		fmt.Println()
 		return
 	}
-	fmt.Fprintf(os.Stderr, "benchregress: regression vs %s:\n", basePath)
-	for _, r := range regs {
-		fmt.Fprintf(os.Stderr, "  %s\n", r)
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchregress: regression vs %s:\n", basePath)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+	}
+	if len(pairRegs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchregress: same-run pair regression (tolerance %.0f%%):\n",
+			*pairTolerance*100)
+		for _, r := range pairRegs {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
 	}
 	os.Exit(1)
 }

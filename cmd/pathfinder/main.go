@@ -14,13 +14,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 
 	"pathfinder/internal/core"
 	"pathfinder/internal/cxl"
 	"pathfinder/internal/mem"
 	"pathfinder/internal/mem/tier"
+	"pathfinder/internal/obs"
 	"pathfinder/internal/pmu"
 	"pathfinder/internal/report"
 	"pathfinder/internal/sim"
@@ -56,6 +60,33 @@ func parsePlacement(s string) (mem.Policy, error) {
 		return nil, fmt.Errorf("placement ratio %q needs two positive parts (use local or cxl for one-sided placement)", s)
 	}
 	return mem.Interleave{A: 0, B: 2, RatioA: a, RatioB: b}, nil
+}
+
+// runStatus is the /status document served by -serve.  The run loop
+// stores a fresh copy per epoch into an atomic.Value, so HTTP reads never
+// race the single-goroutine simulator.
+type runStatus struct {
+	Machine     string      `json:"machine"`
+	State       string      `json:"state"` // "running", "done"
+	Epoch       int         `json:"epoch"`
+	Epochs      int         `json:"epochs"`
+	EpochCycles uint64      `json:"epoch_cycles"`
+	Truncated   int         `json:"epochs_truncated"`
+	Note        string      `json:"last_note,omitempty"`
+	Apps        []statusApp `json:"apps"`
+	Link        *statusLink `json:"cxl_link,omitempty"`
+}
+
+type statusApp struct {
+	Label string `json:"label"`
+	Core  int    `json:"core"`
+}
+
+type statusLink struct {
+	CRCErrors   float64 `json:"crc_errors"`
+	Retries     float64 `json:"retries"`
+	ReplayBytes float64 `json:"replay_bytes"`
+	DevTimeouts float64 `json:"device_timeouts"`
 }
 
 // reportNames are the report selectors -report accepts (besides "all").
@@ -101,6 +132,9 @@ func main() {
 	fault := flag.String("fault", "", "CXL link fault plan, e.g. 'seed=42,crc=1e-3,burst=100000:20000:0.5:400000,timeout=500000:50000,poison=0:64' (empty = healthy link)")
 	listApps := flag.Bool("list-apps", false, "print the application catalog and exit")
 	listEvents := flag.Bool("list-events", false, "print the PMU event catalog and exit")
+	serve := flag.String("serve", "", "serve /metrics, /status, /trace, /debug/pprof on this address (e.g. :6060); keeps serving after the run")
+	traceSample := flag.Int("trace-sample", 0, "trace one request in N through the request path (0 = tracing off)")
+	traceBuf := flag.Int("trace-buf", 4096, "request-path trace ring capacity in records")
 	flag.Parse()
 
 	if *listEvents {
@@ -156,6 +190,13 @@ func main() {
 	})
 	m := sim.New(cfg, as)
 
+	var tr *obs.Tracer
+	if *traceSample > 0 {
+		tr = obs.NewTracer(*traceBuf, *traceSample)
+		tr.Enable()
+		m.SetTracer(tr)
+	}
+
 	var runs []core.AppRun
 	for i, spec := range strings.Split(*appsFlag, ",") {
 		parts := strings.SplitN(strings.TrimSpace(spec), ":", 2)
@@ -201,22 +242,70 @@ func main() {
 		EpochCycles: sim.Cycles(*epochK) * 1000,
 		Epochs:      *epochs,
 		Mode:        core.ModeContinuous,
+		Metrics:     obs.Default,
 	})
 	if err != nil {
 		fatalf("%v", err)
 	}
 
+	var status atomic.Value
+	setStatus := func(state string, epoch, truncated int, note string, last *core.EpochResult) {
+		st := runStatus{
+			Machine:     *machine,
+			State:       state,
+			Epoch:       epoch,
+			Epochs:      *epochs,
+			EpochCycles: *epochK * 1000,
+			Truncated:   truncated,
+			Note:        note,
+		}
+		for _, run := range runs {
+			st.Apps = append(st.Apps, statusApp{Label: run.Label, Core: run.Core})
+		}
+		if last != nil {
+			s := last.Snapshot
+			st.Link = &statusLink{
+				CRCErrors:   s.CXL(0, pmu.CXLLinkCRCErrors),
+				Retries:     s.CXL(0, pmu.CXLLinkRetries),
+				ReplayBytes: s.CXL(0, pmu.CXLLinkReplayBytes),
+				DevTimeouts: s.CXL(0, pmu.CXLDevTimeouts),
+			}
+		}
+		status.Store(&st)
+	}
+	setStatus("running", 0, 0, "", nil)
+
+	var srv *obs.Server
+	if *serve != "" {
+		srv = obs.NewServer(obs.Default, tr, func() any { return status.Load() }, cfg.GHz)
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			fatalf("-serve %s: %v", *serve, err)
+		}
+		fmt.Printf("pathfinder: serving on http://%s\n", addr)
+	}
+
 	var last *core.EpochResult
+	truncated := 0
+	note := ""
 	for e := 0; e < *epochs; e++ {
 		r, err := p.Step()
 		if err != nil {
 			fatalf("epoch %d: %v", e, err)
 		}
 		last = r
+		if r.Truncated {
+			truncated++
+		}
+		if r.Note != "" {
+			note = r.Note
+		}
+		setStatus("running", e+1, truncated, note, last)
 		if mgr != nil {
 			mgr.Tick()
 		}
 	}
+	setStatus("done", *epochs, truncated, note, last)
 
 	all := want["all"]
 
@@ -230,56 +319,15 @@ func main() {
 			fmt.Println()
 		}
 		if all || want["paths"] {
-			t := &report.Table{Title: "PFBuilder path map (last epoch)",
-				Cols: []string{"level", "DRd", "RFO", "HW PF", "DWr"}}
-			pm := last.PathMaps[label]
-			for _, l := range core.Levels() {
-				if pm.LevelTotal(l) == 0 {
-					continue
-				}
-				t.AddRow(l.String(),
-					report.Num(pm.Load[core.PathDRd][l]), report.Num(pm.Load[core.PathRFO][l]),
-					report.Num(pm.Load[core.PathHWPF][l]), report.Num(pm.Load[core.PathDWr][l]))
-			}
-			fmt.Print(t)
+			fmt.Print(report.PathMapTable(last.PathMaps[label]))
 			fmt.Println()
 		}
 		if all || want["stalls"] {
-			bd := last.Stalls[label]
-			t := &report.Table{Title: "PFEstimator CXL-induced stall breakdown",
-				Cols: append([]string{"path"}, componentNames()...)}
-			for _, pt := range core.Paths() {
-				if bd.Total(pt) == 0 {
-					continue
-				}
-				row := []string{pt.String()}
-				for _, c := range core.Components() {
-					row = append(row, report.Pct(bd.Share(pt, c)))
-				}
-				t.AddRow(row...)
-			}
-			fmt.Print(t)
+			fmt.Print(report.StallTable(last.Stalls[label]))
 			fmt.Println()
 		}
 		if all || want["queues"] {
-			qr := last.Queues[label]
-			t := &report.Table{Title: "PFAnalyzer queue estimates (culprit: " +
-				qr.CulpritPath.String() + " on " + qr.CulpritComp.String() + ")",
-				Cols: append([]string{"path"}, componentNames()...)}
-			for _, pt := range core.Paths() {
-				row := []string{pt.String()}
-				any := false
-				for _, c := range core.Components() {
-					if qr.Q[pt][c] > 0 {
-						any = true
-					}
-					row = append(row, report.Num(qr.Q[pt][c]))
-				}
-				if any {
-					t.AddRow(row...)
-				}
-			}
-			fmt.Print(t)
+			fmt.Print(report.QueueTable(last.Queues[label]))
 			fmt.Println()
 		}
 		if all || want["locality"] {
@@ -305,12 +353,11 @@ func main() {
 			s.CXL(0, pmu.CXLLinkCRCErrors), s.CXL(0, pmu.CXLLinkRetries),
 			s.CXL(0, pmu.CXLLinkReplayBytes), s.CXL(0, pmu.CXLDevTimeouts))
 	}
-}
-
-func componentNames() []string {
-	var out []string
-	for _, c := range core.Components() {
-		out = append(out, c.String())
+	if srv != nil {
+		fmt.Printf("pathfinder: run complete; still serving on http://%s (interrupt to exit)\n", srv.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		srv.Close()
 	}
-	return out
 }

@@ -6,6 +6,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -32,27 +33,40 @@ func main() {
 	traceFile := flag.String("trace", "", "write runtime execution trace to file")
 	flag.Parse()
 
+	// Profile outputs close explicitly, never via a bare deferred Close:
+	// fatalf exits through os.Exit, which skips deferred calls, and a
+	// swallowed Close error can silently truncate the profile on a full disk.
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fatalf("pfbench: -cpuprofile: %v", err)
 		}
-		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
 			fatalf("pfbench: start CPU profile: %v", err)
 		}
-		defer pprof.StopCPUProfile()
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatalf("pfbench: close CPU profile: %v", err)
+			}
+		}()
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
 			fatalf("pfbench: -trace: %v", err)
 		}
-		defer f.Close()
 		if err := trace.Start(f); err != nil {
+			f.Close()
 			fatalf("pfbench: start trace: %v", err)
 		}
-		defer trace.Stop()
+		defer func() {
+			trace.Stop()
+			if err := f.Close(); err != nil {
+				fatalf("pfbench: close trace: %v", err)
+			}
+		}()
 	}
 	defer func() {
 		if *memprofile == "" {
@@ -62,10 +76,14 @@ func main() {
 		if err != nil {
 			fatalf("pfbench: -memprofile: %v", err)
 		}
-		defer f.Close()
 		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fatalf("pfbench: write heap profile: %v", err)
+		werr := pprof.WriteHeapProfile(f)
+		cerr := f.Close()
+		if werr != nil {
+			fatalf("pfbench: write heap profile: %v", werr)
+		}
+		if cerr != nil {
+			fatalf("pfbench: close heap profile: %v", cerr)
 		}
 	}()
 
@@ -212,9 +230,14 @@ func runAll(order []string, runners map[string]func(io.Writer), workers int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			fmt.Fprintf(&bufs[i], "==== %s ====\n", name)
-			runners[name](&bufs[i])
-			fmt.Fprintln(&bufs[i])
+			// Suite-level profile attribution; the runner pool re-labels
+			// its own workers per experiment fan-out.
+			pprof.Do(context.Background(), pprof.Labels("experiment", name),
+				func(context.Context) {
+					fmt.Fprintf(&bufs[i], "==== %s ====\n", name)
+					runners[name](&bufs[i])
+					fmt.Fprintln(&bufs[i])
+				})
 		}(i, name)
 	}
 	wg.Wait()

@@ -1,10 +1,14 @@
 // Command pftrace records, inspects, and replays memory-access traces:
 // the trace-driven methodology for feeding one captured op stream to many
-// simulated configurations.
+// simulated configurations.  The spans subcommand traces the request path
+// itself — per-request stage waterfalls through SB/LFB, L2, CHA, and the
+// IMC or M2PCIe/CXL backends — and cross-checks observed residency against
+// the PFAnalyzer queue estimates.
 //
 //	pftrace record -app FOTS -ops 200000 -o fots.trc
 //	pftrace info   -i fots.trc
 //	pftrace replay -i fots.trc -node cxl
+//	pftrace spans  -node cxl -o waterfall.json   # open in Perfetto
 package main
 
 import (
@@ -12,7 +16,9 @@ import (
 	"fmt"
 	"os"
 
+	"pathfinder/internal/core"
 	"pathfinder/internal/mem"
+	"pathfinder/internal/obs"
 	"pathfinder/internal/pmu"
 	"pathfinder/internal/report"
 	"pathfinder/internal/sim"
@@ -26,7 +32,7 @@ func fatalf(format string, args ...any) {
 
 func main() {
 	if len(os.Args) < 2 {
-		fatalf("usage: pftrace record|info|replay [flags]")
+		fatalf("usage: pftrace record|info|replay|spans [flags]")
 	}
 	switch os.Args[1] {
 	case "record":
@@ -35,6 +41,8 @@ func main() {
 		info(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
+	case "spans":
+		spans(os.Args[2:])
 	default:
 		fatalf("unknown subcommand %q", os.Args[1])
 	}
@@ -180,6 +188,148 @@ func replay(args []string) {
 	lat := float64(b.Read(pmu.MemTransLoadLatency)) / maxf(float64(b.Read(pmu.MemTransLoadCount)), 1)
 	t.AddRow("avg load latency (cyc)", report.Num(lat))
 	fmt.Print(t)
+}
+
+// spans traces the request path of a dependent pointer chase (or a catalog
+// application) at full sampling, prints the per-stage residency waterfall,
+// cross-checks it against AnalyzeQueues' Little's-law estimates, and
+// optionally exports Chrome trace_event JSON for Perfetto.
+func spans(args []string) {
+	fs := flag.NewFlagSet("spans", flag.ExitOnError)
+	appName := fs.String("app", "", "catalog application (default: dependent pointer chase)")
+	node := fs.String("node", "cxl", "placement: local, remote, or cxl")
+	machine := fs.String("machine", "spr", "machine model: spr or emr")
+	kcycles := fs.Uint64("kcycles", 2000, "cycles to simulate, in kilocycles")
+	sample := fs.Int("sample", 1, "trace one request in N")
+	bufCap := fs.Int("buf", 1<<14, "trace ring capacity in records")
+	wsMB := fs.Uint64("ws-mb", 16, "working-set size in MiB")
+	out := fs.String("o", "", "write Chrome trace_event JSON here (open in Perfetto)")
+	_ = fs.Parse(args)
+
+	cfg := sim.SPR()
+	if *machine == "emr" {
+		cfg = sim.EMR()
+	}
+	cfg.LLCSize /= 4
+	cfg.LLCSlices /= 4
+	if *appName == "" {
+		// Demand-only pointer chase: prefetch traffic is untraced, so it
+		// would widen the PMU integrals relative to the demand spans and
+		// blur the cross-check.
+		cfg.L1PFDegree, cfg.L2PFDegree = 0, 0
+	}
+	as := mem.NewAddressSpace(12, []mem.Node{
+		{ID: 0, Kind: mem.LocalDRAM, Capacity: 256 << 30},
+		{ID: 1, Kind: mem.RemoteDRAM, Socket: 1, Capacity: 256 << 30},
+		{ID: 2, Kind: mem.CXLDRAM, Device: 0, Capacity: 256 << 30},
+	})
+	var id mem.NodeID
+	switch *node {
+	case "local":
+		id = 0
+	case "remote":
+		id = 1
+	case "cxl":
+		id = 2
+	default:
+		fatalf("bad node %q", *node)
+	}
+	reg, err := as.Alloc(*wsMB<<20, mem.Fixed(id))
+	if err != nil {
+		fatalf("allocating working set: %v", err)
+	}
+
+	m := sim.New(cfg, as)
+	tr := obs.NewTracer(*bufCap, *sample)
+	tr.Enable()
+	m.SetTracer(tr)
+
+	wr := workload.Region{Base: reg.Base, Size: reg.Size}
+	var gen workload.Generator
+	label := "pointer chase"
+	if *appName != "" {
+		app, ok := workload.Lookup(*appName)
+		if !ok {
+			fatalf("unknown application %q", *appName)
+		}
+		gen = app.Generator(wr, 7)
+		label = app.Name
+	} else {
+		gen = workload.NewPointerChase(wr, 2, 7)
+	}
+	m.Attach(0, gen)
+
+	c := core.NewCapturer(m)
+	m.Run(sim.Cycles(*kcycles) * 1000)
+	m.Sync()
+	snap := c.Capture()
+	clocks := snap.Cycles()
+
+	stats, committed, dropped := tr.Stats()
+	if committed == 0 {
+		fatalf("no requests traced (is the workload running?)")
+	}
+	fmt.Printf("%s on %s (%s): traced %d requests (1 in %d), %d dropped from ring\n\n",
+		label, *node, cfg.Name, committed, tr.Every(), dropped)
+
+	t := &report.Table{Title: "request-path waterfall (per-stage residency)",
+		Cols: []string{"stage", "spans", "cycles", "avg cyc/span", "residency (occupancy)"}}
+	for st := obs.Stage(0); st < obs.StageCount; st++ {
+		s := stats[st]
+		if s.Spans == 0 {
+			continue
+		}
+		t.AddRow(st.String(), fmt.Sprint(s.Spans), fmt.Sprint(s.Cycles),
+			report.Num(float64(s.Cycles)/float64(s.Spans)),
+			report.Num(float64(s.Cycles)/clocks))
+	}
+	fmt.Print(t)
+	fmt.Println()
+
+	// Cross-check against PFAnalyzer on the CXL path: the queue estimates
+	// price the same intervals through PMU occupancy integrals, so the two
+	// views must agree if the tracer's stage boundaries are honest.
+	if *node == "cxl" {
+		k := core.ConstsFor(cfg)
+		plan := core.NewPlan(c.Index(), []int{0}, 0)
+		var qr core.QueueReport
+		plan.AnalyzeQueuesInto(snap, k, &qr)
+
+		obsDIMM := float64(stats[obs.StageCXLDevQ].Cycles+stats[obs.StageCXLMedia].Cycles) / clocks
+		nReads := float64(stats[obs.StageM2PCIe].Spans)
+		obsFlex := float64(stats[obs.StageM2PCIe].Cycles)/clocks + (nReads/clocks)*k.LinkTransit
+
+		ct := &report.Table{Title: "observed residency vs AnalyzeQueues estimate (DRd path)",
+			Cols: []string{"component", "observed", "estimated", "delta"}}
+		addCheck := func(name string, got, want float64) {
+			delta := "n/a"
+			if want != 0 {
+				delta = report.Pct((got - want) / want)
+			}
+			ct.AddRow(name, report.Num(got), report.Num(want), delta)
+		}
+		addCheck("FlexBus+MC", obsFlex, qr.Q[core.PathDRd][core.CompFlexBusMC])
+		addCheck("CXL DIMM", obsDIMM, qr.Q[core.PathDRd][core.CompCXLDIMM])
+		fmt.Print(ct)
+		fmt.Println()
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		recs := tr.Records()
+		werr := obs.WriteChromeTrace(f, recs, cfg.GHz)
+		cerr := f.Close()
+		if werr != nil {
+			fatalf("writing %s: %v", *out, werr)
+		}
+		if cerr != nil {
+			fatalf("closing %s: %v", *out, cerr)
+		}
+		fmt.Printf("wrote %d records to %s — open at https://ui.perfetto.dev\n", len(recs), *out)
+	}
 }
 
 func maxf(a, b float64) float64 {

@@ -172,6 +172,41 @@ func (r Regression) String() string {
 		r.Name, r.BaseNS, r.CurNS, r.Growth*100)
 }
 
+// ComparePairs gates variant benchmarks against their base WITHIN one run:
+// each pair is "Variant=Base", and the variant's ns/op may exceed the
+// base's by at most tolerance.  Because both sides come from the same
+// `go test -bench` invocation on the same machine, the gate is immune to
+// the environment drift that plagues committed-baseline comparisons —
+// which is what makes a tolerance as tight as 2% enforceable.
+func ComparePairs(cur *Doc, pairs []string, tolerance float64) ([]Regression, error) {
+	var out []Regression
+	for _, p := range pairs {
+		variant, base, ok := strings.Cut(p, "=")
+		if !ok {
+			return nil, fmt.Errorf("benchparse: bad pair %q (want Variant=Base)", p)
+		}
+		variant, base = strings.TrimSpace(variant), strings.TrimSpace(base)
+		name := variant + " (vs " + base + ")"
+		v, b := cur.Best(variant), cur.Best(base)
+		switch {
+		case b == nil:
+			out = append(out, Regression{Name: name, MissingBaseline: true})
+			continue
+		case v == nil:
+			out = append(out, Regression{Name: name, MissingCurrent: true})
+			continue
+		}
+		baseNS, varNS := b.Metrics["ns/op"], v.Metrics["ns/op"]
+		if baseNS <= 0 || varNS <= 0 {
+			continue
+		}
+		if growth := (varNS - baseNS) / baseNS; growth > tolerance {
+			out = append(out, Regression{Name: name, BaseNS: baseNS, CurNS: varNS, Growth: growth})
+		}
+	}
+	return out, nil
+}
+
 // Compare gates the watched benchmarks: any whose current ns/op exceeds the
 // baseline by more than tolerance (0.20 = +20%) is returned.  Repeated runs
 // (-count) are collapsed to their fastest on both sides.  A watched

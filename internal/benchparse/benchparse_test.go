@@ -96,3 +96,43 @@ func TestCompare(t *testing.T) {
 		t.Fatalf("missing-current: %v", regs)
 	}
 }
+
+func TestComparePairs(t *testing.T) {
+	cur := parseSample(t)
+	v := *cur.Find("BenchmarkSimCXLStream")
+	v.Name = "BenchmarkSimCXLStreamTracerOff"
+	v.Metrics = map[string]float64{"ns/op": 992.9 * 1.01}
+	cur.Benchmarks = append(cur.Benchmarks, v)
+	pair := []string{"BenchmarkSimCXLStreamTracerOff=BenchmarkSimCXLStream"}
+
+	// +1% passes a 2% pair gate.
+	regs, err := ComparePairs(cur, pair, 0.02)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("within-tolerance pair flagged: %v %v", regs, err)
+	}
+
+	// +5% fails it, reporting both sides.
+	cur.Find("BenchmarkSimCXLStreamTracerOff").Metrics["ns/op"] = 992.9 * 1.05
+	regs, err = ComparePairs(cur, pair, 0.02)
+	if err != nil || len(regs) != 1 {
+		t.Fatalf("pair regression missed: %v %v", regs, err)
+	}
+	if regs[0].Growth < 0.04 || regs[0].Growth > 0.06 {
+		t.Fatalf("pair growth = %v", regs[0].Growth)
+	}
+
+	// A missing side fails loudly.
+	regs, err = ComparePairs(cur, []string{"BenchmarkNope=BenchmarkSimCXLStream"}, 0.02)
+	if err != nil || len(regs) != 1 || !regs[0].MissingCurrent {
+		t.Fatalf("missing variant: %v %v", regs, err)
+	}
+	regs, err = ComparePairs(cur, []string{"BenchmarkSimCXLStreamTracerOff=BenchmarkNope"}, 0.02)
+	if err != nil || len(regs) != 1 || !regs[0].MissingBaseline {
+		t.Fatalf("missing base: %v %v", regs, err)
+	}
+
+	// A malformed pair is a usage error, not a silent skip.
+	if _, err := ComparePairs(cur, []string{"NoEqualsSign"}, 0.02); err == nil {
+		t.Fatal("malformed pair accepted")
+	}
+}

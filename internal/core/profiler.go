@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"time"
 
+	"pathfinder/internal/obs"
+	"pathfinder/internal/pmu"
 	"pathfinder/internal/sim"
 	"pathfinder/internal/workload"
 )
@@ -44,6 +46,12 @@ type Spec struct {
 	// shortened window stays internally consistent because analyses use
 	// the snapshot's actual Start/End cycles.
 	Watchdog time.Duration
+
+	// Metrics, when non-nil, receives the epoch loop's observability
+	// series (pf_profiler_*, pf_engine_*, pf_snapshot_*, pf_cxl_link_*).
+	// All publishing happens at epoch-sync boundaries from the profiler's
+	// own goroutine, so a concurrent scrape only ever reads atomics.
+	Metrics *obs.Registry
 }
 
 // EpochResult bundles one epoch's snapshot with the per-application
@@ -77,6 +85,43 @@ type Profiler struct {
 	// against the capturer's bank layout (and rebuilt on Migrate) so the
 	// per-epoch analyses are flat arena walks with no per-call setup.
 	plans map[string]*Plan
+
+	met *profMetrics // nil when Spec.Metrics is nil
+}
+
+// profMetrics holds the epoch loop's registry handles.  Counters are
+// advanced by snapshot deltas, gauges by the latest value — both from the
+// single-owner Step path.
+type profMetrics struct {
+	epochs      *obs.Counter
+	truncated   *obs.Counter
+	watchdog    *obs.Counter
+	idle        *obs.Counter
+	epochCycles *obs.Gauge
+	heapDepth   *obs.Gauge
+	poolHits    *obs.Counter
+	poolMisses  *obs.Counter
+	linkRetries *obs.Counter
+	linkCRC     *obs.Counter
+	replayBytes *obs.Counter
+
+	lastHits, lastMisses uint64
+}
+
+func newProfMetrics(reg *obs.Registry) *profMetrics {
+	return &profMetrics{
+		epochs:      reg.Counter("pf_profiler_epochs_total", "scheduling epochs run"),
+		truncated:   reg.Counter("pf_profiler_epochs_truncated_total", "epochs cut short by the watchdog"),
+		watchdog:    reg.Counter("pf_profiler_watchdog_expiries_total", "watchdog budget expiries"),
+		idle:        reg.Counter("pf_profiler_epochs_idle_total", "epochs ended early with every workload idle"),
+		epochCycles: reg.Gauge("pf_profiler_epoch_cycles", "cycles simulated in the latest epoch"),
+		heapDepth:   reg.Gauge("pf_engine_events_pending", "event-engine depth (timing wheel + heap)"),
+		poolHits:    reg.Counter("pf_snapshot_pool_hits_total", "captures served from the snapshot pool"),
+		poolMisses:  reg.Counter("pf_snapshot_pool_misses_total", "captures that allocated a snapshot"),
+		linkRetries: reg.Counter("pf_cxl_link_retries_total", "LRSM link retries"),
+		linkCRC:     reg.Counter("pf_cxl_link_crc_errors_total", "link CRC errors detected"),
+		replayBytes: reg.Counter("pf_cxl_link_replay_bytes_total", "wire bytes retransmitted by LRSM replay"),
+	}
 }
 
 // NewProfiler validates the spec and prepares a profiler.  Workloads are
@@ -124,6 +169,9 @@ func NewProfiler(spec Spec) (*Profiler, error) {
 	p.plans = make(map[string]*Plan, len(cores))
 	for label, cs := range cores {
 		p.plans[label] = NewPlan(p.cap.Index(), cs, spec.CXLDevice)
+	}
+	if spec.Metrics != nil {
+		p.met = newProfMetrics(spec.Metrics)
 	}
 	return p, nil
 }
@@ -174,13 +222,14 @@ func (p *Profiler) AppCores(label string) []int { return p.cores[label] }
 const watchdogChunks = 16
 
 // runEpoch advances the machine by the epoch length, honoring the
-// watchdog.  It reports whether the epoch was truncated and why the
-// window is shorter than configured (empty when it ran to completion).
-func (p *Profiler) runEpoch() (truncated bool, note string) {
+// watchdog.  It reports whether the epoch was truncated, the full
+// truncation context — chunks completed and cycles simulated, not just the
+// last chunk's reason — and how many cycles actually ran.
+func (p *Profiler) runEpoch() (truncated bool, note string, ran sim.Cycles) {
 	m := p.spec.Machine
 	if p.spec.Watchdog <= 0 {
 		m.Run(p.spec.EpochCycles)
-		return false, ""
+		return false, "", p.spec.EpochCycles
 	}
 	deadline := time.Now().Add(p.spec.Watchdog)
 	chunk := p.spec.EpochCycles / watchdogChunks
@@ -188,6 +237,7 @@ func (p *Profiler) runEpoch() (truncated bool, note string) {
 		chunk = 1
 	}
 	var done sim.Cycles
+	chunks := 0
 	for done < p.spec.EpochCycles {
 		step := chunk
 		if rest := p.spec.EpochCycles - done; rest < step {
@@ -195,27 +245,59 @@ func (p *Profiler) runEpoch() (truncated bool, note string) {
 		}
 		m.Run(step)
 		done += step
+		chunks++
 		if done == p.spec.EpochCycles {
-			return false, ""
+			return false, "", done
 		}
 		if m.Idle() {
 			// Every workload ran dry: finishing the window would only
 			// accumulate idle cycles.  Not a fault — just noted.
-			return false, fmt.Sprintf("core: workloads idle after %d of %d epoch cycles",
-				done, p.spec.EpochCycles)
+			return false, fmt.Sprintf(
+				"core: workloads idle after %d of %d chunks, %d of %d epoch cycles simulated",
+				chunks, watchdogChunks, done, p.spec.EpochCycles), done
 		}
 		if time.Now().After(deadline) {
-			return true, fmt.Sprintf("core: watchdog truncated epoch after %d of %d cycles (budget %v)",
-				done, p.spec.EpochCycles, p.spec.Watchdog)
+			return true, fmt.Sprintf(
+				"core: watchdog truncated epoch after %d of %d chunks, %d of %d cycles simulated (budget %v)",
+				chunks, watchdogChunks, done, p.spec.EpochCycles, p.spec.Watchdog), done
 		}
 	}
-	return false, ""
+	return false, "", done
+}
+
+// publish pushes one epoch's observability series into the registry.  It
+// runs on the profiler's goroutine at an epoch-sync boundary; scrapers see
+// only the atomic handles.
+func (p *Profiler) publish(snap *Snapshot, truncated bool, note string, ran sim.Cycles) {
+	mt := p.met
+	if mt == nil {
+		return
+	}
+	mt.epochs.Inc()
+	if truncated {
+		mt.truncated.Inc()
+		mt.watchdog.Inc()
+	} else if note != "" {
+		mt.idle.Inc()
+	}
+	mt.epochCycles.Set(float64(ran))
+	mt.heapDepth.Set(float64(p.spec.Machine.PendingEvents()))
+	hits, misses := p.cap.PoolStats()
+	mt.poolHits.Add(hits - mt.lastHits)
+	mt.poolMisses.Add(misses - mt.lastMisses)
+	mt.lastHits, mt.lastMisses = hits, misses
+	if dev := p.spec.CXLDevice; dev >= 0 && dev < snap.NumCXL() {
+		mt.linkRetries.Add(uint64(snap.CXL(dev, pmu.CXLLinkRetries)))
+		mt.linkCRC.Add(uint64(snap.CXL(dev, pmu.CXLLinkCRCErrors)))
+		mt.replayBytes.Add(uint64(snap.CXL(dev, pmu.CXLLinkReplayBytes)))
+	}
 }
 
 // Step runs one scheduling epoch and returns its analyzed result.
 func (p *Profiler) Step() (*EpochResult, error) {
-	truncated, note := p.runEpoch()
+	truncated, note, ran := p.runEpoch()
 	snap := p.cap.Capture()
+	p.publish(snap, truncated, note, ran)
 	snap.Truncated = truncated
 	res := &EpochResult{
 		Snapshot:  snap,

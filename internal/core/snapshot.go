@@ -205,6 +205,10 @@ type Capturer struct {
 	pool  *sync.Pool
 	seq   int
 	last  sim.Cycles
+
+	// Pool effectiveness, pushed into the metrics registry by the profiler
+	// at epoch boundaries: a miss is a Capture that had to allocate.
+	poolHits, poolMisses uint64
 }
 
 // NewCapturer returns a capturer rebased at the machine's current time.
@@ -241,9 +245,13 @@ func (c *Capturer) Capture() *Snapshot {
 	now := c.m.Now()
 	s, _ := c.pool.Get().(*Snapshot)
 	if s == nil {
+		c.poolMisses++
 		s = &Snapshot{arena: make([]uint64, c.idx.ArenaLen())}
-	} else if len(s.arena) != c.idx.ArenaLen() {
-		s.arena = make([]uint64, c.idx.ArenaLen())
+	} else {
+		c.poolHits++
+		if len(s.arena) != c.idx.ArenaLen() {
+			s.arena = make([]uint64, c.idx.ArenaLen())
+		}
 	}
 	s.Seq = c.seq
 	s.Start = c.last
@@ -261,6 +269,12 @@ func (c *Capturer) Capture() *Snapshot {
 	}
 	c.prev, c.cur = cur, prev
 	return s
+}
+
+// PoolStats reports how many Captures recycled a snapshot versus had to
+// allocate one.
+func (c *Capturer) PoolStats() (hits, misses uint64) {
+	return c.poolHits, c.poolMisses
 }
 
 // Cycles returns the epoch length in cycles.

@@ -41,7 +41,7 @@ func RunTMABaseline(cfg sim.Config, quick bool) *BaselineResult {
 		{"CXL Type-3", 2},
 	}
 	out := &BaselineResult{Rows: make([]BaselineRow, len(cases))}
-	runIndexed(len(cases), func(ci int) {
+	runIndexed("baseline", len(cases), func(ci int) {
 		tc := cases[ci]
 		rig := NewRig(RigOptions{Config: opt.cfg})
 		reg := rig.Alloc(opt.ws, tc.node)

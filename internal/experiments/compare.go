@@ -136,7 +136,7 @@ func RunCompare(title string, opt charOptions, apps []string, metrics []Metric) 
 	cores := []int{0}
 	res.Local = make([][]float64, len(apps))
 	res.CXL = make([][]float64, len(apps))
-	runIndexed(2*len(apps), func(i int) {
+	runIndexed("compare", 2*len(apps), func(i int) {
 		ai := i / 2
 		app, ok := workload.Lookup(apps[ai])
 		if !ok {

@@ -85,7 +85,7 @@ func TestRunIndexedOrdering(t *testing.T) {
 		prev := SetParallelism(workers)
 		const n = 97
 		got := make([]int, n)
-		runIndexed(n, func(i int) { got[i] = i + 1 })
+		runIndexed("test", n, func(i int) { got[i] = i + 1 })
 		SetParallelism(prev)
 		for i, v := range got {
 			if v != i+1 {
@@ -105,7 +105,7 @@ func TestRunIndexedPanic(t *testing.T) {
 			t.Fatal("panic in worker was swallowed")
 		}
 	}()
-	runIndexed(8, func(i int) {
+	runIndexed("test", 8, func(i int) {
 		if i == 5 {
 			panic("boom")
 		}

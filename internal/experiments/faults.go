@@ -87,7 +87,7 @@ func RunFaults(cfg sim.Config, quick bool) *FaultsResult {
 
 	rows := make([][]float64, len(out.Rates))
 	out.Culprits = make([]string, len(out.Rates))
-	runIndexed(len(out.Rates), func(i int) {
+	runIndexed("faults", len(out.Rates), func(i int) {
 		rate := out.Rates[i]
 		c := opt.cfg
 		c.Faults = faultPlanFor(rate, epoch)

@@ -67,7 +67,7 @@ func runFig11Scenario(opt charOptions, k core.Consts, shape string, epoch sim.Cy
 
 	// Solo bandwidths: four independent rigs, fanned out.
 	res.Solo = make([]float64, 4)
-	runIndexed(4, func(i int) {
+	runIndexed("fig11", 4, func(i int) {
 		rig := NewRig(RigOptions{Config: opt.cfg})
 		gens := makeGens(rig, i)
 		for th, g := range gens {

@@ -54,7 +54,7 @@ func RunFig12(cfg sim.Config, quick bool) *Fig12Result {
 	}
 
 	out := &Fig12Result{Runs: make([]Fig12Run, len(scenarios))}
-	runIndexed(len(scenarios), func(si int) {
+	runIndexed("fig12", len(scenarios), func(si int) {
 		sc := scenarios[si]
 		rig := NewRig(RigOptions{Config: opt.cfg})
 		// The observed app's working set is sized near the LLC so it has

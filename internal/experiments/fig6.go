@@ -25,7 +25,7 @@ func RunFig6(cfg sim.Config, quick bool) *Fig6Result {
 	k := core.ConstsFor(opt.cfg)
 	out := &Fig6Result{Apps: fig6Apps,
 		Stalls: make([]*core.StallBreakdown, len(fig6Apps))}
-	runIndexed(len(fig6Apps), func(i int) {
+	runIndexed("fig6", len(fig6Apps), func(i int) {
 		app, ok := workload.Lookup(fig6Apps[i])
 		if !ok {
 			panic("experiments: unknown app " + fig6Apps[i])

@@ -37,7 +37,7 @@ func RunFig78(cfg sim.Config, quick bool) *Fig78Result {
 	shares := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
 	stallRows := make([][]float64, len(shares))
 	queueRows := make([][]float64, len(shares))
-	runIndexed(len(shares), func(i int) {
+	runIndexed("fig78", len(shares), func(i int) {
 		share := shares[i]
 		rig := NewRig(RigOptions{Config: opt.cfg})
 		local := rig.Alloc(opt.ws/2, 0)

@@ -59,7 +59,7 @@ func RunFig910(cfg sim.Config, quick bool) *Fig910Result {
 		culprit string
 	}
 	rows := make([]row, len(loads))
-	runIndexed(len(loads), func(i int) {
+	runIndexed("fig910", len(loads), func(i int) {
 		load := loads[i]
 		rig := NewRig(RigOptions{Config: opt.cfg})
 		m := rig.Machine

@@ -120,7 +120,7 @@ func RunMLC(cfg sim.Config, quick bool) *MLCResult {
 	}
 	// Latency and bandwidth rigs are independent: 2 runs per tier,
 	// each writing a distinct field of its tier's row.
-	runIndexed(2*len(tiers), func(i int) {
+	runIndexed("mlc", 2*len(tiers), func(i int) {
 		tier := tiers[i/2]
 		row := &res.Rows[i/2]
 		if i%2 == 0 {

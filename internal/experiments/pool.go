@@ -37,7 +37,7 @@ func RunPool(cfg sim.Config, quick bool) *PoolResult {
 		DevLoads:   make([][]string, len(devCounts)),
 		StallSplit: make([]float64, len(devCounts)),
 	}
-	runIndexed(len(devCounts), func(di int) {
+	runIndexed("pool", len(devCounts), func(di int) {
 		devs := devCounts[di]
 		c := cfg
 		c.CXLDevices = devs

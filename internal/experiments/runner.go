@@ -1,10 +1,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"pathfinder/internal/obs"
 )
 
 // The experiment layer fans independent Machine runs across a worker
@@ -38,6 +44,17 @@ func Parallelism() int {
 	return n
 }
 
+// workerMetrics returns the dispatch counter and the per-worker busy-time
+// counter of the pool, published to the process-wide registry so
+// `pathfinder -serve` exposes runner utilization mid-flight.
+func workerMetrics(w int) (tasks, busy *obs.Counter) {
+	tasks = obs.Default.Counter("pf_runner_tasks_total", "experiment runs completed by the pool")
+	busy = obs.Default.Counter(
+		"pf_runner_busy_ns{worker=\""+strconv.Itoa(w)+"\"}",
+		"wall-clock nanoseconds each pool worker spent running experiments")
+	return tasks, busy
+}
+
 // runIndexed invokes fn(0..n-1), possibly concurrently, and returns
 // once every call has completed.  Each index runs exactly once; callers
 // store results into pre-sized slices at their own index, which keeps
@@ -45,7 +62,12 @@ func Parallelism() int {
 // A panic in any fn is re-raised on the calling goroutine (first one
 // wins, by index) so experiment bugs surface the same way they would
 // serially.
-func runIndexed(n int, fn func(i int)) {
+//
+// label names the experiment in CPU-profile label sets: pprof labels do
+// not cross goroutine spawns, so each worker applies its own
+// {experiment, worker} labels — `pfbench -cpuprofile` samples then
+// attribute to experiment names.
+func runIndexed(label string, n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -54,9 +76,16 @@ func runIndexed(n int, fn func(i int)) {
 		workers = n
 	}
 	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
+		tasks, busy := workerMetrics(0)
+		pprof.Do(context.Background(), pprof.Labels("experiment", label, "worker", "0"),
+			func(context.Context) {
+				for i := 0; i < n; i++ {
+					t0 := time.Now()
+					fn(i)
+					busy.Add(uint64(time.Since(t0)))
+					tasks.Inc()
+				}
+			})
 		return
 	}
 
@@ -66,24 +95,32 @@ func runIndexed(n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							panics[i] = r
-							panicked.Store(true)
+			tasks, busy := workerMetrics(w)
+			pprof.Do(context.Background(),
+				pprof.Labels("experiment", label, "worker", strconv.Itoa(w)),
+				func(context.Context) {
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= n {
+							return
 						}
-					}()
-					fn(i)
-				}()
-			}
-		}()
+						func() {
+							defer func() {
+								if r := recover(); r != nil {
+									panics[i] = r
+									panicked.Store(true)
+								}
+							}()
+							t0 := time.Now()
+							fn(i)
+							busy.Add(uint64(time.Since(t0)))
+							tasks.Inc()
+						}()
+					}
+				})
+		}(w)
 	}
 	wg.Wait()
 	if panicked.Load() {

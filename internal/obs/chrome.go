@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one Chrome trace_event "complete" event ("ph":"X") — the
+// format Perfetto and chrome://tracing load directly.  Timestamps and
+// durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int32          `json:"pid"`
+	TID  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders records as Chrome trace_event JSON: one track
+// per (core, request), one complete event per span, cycles converted to
+// microseconds at ghz.  The output loads in Perfetto (ui.perfetto.dev) as a
+// per-request latency waterfall.
+func WriteChromeTrace(w io.Writer, recs []ReqRec, ghz float64) error {
+	if ghz <= 0 {
+		ghz = 1
+	}
+	us := func(cycles uint64) float64 { return float64(cycles) / (ghz * 1e3) }
+	doc := chromeDoc{DisplayTimeUnit: "ns", TraceEvents: make([]chromeEvent, 0, len(recs)*4)}
+	for i := range recs {
+		r := &recs[i]
+		for _, sp := range r.Spans() {
+			ev := chromeEvent{
+				Name: sp.Stage.String(),
+				Cat:  "cxl-path",
+				Ph:   "X",
+				TS:   us(sp.Start),
+				Dur:  us(sp.End - sp.Start),
+				PID:  r.Core,
+				TID:  r.ID,
+			}
+			if sp.Stage == StageReq {
+				ev.Args = map[string]any{
+					"addr":  r.Addr,
+					"class": r.Class,
+					"loc":   r.Loc,
+				}
+			}
+			doc.TraceEvents = append(doc.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&doc)
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pf_test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("pf_test_depth", "depth")
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("gauge = %v, want 3.5", got)
+	}
+	// Get-or-create returns the same handle.
+	if r.Counter("pf_test_ops_total", "ops") != c {
+		t.Fatal("Counter did not return existing handle")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("pf_test_lat_cycles", "latency", []float64{10, 100, 1000})
+	for _, v := range []float64{5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 5555 {
+		t.Fatalf("sum = %v, want 5555", h.Sum())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`pf_test_lat_cycles_bucket{le="10"} 1`,
+		`pf_test_lat_cycles_bucket{le="100"} 2`,
+		`pf_test_lat_cycles_bucket{le="1000"} 3`,
+		`pf_test_lat_cycles_bucket{le="+Inf"} 4`,
+		`pf_test_lat_cycles_sum 5555`,
+		`pf_test_lat_cycles_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusGroupsLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`pf_runner_busy_ns{worker="1"}`, "busy time").Add(10)
+	r.Counter(`pf_runner_busy_ns{worker="0"}`, "busy time").Add(20)
+	r.GaugeFunc("pf_engine_heap_depth", "heap depth", func() float64 { return 7 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if n := strings.Count(out, "# TYPE pf_runner_busy_ns counter"); n != 1 {
+		t.Errorf("want exactly one TYPE header for labeled family, got %d:\n%s", n, out)
+	}
+	i0 := strings.Index(out, `pf_runner_busy_ns{worker="0"} 20`)
+	i1 := strings.Index(out, `pf_runner_busy_ns{worker="1"} 10`)
+	if i0 < 0 || i1 < 0 || i0 > i1 {
+		t.Errorf("labeled series missing or unsorted:\n%s", out)
+	}
+	if !strings.Contains(out, "pf_engine_heap_depth 7") {
+		t.Errorf("gauge func not rendered:\n%s", out)
+	}
+}
+
+func TestRegisterKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pf_x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("pf_x_total", "")
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("pf_conc_total", "")
+			h := r.Histogram("pf_conc_hist", "", []float64{1, 2})
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j % 3))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("pf_conc_total", "").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("pf_conc_hist", "", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

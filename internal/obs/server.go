@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StatusFunc supplies the /status payload: any JSON-marshalable value.  It
+// is called from serving goroutines, so implementations must be safe for
+// concurrent use (the cmd binaries publish through an atomic.Value).
+type StatusFunc func() any
+
+// Server is the live introspection endpoint of a run:
+//
+//	/metrics      Prometheus text exposition of a Registry
+//	/status       JSON snapshot from the StatusFunc
+//	/trace        request-path spans as Chrome trace_event JSON (Perfetto)
+//	/debug/pprof  the standard Go profiling handlers
+//
+// Everything is stdlib; there are no external dependencies.
+type Server struct {
+	reg    *Registry
+	tracer *Tracer
+	status StatusFunc
+	ghz    float64
+
+	http *http.Server
+	addr net.Addr
+}
+
+// NewServer builds a server over the given registry, tracer, and status
+// source.  tracer and status may be nil (the endpoints then report 404 and
+// an empty object respectively); ghz scales trace timestamps.
+func NewServer(reg *Registry, tracer *Tracer, status StatusFunc, ghz float64) *Server {
+	if reg == nil {
+		reg = Default
+	}
+	return &Server{reg: reg, tracer: tracer, status: status, ghz: ghz}
+}
+
+// Handler returns the introspection mux (useful for tests and embedding).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "pathfinder introspection: /metrics /status /trace /debug/pprof/\n")
+	})
+	return mux
+}
+
+// Start begins serving on addr (e.g. ":6060", "127.0.0.1:0") in a
+// background goroutine and returns the bound address.  Use Close to stop.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.addr = ln.Addr()
+	s.http = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		// ErrServerClosed after Close is the clean shutdown path; any other
+		// serve error leaves the endpoints dark but must not kill the run.
+		_ = s.http.Serve(ln)
+	}()
+	return s.addr, nil
+}
+
+// Addr returns the bound address after Start.
+func (s *Server) Addr() net.Addr { return s.addr }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	if s.http == nil {
+		return nil
+	}
+	return s.http.Close()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	var v any = map[string]any{}
+	if s.status != nil {
+		if got := s.status(); got != nil {
+			v = got
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	if s.tracer == nil {
+		http.Error(w, "no tracer attached (run with tracing enabled)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="pathfinder-spans.json"`)
+	_ = WriteChromeTrace(w, s.tracer.Records(), s.ghz)
+}

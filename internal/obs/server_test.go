@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Counter("pf_profiler_epochs_total", "epochs run").Add(3)
+	tr := NewTracer(8, 1)
+	tr.Enable()
+	commitOne(tr, 0, 0x40, Span{Stage: StageReq, Start: 0, End: 10})
+	status := func() any {
+		return map[string]any{"epoch": 3, "flows": []string{"stream"}}
+	}
+	srv := httptest.NewServer(NewServer(reg, tr, status, 2.0).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerMetrics(t *testing.T) {
+	srv := newTestServer(t)
+	code, body := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.Contains(body, "pf_profiler_epochs_total 3") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+}
+
+func TestServerStatus(t *testing.T) {
+	srv := newTestServer(t)
+	code, body := get(t, srv.URL+"/status")
+	if code != http.StatusOK {
+		t.Fatalf("/status status = %d", code)
+	}
+	var v map[string]any
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatalf("/status not JSON: %v\n%s", err, body)
+	}
+	if v["epoch"] != float64(3) {
+		t.Fatalf("/status epoch = %v", v["epoch"])
+	}
+}
+
+func TestServerTrace(t *testing.T) {
+	srv := newTestServer(t)
+	code, body := get(t, srv.URL+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace status = %d", code)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/trace not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 1 {
+		t.Fatalf("/trace has %d events, want 1", len(doc.TraceEvents))
+	}
+}
+
+func TestServerPprofIndex(t *testing.T) {
+	srv := newTestServer(t)
+	code, body := get(t, srv.URL+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Fatal("/debug/pprof/ index missing profile list")
+	}
+}
+
+func TestServerStartStop(t *testing.T) {
+	s := NewServer(nil, nil, nil, 1)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _ := get(t, "http://"+addr.String()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("live /metrics status = %d", code)
+	}
+	// nil tracer: /trace is 404, not a crash.
+	code, _ = get(t, "http://"+addr.String()+"/trace")
+	if code != http.StatusNotFound {
+		t.Fatalf("/trace without tracer = %d, want 404", code)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Stage identifies one segment of a request's traversal of the machine —
+// the waterfall rows of the paper's §2.2 data paths.  Stage boundaries are
+// the reqTimes crossings the simulator already computes, so tracing adds no
+// timing model of its own.
+type Stage uint8
+
+// Stages, in path order.
+const (
+	StageReq      Stage = iota // whole request: issue -> data return
+	StageSB                    // store-buffer full wait (stores)
+	StageLFB                   // line-fill-buffer allocation / merge wait
+	StageL2                    // L2 lookup segment
+	StageCHA                   // CHA/TOR dispatch segment (mesh + LLC lookup)
+	StageIMC                   // IMC channel: RPQ/WPQ + DRAM media
+	StageM2PCIe                // M2PCIe ingress: mesh -> link credit wait
+	StageCXLLink               // FlexBus serialization + flight, host -> device
+	StageCXLDevQ               // device packing buffer + controller + RPQ/WPQ wait
+	StageCXLMedia              // device media access
+	StageCXLRet                // response: device -> host link + M2PCIe egress
+	StageLRSM                  // LRSM retry/replay detour (CRC-corrupted transfer)
+	StageCount
+)
+
+var stageNames = [StageCount]string{
+	"req", "sb", "lfb", "l2", "cha", "imc",
+	"m2pcie", "cxl_link", "cxl_devq", "cxl_media", "cxl_return", "lrsm_replay",
+}
+
+// String returns the stage's waterfall/export name.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "stage?"
+}
+
+// Span is one timestamped segment of a traced request, in simulated cycles.
+type Span struct {
+	Stage      Stage
+	Start, End uint64
+}
+
+// maxSpans bounds a record: path stages plus a few LRSM detours.  Overflow
+// spans are dropped (never reallocated) so tracing stays allocation-free.
+const maxSpans = 16
+
+// ReqRec is one traced request: identity plus its recorded spans.  Class
+// and Loc are the simulator's static names (no per-request formatting).
+type ReqRec struct {
+	ID    uint64
+	Core  int32
+	Addr  uint64
+	Class string // "DRd", "RFO", ...
+	Loc   string // serve location, set at completion
+
+	spans  [maxSpans]Span
+	nspans int32
+	sealed bool // memory-device stages recorded (guards prefetch pollution)
+}
+
+// Span records one segment; zero-length and overflow spans are dropped.
+func (r *ReqRec) Span(st Stage, start, end uint64) {
+	if end <= start || int(r.nspans) >= maxSpans {
+		return
+	}
+	r.spans[r.nspans] = Span{Stage: st, Start: start, End: end}
+	r.nspans++
+}
+
+// Spans returns the recorded segments.
+func (r *ReqRec) Spans() []Span { return r.spans[:r.nspans] }
+
+// MemSealed reports whether the record already holds its memory-device
+// stages.  The simulator seals a record after the demand request's own
+// device visit so prefetches and victim writebacks issued while the record
+// is current do not overwrite the waterfall.
+func (r *ReqRec) MemSealed() bool { return r.sealed }
+
+// SealMem marks the memory-device stages recorded.
+func (r *ReqRec) SealMem() { r.sealed = true }
+
+// StageStat is the running aggregate of one stage across every committed
+// record — the waterfall summary does not depend on ring capacity.
+type StageStat struct {
+	Spans  uint64
+	Cycles uint64
+}
+
+// Tracer is a sampled request-path tracer: 1-in-Every requests get a
+// ReqRec; committed records land in a bounded ring (oldest overwritten)
+// and fold into per-stage aggregates.  The simulator side (Sample, Begin,
+// the ReqRec methods) is single-goroutine by the Machine's own contract;
+// Commit and the readers (Records, Stats, WriteChromeTrace) synchronize on
+// an internal mutex so a live /trace download mid-run is race-free.
+//
+// When disabled, Sample is one atomic load — the only cost tracing adds to
+// an untraced run.
+type Tracer struct {
+	enabled atomic.Bool
+	every   uint64
+
+	tick    uint64 // sampling countdown (simulator goroutine only)
+	nextID  uint64
+	scratch ReqRec
+
+	mu    sync.Mutex
+	ring  []ReqRec
+	n     uint64 // total committed
+	stats [StageCount]StageStat
+	drops uint64 // committed records that overwrote an unread slot
+}
+
+// NewTracer returns a tracer keeping the last capacity records, sampling
+// one in every requests.  capacity < 1 and every < 1 are clamped to 1.
+func NewTracer(capacity int, every int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if every < 1 {
+		every = 1
+	}
+	return &Tracer{every: uint64(every), ring: make([]ReqRec, 0, capacity)}
+}
+
+// Enable turns sampling on.
+func (t *Tracer) Enable() { t.enabled.Store(true) }
+
+// Disable turns sampling off; records already committed are kept.
+func (t *Tracer) Disable() { t.enabled.Store(false) }
+
+// Enabled reports whether the tracer is sampling.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// Every returns the sampling rate (1-in-N).
+func (t *Tracer) Every() int { return int(t.every) }
+
+// Sample reports whether the next request should be traced, advancing the
+// sampling counter.  The fast path (disabled) is a single atomic load.
+func (t *Tracer) Sample() bool {
+	if !t.enabled.Load() {
+		return false
+	}
+	t.tick++
+	if t.tick < t.every {
+		return false
+	}
+	t.tick = 0
+	return true
+}
+
+// Begin starts a record for a sampled request.  The returned record is the
+// tracer's scratch slot — valid until Commit; never retained.
+func (t *Tracer) Begin(core int, addr uint64, class string) *ReqRec {
+	t.nextID++
+	r := &t.scratch
+	*r = ReqRec{ID: t.nextID, Core: int32(core), Addr: addr, Class: class}
+	return r
+}
+
+// Commit finalizes a record into the ring and the per-stage aggregates.
+func (t *Tracer) Commit(r *ReqRec) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, *r)
+	} else {
+		t.ring[t.n%uint64(cap(t.ring))] = *r
+		t.drops++
+	}
+	t.n++
+	for _, sp := range r.Spans() {
+		t.stats[sp.Stage].Spans++
+		t.stats[sp.Stage].Cycles += sp.End - sp.Start
+	}
+	t.mu.Unlock()
+}
+
+// Records returns a copy of the retained records in commit order
+// (oldest first).
+func (t *Tracer) Records() []ReqRec {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]ReqRec, 0, len(t.ring))
+	if len(t.ring) < cap(t.ring) {
+		return append(out, t.ring...)
+	}
+	head := int(t.n % uint64(cap(t.ring)))
+	out = append(out, t.ring[head:]...)
+	return append(out, t.ring[:head]...)
+}
+
+// Stats returns the per-stage aggregates over every committed record, the
+// total committed count, and how many records were overwritten in the ring.
+func (t *Tracer) Stats() (stats [StageCount]StageStat, committed, dropped uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats, t.n, t.drops
+}

@@ -1,0 +1,99 @@
+package report
+
+import (
+	"fmt"
+
+	"pathfinder/internal/core"
+)
+
+// This file renders one profiling epoch's per-application analyses — the
+// PFBuilder path map, PFEstimator stall breakdown, and PFAnalyzer queue
+// estimates — as the tables cmd/pathfinder prints.  Pulling the rendering
+// out of the CLI keeps the text format pinned by a golden test: the table
+// layout is part of the tool's observable interface.
+
+// ComponentCols returns the stall/queue component column headers.
+func ComponentCols() []string {
+	var out []string
+	for _, c := range core.Components() {
+		out = append(out, c.String())
+	}
+	return out
+}
+
+// PathMapTable renders a PFBuilder path map (requests per path and level).
+func PathMapTable(pm *core.PathMap) *Table {
+	t := &Table{Title: "PFBuilder path map (last epoch)",
+		Cols: []string{"level", "DRd", "RFO", "HW PF", "DWr"}}
+	for _, l := range core.Levels() {
+		if pm.LevelTotal(l) == 0 {
+			continue
+		}
+		t.AddRow(l.String(),
+			Num(pm.Load[core.PathDRd][l]), Num(pm.Load[core.PathRFO][l]),
+			Num(pm.Load[core.PathHWPF][l]), Num(pm.Load[core.PathDWr][l]))
+	}
+	return t
+}
+
+// StallTable renders a PFEstimator CXL-induced stall breakdown as
+// per-component shares; paths with no attributed stalls are omitted.
+func StallTable(bd *core.StallBreakdown) *Table {
+	t := &Table{Title: "PFEstimator CXL-induced stall breakdown",
+		Cols: append([]string{"path"}, ComponentCols()...)}
+	for _, pt := range core.Paths() {
+		if bd.Total(pt) == 0 {
+			continue
+		}
+		row := []string{pt.String()}
+		for _, c := range core.Components() {
+			row = append(row, Pct(bd.Share(pt, c)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// QueueTable renders PFAnalyzer's queue estimates with the culprit
+// (path, component) pair in the title; all-zero paths are omitted.
+func QueueTable(qr *core.QueueReport) *Table {
+	t := &Table{Title: "PFAnalyzer queue estimates (culprit: " +
+		qr.CulpritPath.String() + " on " + qr.CulpritComp.String() + ")",
+		Cols: append([]string{"path"}, ComponentCols()...)}
+	for _, pt := range core.Paths() {
+		row := []string{pt.String()}
+		any := false
+		for _, c := range core.Components() {
+			if qr.Q[pt][c] > 0 {
+				any = true
+			}
+			row = append(row, Num(qr.Q[pt][c]))
+		}
+		if any {
+			t.AddRow(row...)
+		}
+	}
+	return t
+}
+
+// Epoch renders the full per-application report for one epoch result:
+// path map, stall breakdown, and queue estimates, in that order.
+func Epoch(label string, r *core.EpochResult) string {
+	pm := r.PathMaps[label]
+	bd := r.Stalls[label]
+	qr := r.Queues[label]
+	out := ""
+	if pm != nil {
+		out += PathMapTable(pm).String() + "\n"
+	}
+	if bd != nil {
+		out += StallTable(bd).String() + "\n"
+	}
+	if qr != nil {
+		out += QueueTable(qr).String() + "\n"
+	}
+	if r.Note != "" {
+		out += fmt.Sprintf("note: %s\n", r.Note)
+	}
+	return out
+}

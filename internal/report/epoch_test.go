@@ -1,0 +1,74 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pathfinder/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// cannedEpoch builds a fully deterministic EpochResult: the values are
+// arbitrary but chosen to exercise every formatting branch (zero rows
+// omitted, percentage and scientific rendering, the culprit title).
+func cannedEpoch() *core.EpochResult {
+	pm := &core.PathMap{}
+	for i, l := range core.Levels() {
+		pm.Load[core.PathDRd][l] = float64((i + 1) * 12345)
+		pm.Load[core.PathRFO][l] = float64(i * 7)
+		pm.Load[core.PathHWPF][l] = float64(i) * 0.5
+	}
+	pm.Load[core.PathDWr][core.LvlCXL] = 2.5e7 // scientific notation branch
+
+	bd := &core.StallBreakdown{}
+	for i, c := range core.Components() {
+		bd.Stall[core.PathDRd][c] = float64((i + 1) * 100)
+		bd.Stall[core.PathHWPF][c] = float64(i * 10)
+	}
+	// PathRFO left all-zero: its row must be omitted.
+
+	qr := &core.QueueReport{CulpritPath: core.PathDRd, CulpritComp: core.CompCXLDIMM}
+	for i, c := range core.Components() {
+		qr.Q[core.PathDRd][c] = float64(i+1) * 0.125
+	}
+
+	return &core.EpochResult{
+		PathMaps: map[string]*core.PathMap{"CANNED": pm},
+		Stalls:   map[string]*core.StallBreakdown{"CANNED": bd},
+		Queues:   map[string]*core.QueueReport{"CANNED": qr},
+		Note:     "core: workloads idle after 3 of 8 chunks, 750000 of 2000000 epoch cycles simulated",
+	}
+}
+
+// TestEpochGolden pins the rendered epoch report byte-for-byte against the
+// committed fixture: the table text is part of the CLI's interface.
+// Regenerate deliberately with `go test ./internal/report -run Golden -update`.
+func TestEpochGolden(t *testing.T) {
+	got := Epoch("CANNED", cannedEpoch())
+	golden := filepath.Join("testdata", "epoch.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the fixture)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("rendered epoch report drifted from %s\n--- got ---\n%s--- want ---\n%s",
+			golden, got, want)
+	}
+}
+
+// TestEpochSkipsMissingSections: a label with no analyses renders only the
+// note, not empty tables.
+func TestEpochSkipsMissingSections(t *testing.T) {
+	r := &core.EpochResult{Note: "n"}
+	if got := Epoch("nope", r); got != "note: n\n" {
+		t.Fatalf("Epoch on empty result = %q", got)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"pathfinder/internal/obs"
 	"pathfinder/internal/pmu"
 )
 
@@ -34,10 +35,10 @@ type Cycles = uint64
 type evKind uint8
 
 const (
-	evFunc     evKind = iota // fn(now)
-	evCoreStep               // target *Core: execute the next workload op
-	evOcc                    // target *pmu.OccTracker: Update(now, aux)
-	evBusyBegin              // target *pmu.BusyTracker
+	evFunc      evKind = iota // fn(now)
+	evCoreStep                // target *Core: execute the next workload op
+	evOcc                     // target *pmu.OccTracker: Update(now, aux)
+	evBusyBegin               // target *pmu.BusyTracker
 	evBusyEnd
 	evPFDone  // target *Core: one hardware/software prefetch retired
 	evBankInc // target *pmu.Bank: Inc(Event(aux))
@@ -103,6 +104,22 @@ func NewEngine() *Engine {
 
 // Now returns the current simulated cycle.
 func (e *Engine) Now() Cycles { return e.now }
+
+// trace returns the machine's current traced request, or nil when no
+// request is being traced or its memory-device stages are already sealed.
+// Device modules (imcChannel, cxlPort) record through this so prefetches
+// and victim writebacks issued while a record is current cannot pollute
+// the demand request's waterfall.
+func (e *Engine) trace() *obs.ReqRec {
+	if e.mach == nil {
+		return nil
+	}
+	r := e.mach.cur
+	if r == nil || r.MemSealed() {
+		return nil
+	}
+	return r
+}
 
 // Pending reports the number of scheduled events.
 func (e *Engine) Pending() int { return len(e.heap) + e.wheelLen }

@@ -8,6 +8,7 @@ import (
 
 	"pathfinder/internal/cxl"
 	"pathfinder/internal/mem"
+	"pathfinder/internal/obs"
 	"pathfinder/internal/pmu"
 	"pathfinder/internal/workload"
 )
@@ -38,6 +39,12 @@ type Machine struct {
 	// accessHook, when set, observes every request that reaches a memory
 	// device (an LLC miss) — the signal memory-tiering policies sample.
 	accessHook func(core int, lineAddr uint64, write bool)
+
+	// tr is the attached request-path tracer (nil when tracing is off);
+	// cur is the record of the demand op currently executing, set only for
+	// the synchronous extent of one sampled coreStep.
+	tr  *obs.Tracer
+	cur *obs.ReqRec
 }
 
 // New assembles a machine from cfg over the given address space.
@@ -200,9 +207,23 @@ func (m *Machine) coreStep(c *Core, now Cycles) {
 	var next Cycles
 	switch op.Kind {
 	case workload.Load:
-		next = m.load(c, op.Addr, t, op.Dep)
+		if tr := m.tr; tr != nil && tr.Sample() {
+			m.cur = tr.Begin(c.id, op.Addr, "DRd")
+			next = m.load(c, op.Addr, t, op.Dep)
+			tr.Commit(m.cur)
+			m.cur = nil
+		} else {
+			next = m.load(c, op.Addr, t, op.Dep)
+		}
 	case workload.Store:
-		next = m.store(c, op.Addr, t)
+		if tr := m.tr; tr != nil && tr.Sample() {
+			m.cur = tr.Begin(c.id, op.Addr, "DWr")
+			next = m.store(c, op.Addr, t)
+			tr.Commit(m.cur)
+			m.cur = nil
+		} else {
+			next = m.store(c, op.Addr, t)
+		}
 	case workload.Prefetch:
 		m.swPrefetch(c, op.Addr, t)
 		next = t + 1
@@ -228,6 +249,11 @@ func (m *Machine) load(c *Core, addr uint64, t Cycles, dep bool) Cycles {
 		c.bank.Inc(pmu.MemLoadL1Hit)
 		c.bank.Add(pmu.MemTransLoadLatency, uint64(m.cfg.L1Lat))
 		c.bank.Inc(pmu.MemTransLoadCount)
+		if rec := m.cur; rec != nil {
+			rec.Span(obs.StageReq, t, t+m.cfg.L1Lat)
+			rec.Loc = SrvL1.String()
+			rec.SealMem() // trainL1PF below may visit memory devices
+		}
 		m.trainL1PF(c, la, t)
 		return t + 1
 	}
@@ -238,6 +264,12 @@ func (m *Machine) load(c *Core, addr uint64, t Cycles, dep bool) Cycles {
 		c.bank.Inc(pmu.MemLoadFBHit)
 		c.bank.Add(pmu.MemTransLoadLatency, uint64(e.done-t))
 		c.bank.Inc(pmu.MemTransLoadCount)
+		if rec := m.cur; rec != nil {
+			rec.Span(obs.StageLFB, t, e.done)
+			rec.Span(obs.StageReq, t, e.done)
+			rec.Loc = SrvLFB.String()
+			rec.SealMem()
+		}
 		m.trainL1PF(c, la, t)
 		if dep {
 			res := accessResult{done: e.done, loc: SrvLFB, times: e.times,
@@ -251,6 +283,10 @@ func (m *Machine) load(c *Core, addr uint64, t Cycles, dep bool) Cycles {
 	res := m.missPath(c, ClassDRd, la, t)
 	c.bank.Add(pmu.MemTransLoadLatency, uint64(res.done-t))
 	c.bank.Inc(pmu.MemTransLoadCount)
+	if rec := m.cur; rec != nil {
+		rec.Span(obs.StageReq, t, res.done)
+		rec.Loc = res.loc.String()
+	}
 	m.trainL1PF(c, la, t)
 
 	if dep {
@@ -273,6 +309,9 @@ func (m *Machine) load(c *Core, addr uint64, t Cycles, dep bool) Cycles {
 // everything that occupies a line-fill-buffer entry.
 func (m *Machine) missPath(c *Core, class ReqClass, la uint64, t Cycles) accessResult {
 	start, waitedOn := c.allocLFB(t, m.cfg.LFBEntries)
+	if rec := m.demandRec(class); rec != nil && start > t {
+		rec.Span(obs.StageLFB, t, start)
+	}
 	if waitedOn != nil && class == ClassDRd {
 		blocked := accessResult{done: start, loc: SrvLFB, times: waitedOn.times,
 			missedL2: waitedOn.missedL2, missedLLC: waitedOn.missedLLC}
@@ -299,6 +338,18 @@ func (m *Machine) missPath(c *Core, class ReqClass, la uint64, t Cycles) accessR
 	return res
 }
 
+// demandRec returns the current trace record when the request class is the
+// sampled demand op itself (DRd/RFO) and the record's memory stages are
+// still open — prefetches and writebacks riding on the same coreStep get
+// nil, so they never pollute the demand waterfall.
+func (m *Machine) demandRec(class ReqClass) *obs.ReqRec {
+	r := m.cur
+	if r == nil || r.MemSealed() || (class != ClassDRd && class != ClassRFO) {
+		return nil
+	}
+	return r
+}
+
 // fillsL1 reports whether a class installs the line into the L1D.
 func fillsL1(class ReqClass) bool {
 	switch class {
@@ -322,6 +373,10 @@ func (m *Machine) accessL2Down(c *Core, class ReqClass, la uint64, t Cycles) acc
 		m.countL2(c, class, true)
 		res.done = res.times.l2Start + m.cfg.L2Lat
 		res.loc = SrvL2
+		if rec := m.demandRec(class); rec != nil {
+			rec.Span(obs.StageL2, res.times.l2Start, res.done)
+			rec.SealMem() // trainL2PF below may visit memory devices
+		}
 		if fillsL1(class) {
 			m.fillL1(c, la, ln.State, res.done)
 		}
@@ -333,6 +388,9 @@ func (m *Machine) accessL2Down(c *Core, class ReqClass, la uint64, t Cycles) acc
 	m.countL2(c, class, false)
 	res.missedL2 = true
 	tOff := res.times.l2Start + m.cfg.L2TagLat
+	if rec := m.demandRec(class); rec != nil {
+		rec.Span(obs.StageL2, res.times.l2Start, tOff)
+	}
 
 	// Offcore request bookkeeping.
 	c.bank.Inc(pmu.OffcoreAllRequests)
@@ -502,6 +560,10 @@ func (m *Machine) accessLLCDown(c *Core, class ReqClass, la uint64, t Cycles, rt
 			ln.State = Modified
 		}
 		done := arrive + lat
+		if rec := m.demandRec(class); rec != nil {
+			rec.Span(obs.StageCHA, arrive, done)
+			rec.SealMem() // a later victim writeback may visit memory devices
+		}
 		m.torTransit(s, c, class, loc, arrive, done)
 		m.coreServeCounters(c, class, loc, done)
 		return llcResult{done: done, loc: loc, shared: sharedAfter, times: *rt}
@@ -539,6 +601,13 @@ func (m *Machine) accessLLCDown(c *Core, class ReqClass, la uint64, t Cycles, rt
 		loc = SrvCXL
 	}
 	done := data + m.cfg.MeshLat
+	if rec := m.demandRec(class); rec != nil {
+		rec.Span(obs.StageCHA, arrive, rt.memEnter)
+		if loc == SrvLocalDRAM || loc == SrvRemoteDRAM {
+			rec.Span(obs.StageIMC, rt.memEnter, data)
+		}
+		rec.SealMem() // the victim eviction below may visit memory devices
+	}
 
 	// Fill the LLC, handling the victim.
 	st := Exclusive
@@ -839,6 +908,9 @@ func (m *Machine) store(c *Core, addr uint64, t Cycles) Cycles {
 			} else {
 				c.bank.Add(pmu.ExeBoundOnStores, w-t)
 			}
+			if rec := m.cur; rec != nil {
+				rec.Span(obs.StageSB, t, w)
+			}
 		}
 		start = w
 		c.pruneSB(start)
@@ -861,6 +933,9 @@ func (m *Machine) store(c *Core, addr uint64, t Cycles) Cycles {
 	c.sb = append(c.sb, sbEntry{line: la, done: done})
 	c.bank.Add(pmu.MemTransStoreSample, uint64(done-t))
 	c.bank.Inc(pmu.MemTransStoreCount)
+	if rec := m.cur; rec != nil {
+		rec.Span(obs.StageReq, t, done)
+	}
 	return start + 1
 }
 
@@ -870,11 +945,18 @@ func (m *Machine) drainStore(c *Core, la uint64, t Cycles) Cycles {
 	if ln := c.l1.Lookup(la); ln != nil {
 		if ln.State == Modified || ln.State == Exclusive {
 			ln.State = Modified
+			if rec := m.cur; rec != nil && rec.Loc == "" {
+				rec.Loc = SrvL1.String()
+				rec.SealMem()
+			}
 			return t + m.cfg.L1Lat
 		}
 		// Shared/Forward: upgrade via RFO below.
 	}
 	res := m.missPath(c, ClassRFO, la, t)
+	if rec := m.cur; rec != nil && rec.Loc == "" {
+		rec.Loc = res.loc.String()
+	}
 	if ln := c.l1.Peek(la); ln != nil {
 		ln.State = Modified
 	}
@@ -980,6 +1062,18 @@ func (m *Machine) SetFaultPlan(dev int, plan *cxl.FaultPlan) {
 // profiler watchdog uses it to distinguish a finished workload from a
 // stalled epoch.
 func (m *Machine) Idle() bool { return m.eng.Pending() == 0 }
+
+// PendingEvents reports the current event-engine depth (wheel + heap) —
+// the pf_engine_events_pending gauge.
+func (m *Machine) PendingEvents() int { return m.eng.Pending() }
+
+// SetTracer attaches a request-path tracer (nil detaches).  With no tracer
+// — or a disabled one — the per-op cost is a nil check plus one atomic
+// load; sampled demand loads and stores record a span waterfall.
+func (m *Machine) SetTracer(tr *obs.Tracer) { m.tr = tr }
+
+// Tracer returns the attached tracer, or nil.
+func (m *Machine) Tracer() *obs.Tracer { return m.tr }
 
 // SetAccessHook installs fn as the memory-access observer: it fires for
 // every request served by a memory device (post-LLC), with the line

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"pathfinder/internal/cxl"
+	"pathfinder/internal/obs"
 	"pathfinder/internal/pmu"
 )
 
@@ -413,6 +414,7 @@ func (p *cxlPort) linkXfer(eng *Engine, srv *byteServer, dir cxl.Direction, read
 	if p.plan.Empty() {
 		return start
 	}
+	rec := eng.trace()
 
 	// The transfer's flits sit in the retry buffer from first transmission
 	// until the cumulative ack returns, one link round trip after arrival.
@@ -434,7 +436,11 @@ func (p *cxlPort) linkXfer(eng *Engine, srv *byteServer, dir cxl.Direction, read
 		nakBack := start + 2*p.cfg.FlexBusLat
 		reStart := srv.acquire(nakBack, replayBytes+size)
 		eng.at(start+p.cfg.FlexBusLat, evCXLCRC, p, 0, uint64(replayBytes+size))
+		prev := start
 		start = reStart + Cycles(replayBytes*srv.perByte)
+		if rec != nil {
+			rec.Span(obs.StageLRSM, prev, start)
+		}
 	}
 	ack := start + 2*p.cfg.FlexBusLat
 	eng.at(ack, evOcc, p.retryOcc, int32(-flits), 0)
@@ -492,6 +498,18 @@ func (p *cxlPort) read(eng *Engine, arrival Cycles, la uint64) Cycles {
 	rxStart := p.linkXfer(eng, &p.linkRx, cxl.DirS2M, data, cxl.BytesPerMessage(cxl.MemData))
 	hostArrive := rxStart + p.cfg.FlexBusLat
 	done := hostArrive + p.cfg.M2PLat
+
+	if rec := eng.trace(); rec != nil {
+		// Stage boundaries mirror the occupancy integrals AnalyzeQueues
+		// reads: m2pcie = the M2PCIe ingress residency (arrival..txStart),
+		// cxl_devq + cxl_media = the packing-buffer + RPQ residency
+		// (devArrive..data) that prices the CXL DIMM queue estimate.
+		rec.Span(obs.StageM2PCIe, arrival, txStart)
+		rec.Span(obs.StageCXLLink, txStart, devArrive)
+		rec.Span(obs.StageCXLDevQ, devArrive, mediaStart)
+		rec.Span(obs.StageCXLMedia, mediaStart, data)
+		rec.Span(obs.StageCXLRet, data, done)
+	}
 
 	eng.at(arrival, evCXLArrive, p, 0, 0)
 	eng.at(txStart, evOcc, p.ingress, -1, 0)

@@ -1,0 +1,37 @@
+#!/bin/sh
+# obs_smoke.sh - end-to-end check of the introspection server: start
+# `pathfinder -serve` on a random port, require 200s with real content from
+# /metrics and /status, then shut the server down.  Run from the repo root
+# (CI's obs-smoke step and `make obs-smoke` both do).
+set -eu
+
+log=$(mktemp)
+bin=$(mktemp)
+trap 'kill $pid 2>/dev/null || true; rm -f "$log" "$bin"' EXIT
+
+go build -o "$bin" ./cmd/pathfinder
+"$bin" -serve 127.0.0.1:0 -trace-sample 8 -epochs 2 -epoch-kcycles 200 \
+    -report flows >"$log" 2>&1 &
+pid=$!
+
+# The bound address is printed as "pathfinder: serving on http://HOST:PORT".
+url=""
+for _ in $(seq 1 50); do
+    url=$(sed -n 's/^pathfinder: serving on \(http:\/\/[^ ]*\)$/\1/p' "$log" | head -1)
+    [ -n "$url" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "obs-smoke: pathfinder exited early:"; cat "$log"; exit 1; }
+    sleep 0.2
+done
+[ -n "$url" ] || { echo "obs-smoke: no serving line in output:"; cat "$log"; exit 1; }
+
+fail() { echo "obs-smoke: $1"; cat "$log"; exit 1; }
+
+code=$(curl -s -o /tmp/obs_smoke_metrics -w '%{http_code}' "$url/metrics")
+[ "$code" = 200 ] || fail "/metrics returned $code"
+grep -q '^pf_' /tmp/obs_smoke_metrics || fail "/metrics has no pf_ series (empty registry)"
+
+code=$(curl -s -o /tmp/obs_smoke_status -w '%{http_code}' "$url/status")
+[ "$code" = 200 ] || fail "/status returned $code"
+grep -q '"epochs"' /tmp/obs_smoke_status || fail "/status JSON lacks epoch fields"
+
+echo "obs-smoke: OK ($url: /metrics has $(grep -c '^pf_' /tmp/obs_smoke_metrics) pf_ series)"
