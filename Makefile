@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz-short bench-json bench-regress obs-smoke all
+.PHONY: build test race vet fuzz-short bench-json bench-regress obs-smoke soak soak-smoke all
 
 all: build vet test
 
@@ -43,6 +43,19 @@ bench-regress:
 # on a random port and requires live /metrics and /status content.
 obs-smoke:
 	sh scripts/obs_smoke.sh
+
+# Chaos soak: seeded random fault plans (CRC noise, bursts, timeouts,
+# throttles, poison, viral containment, surprise removal) against the
+# workload matrix under invariant monitors.  Any violation is shrunk to a
+# minimal plan and printed with its seed — replay it verbatim with
+# `go run ./cmd/pfbench -replay 'seed,plan'`.  Exit is nonzero on findings.
+soak:
+	$(GO) run ./cmd/pfbench -soak 256 -soak-seed 1
+
+# The CI-sized soak: fewer, shorter cases under the race detector, sized
+# to finish well inside a minute.
+soak-smoke:
+	$(GO) run -race ./cmd/pfbench -soak 12 -soak-cycles 250000 -soak-seed 1
 
 # Short fuzzing pass over the flit decoders and the fault-plan parser:
 # each target runs for 10 seconds and must only ever return structured

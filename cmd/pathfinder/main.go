@@ -19,6 +19,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"pathfinder/internal/core"
 	"pathfinder/internal/cxl"
@@ -83,10 +84,14 @@ type statusApp struct {
 }
 
 type statusLink struct {
-	CRCErrors   float64 `json:"crc_errors"`
-	Retries     float64 `json:"retries"`
-	ReplayBytes float64 `json:"replay_bytes"`
-	DevTimeouts float64 `json:"device_timeouts"`
+	CRCErrors    float64 `json:"crc_errors"`
+	Retries      float64 `json:"retries"`
+	ReplayBytes  float64 `json:"replay_bytes"`
+	DevTimeouts  float64 `json:"device_timeouts"`
+	PoisonReads  float64 `json:"poison_reads"`
+	ViralEntries float64 `json:"viral_entries"`
+	FastFails    float64 `json:"fast_fails"`
+	Isolated     bool    `json:"isolated"`
 }
 
 // reportNames are the report selectors -report accepts (besides "all").
@@ -265,10 +270,14 @@ func main() {
 		if last != nil {
 			s := last.Snapshot
 			st.Link = &statusLink{
-				CRCErrors:   s.CXL(0, pmu.CXLLinkCRCErrors),
-				Retries:     s.CXL(0, pmu.CXLLinkRetries),
-				ReplayBytes: s.CXL(0, pmu.CXLLinkReplayBytes),
-				DevTimeouts: s.CXL(0, pmu.CXLDevTimeouts),
+				CRCErrors:    s.CXL(0, pmu.CXLLinkCRCErrors),
+				Retries:      s.CXL(0, pmu.CXLLinkRetries),
+				ReplayBytes:  s.CXL(0, pmu.CXLLinkReplayBytes),
+				DevTimeouts:  s.CXL(0, pmu.CXLDevTimeouts),
+				PoisonReads:  s.CXL(0, pmu.CXLDevPoisonRd),
+				ViralEntries: s.CXL(0, pmu.CXLDevViralEntries),
+				FastFails:    s.M2P(0, pmu.M2PFastFails),
+				Isolated:     m.DeviceIsolated(0),
 			}
 		}
 		status.Store(&st)
@@ -358,6 +367,13 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		srv.Close()
+		signal.Stop(sig)
+		// Graceful drain: stop accepting connections, let in-flight scrapes
+		// finish, then force-close if they overstay.  A second interrupt
+		// during the drain kills the process the usual way.
+		fmt.Println("pathfinder: shutting down (draining connections)")
+		if err := srv.Shutdown(5 * time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "pathfinder: forced shutdown: %v\n", err)
+		}
 	}
 }

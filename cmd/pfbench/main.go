@@ -17,6 +17,7 @@ import (
 	"strings"
 	"sync"
 
+	"pathfinder/internal/chaos"
 	"pathfinder/internal/experiments"
 	"pathfinder/internal/sim"
 )
@@ -31,7 +32,44 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file")
 	traceFile := flag.String("trace", "", "write runtime execution trace to file")
+	soak := flag.Int("soak", 0, "chaos-soak: run N seeded random fault cases under invariant monitors")
+	soakSeed := flag.Uint64("soak-seed", 1, "base seed for -soak (case i uses seed+i)")
+	soakCycles := flag.Uint64("soak-cycles", 0, "simulated cycles per soak case (0 = default)")
+	soakBudget := flag.Uint64("soak-budget", 0, "per-case supervision budget in simulated cycles (0 = unlimited)")
+	replay := flag.String("replay", "", "replay a chaos finding from its printed 'seed,plan' pair")
 	flag.Parse()
+
+	if *replay != "" {
+		seed, planStr, err := chaos.ParseReplaySpec(*replay)
+		if err != nil {
+			fatalf("pfbench: %v", err)
+		}
+		res, err := chaos.Replay(os.Stdout, seed, planStr, *soakCycles, nil)
+		if err != nil {
+			fatalf("pfbench: replay: %v", err)
+		}
+		if len(res.Violations) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	if *soak > 0 {
+		experiments.SetParallelism(*parallel)
+		rep, err := chaos.Soak(chaos.Options{
+			Cases:       *soak,
+			BaseSeed:    *soakSeed,
+			Cycles:      *soakCycles,
+			CycleBudget: *soakBudget,
+			Out:         os.Stdout,
+		})
+		if err != nil {
+			fatalf("pfbench: soak: %v", err)
+		}
+		if len(rep.Findings) > 0 || len(rep.Tasks.Failed()) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	// Profile outputs close explicitly, never via a bare deferred Close:
 	// fatalf exits through os.Exit, which skips deferred calls, and a

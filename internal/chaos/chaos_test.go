@@ -1,0 +1,183 @@
+package chaos
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pathfinder/internal/cxl"
+)
+
+const testCycles = 250_000
+
+// TestGenCaseDeterministic: a case is a pure function of its seed.
+func TestGenCaseDeterministic(t *testing.T) {
+	for seed := uint64(1); seed < 20; seed++ {
+		a, err := GenCase(seed, testCycles)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, _ := GenCase(seed, testCycles)
+		if a.Plan.String() != b.Plan.String() || a.Workload != b.Workload {
+			t.Fatalf("seed %d not deterministic: %q/%s vs %q/%s",
+				seed, a.Plan.String(), a.Workload, b.Plan.String(), b.Workload)
+		}
+		// The printed plan must round-trip so replay sees the same case.
+		rt, err := cxl.ParseFaultPlan(a.Plan.String())
+		if err != nil {
+			t.Fatalf("seed %d: plan %q does not re-parse: %v", seed, a.Plan.String(), err)
+		}
+		if rt.String() != a.Plan.String() {
+			t.Fatalf("seed %d: plan round-trip drift %q -> %q", seed, a.Plan.String(), rt.String())
+		}
+	}
+}
+
+// TestSoakClean: a short soak of the real simulator finds nothing — the
+// built-in invariants hold under generated fault plans.
+func TestSoakClean(t *testing.T) {
+	rep, err := Soak(Options{Cases: 4, BaseSeed: 100, Cycles: testCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		t.Errorf("unexpected finding [%s] seed=%d plan=%q: %s",
+			f.Violation.Invariant, f.Case.Seed, f.Case.Plan.String(), f.Violation.Detail)
+	}
+	if failed := rep.Tasks.Failed(); len(failed) > 0 {
+		t.Fatalf("supervision failures: %s", rep.Tasks.Summary())
+	}
+}
+
+// TestSoakShrinkAndReplay drives the full failure pipeline with a
+// synthetic invariant that trips whenever M2S CRC noise is enabled: the
+// soak must report the violation with seed and plan, the shrinker must
+// strip every knob except the culprit, and replaying the shrunk plan must
+// reproduce the identical violation.
+func TestSoakShrinkAndReplay(t *testing.T) {
+	crcTrip := Invariant{Name: "synthetic-crc", Check: func(p *Probe) string {
+		if p.Case.Plan.CRCRate[cxl.DirM2S] > 0 {
+			return "m2s crc noise present"
+		}
+		return ""
+	}}
+
+	// A deliberately over-stuffed case: the culprit knob plus noise the
+	// shrinker should remove.
+	plan := &cxl.FaultPlan{Seed: 42}
+	plan.CRCRate[cxl.DirM2S] = 0.01
+	plan.CRCRate[cxl.DirS2M] = 0.01
+	plan.Bursts = []cxl.Burst{{Dir: cxl.DirS2M, Start: 10_000, Len: 5_000, Rate: 0.5}}
+	plan.Timeouts = []cxl.Episode{{Start: 50_000, Len: 4_000}}
+	plan.RemoveAt = 200_000
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := Case{Seed: 42, Plan: plan, Workload: workloadFor(42), Cycles: testCycles}
+
+	res, err := Run(c, []Invariant{crcTrip}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violates("synthetic-crc") {
+		t.Fatalf("synthetic invariant did not trip: %+v", res.Violations)
+	}
+
+	shrunk, runs := Shrink(c, "synthetic-crc", 64, func(cand Case) bool {
+		r, rerr := Run(cand, []Invariant{crcTrip}, nil)
+		return rerr == nil && r.Violates("synthetic-crc")
+	})
+	if runs == 0 {
+		t.Fatal("shrinker did not run any candidates")
+	}
+	p := shrunk.Plan
+	if p.CRCRate[cxl.DirM2S] == 0 {
+		t.Fatalf("shrinker removed the culprit knob: %q", p.String())
+	}
+	if p.CRCRate[cxl.DirS2M] != 0 || len(p.Bursts) != 0 || len(p.Timeouts) != 0 || p.RemoveAt != 0 {
+		t.Fatalf("shrinker left irrelevant knobs: %q", p.String())
+	}
+
+	// The shrunk (seed, plan) pair replays to the identical violation,
+	// byte for byte across two invocations.
+	var out1, out2 bytes.Buffer
+	if _, err := Replay(&out1, shrunk.Seed, p.String(), shrunk.Cycles, []Invariant{crcTrip}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(&out2, shrunk.Seed, p.String(), shrunk.Cycles, []Invariant{crcTrip}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Fatalf("replay output not byte-identical:\n%s\n----\n%s", out1.String(), out2.String())
+	}
+	if !strings.Contains(out1.String(), "VIOLATION [synthetic-crc]") ||
+		!strings.Contains(out1.String(), "seed=42") ||
+		!strings.Contains(out1.String(), "digest sha256=") {
+		t.Fatalf("replay report incomplete:\n%s", out1.String())
+	}
+}
+
+// TestSoakReportPrintsSeedAndPlan: every finding report carries the seed,
+// the full plan string, and a ready-to-paste replay command.
+func TestSoakReportPrintsSeedAndPlan(t *testing.T) {
+	always := Invariant{Name: "always", Check: func(*Probe) string { return "tripped" }}
+	var out bytes.Buffer
+	rep, err := Soak(Options{
+		Cases: 2, BaseSeed: 300, Cycles: testCycles,
+		Extra: []Invariant{always}, MaxShrink: 8, Out: &out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) < 2 {
+		t.Fatalf("want a finding per case, got %d", len(rep.Findings))
+	}
+	s := out.String()
+	for _, want := range []string{
+		"VIOLATION [always]", "seed=300", "seed=301", "plan=", "replay: pfbench -replay '",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+	// The printed plan string must itself parse.
+	for _, f := range rep.Findings {
+		if _, err := cxl.ParseFaultPlan(f.Shrunk.Plan.String()); err != nil {
+			t.Fatalf("shrunk plan %q unparseable: %v", f.Shrunk.Plan.String(), err)
+		}
+	}
+}
+
+// TestRunContainsInvariantPanic: a panicking monitor becomes a "panic"
+// violation, not a process crash.
+func TestRunContainsInvariantPanic(t *testing.T) {
+	bomb := Invariant{Name: "bomb", Check: func(*Probe) string { panic("monitor bug") }}
+	c, err := GenCase(5, testCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c, []Invariant{bomb}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violates("panic") {
+		t.Fatalf("panic not contained: %+v", res.Violations)
+	}
+}
+
+func TestParseReplaySpec(t *testing.T) {
+	seed, plan, err := ParseReplaySpec("42,seed=42,crc-m2s=0.01")
+	if err != nil || seed != 42 || plan != "seed=42,crc-m2s=0.01" {
+		t.Fatalf("got seed=%d plan=%q err=%v", seed, plan, err)
+	}
+	if _, _, err := ParseReplaySpec("noseed"); err == nil {
+		t.Fatal("spec without comma accepted")
+	}
+	if _, _, err := ParseReplaySpec("x,plan"); err == nil {
+		t.Fatal("non-numeric seed accepted")
+	}
+	seed, plan, err = ParseReplaySpec("7,healthy")
+	if err != nil || seed != 7 || plan != "healthy" {
+		t.Fatalf("healthy spec: seed=%d plan=%q err=%v", seed, plan, err)
+	}
+}

@@ -1,0 +1,112 @@
+package chaos
+
+import "pathfinder/internal/cxl"
+
+// The shrinker is a greedy delta-debugger over FaultPlan structure: it
+// proposes candidate plans with one knob removed (or simplified), keeps
+// the first candidate that still reproduces the target violation, and
+// iterates to a fixpoint.  The result is a locally-minimal plan: removing
+// any single remaining knob makes the violation disappear.
+
+// clonePlan deep-copies a plan so candidates never alias slices.
+func clonePlan(p *cxl.FaultPlan) *cxl.FaultPlan {
+	q := *p
+	q.Bursts = append([]cxl.Burst(nil), p.Bursts...)
+	q.Timeouts = append([]cxl.Episode(nil), p.Timeouts...)
+	q.Throttles = append([]cxl.Episode(nil), p.Throttles...)
+	return &q
+}
+
+// candidates proposes one-step simplifications of the plan, ordered from
+// most to least structural.
+func candidates(p *cxl.FaultPlan) []*cxl.FaultPlan {
+	var out []*cxl.FaultPlan
+	for i := range p.Bursts {
+		q := clonePlan(p)
+		q.Bursts = append(q.Bursts[:i:i], q.Bursts[i+1:]...)
+		out = append(out, q)
+	}
+	for i := range p.Timeouts {
+		q := clonePlan(p)
+		q.Timeouts = append(q.Timeouts[:i:i], q.Timeouts[i+1:]...)
+		out = append(out, q)
+	}
+	for i := range p.Throttles {
+		q := clonePlan(p)
+		q.Throttles = append(q.Throttles[:i:i], q.Throttles[i+1:]...)
+		out = append(out, q)
+	}
+	if p.RemoveAt > 0 {
+		q := clonePlan(p)
+		q.RemoveAt, q.RemovePenalty = 0, 0
+		out = append(out, q)
+	}
+	if p.ViralThreshold > 0 {
+		q := clonePlan(p)
+		q.ViralThreshold, q.ViralReset = 0, 0
+		out = append(out, q)
+	}
+	if p.PoisonLen > 0 {
+		q := clonePlan(p)
+		q.PoisonBase, q.PoisonLen = 0, 0
+		// Poison without viral makes no sense to keep around.
+		q.ViralThreshold, q.ViralReset = 0, 0
+		out = append(out, q)
+	}
+	for d := cxl.Direction(0); d < 2; d++ {
+		if p.CRCRate[d] > 0 {
+			q := clonePlan(p)
+			q.CRCRate[d] = 0
+			out = append(out, q)
+		}
+	}
+	if p.TimeoutPenalty > 0 {
+		q := clonePlan(p)
+		q.TimeoutPenalty = 0
+		out = append(out, q)
+	}
+	if p.ViralReset > 0 {
+		q := clonePlan(p)
+		q.ViralReset = 0
+		out = append(out, q)
+	}
+	if p.RemoveAt > 0 && p.RemovePenalty > 0 {
+		q := clonePlan(p)
+		q.RemovePenalty = 0
+		out = append(out, q)
+	}
+	return out
+}
+
+// Shrink minimizes c.Plan while runs keep tripping the named invariant.
+// reproduce runs a candidate case and reports whether the violation
+// recurs; maxRuns bounds the total candidate runs (a shrink is best
+// effort — the incoming case already reproduces).  It returns the
+// minimized case and how many candidate runs were spent.
+func Shrink(c Case, invariant string, maxRuns int, reproduce func(Case) bool) (Case, int) {
+	if maxRuns <= 0 {
+		maxRuns = 64
+	}
+	runs := 0
+	best := c
+	best.Plan = clonePlan(c.Plan)
+	for {
+		progressed := false
+		for _, cand := range candidates(best.Plan) {
+			if runs >= maxRuns {
+				return best, runs
+			}
+			candCase := best
+			candCase.Plan = cand
+			runs++
+			if reproduce(candCase) {
+				best = candCase
+				progressed = true
+				break // restart candidate generation from the smaller plan
+			}
+		}
+		if !progressed {
+			return best, runs
+		}
+	}
+}

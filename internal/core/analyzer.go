@@ -7,6 +7,13 @@ type QueueReport struct {
 	Q           [PathCount][CompCount]float64
 	CulpritPath PathType
 	CulpritComp Component
+
+	// DeviceDark marks a window in which the profiled CXL device was
+	// surprise-removed: its banks stopped counting mid-run, so the CXL
+	// rows reflect only the pre-removal fraction of the window.  The
+	// estimates stay finite (every divisor is guarded) but should be read
+	// as partial.
+	DeviceDark bool
 }
 
 // AnalyzeQueues runs PFAnalyzer (Algorithm 1): it models each component as

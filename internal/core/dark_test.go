@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"pathfinder/internal/cxl"
+	"pathfinder/internal/obs"
+	"pathfinder/internal/workload"
+)
+
+// TestAnalyzerDeviceDark drives a CXL-bound workload into a surprise
+// removal mid-run and checks the analysis pipeline degrades gracefully:
+// post-removal epochs are flagged DeviceDark, every estimate stays finite,
+// and the RAS obs metrics surface the isolation.
+func TestAnalyzerDeviceDark(t *testing.T) {
+	m, _, cxlRegion := testRig(t)
+	m.SetFaultPlan(0, &cxl.FaultPlan{Seed: 1, RemoveAt: 500_000})
+
+	reg := obs.NewRegistry()
+	p, err := NewProfiler(Spec{
+		Machine: m,
+		Apps: []AppRun{{
+			Label: "stream",
+			Core:  0,
+			Gen:   workload.NewStream(region(cxlRegion), 0, 0, 1),
+		}},
+		EpochCycles: 400_000,
+		Epochs:      3,
+		Metrics:     reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	finite := func(epoch int, kind string, v float64) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("epoch %d %s is %v with a dark device", epoch, kind, v)
+		}
+	}
+	sawDark := false
+	for i, r := range res {
+		qr, bd := r.Queues["stream"], r.Stalls["stream"]
+		if qr.DeviceDark != bd.DeviceDark {
+			t.Fatalf("epoch %d: dark flags disagree (queues=%v stalls=%v)",
+				i, qr.DeviceDark, bd.DeviceDark)
+		}
+		sawDark = sawDark || qr.DeviceDark
+		for pt := range qr.Q {
+			for c := range qr.Q[pt] {
+				finite(i, "queue estimate", qr.Q[pt][c])
+				finite(i, "stall estimate", bd.Stall[pt][c])
+			}
+		}
+		r.Snapshot.Release()
+	}
+	if res[0].Queues["stream"].DeviceDark {
+		t.Fatal("pre-removal epoch flagged DeviceDark")
+	}
+	if !sawDark {
+		t.Fatal("no epoch flagged DeviceDark after the removal")
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"pf_cxl_isolated_devices 1",
+		"pf_cxl_fast_fails_total",
+		"pf_cxl_error_completions_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}

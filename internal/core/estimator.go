@@ -33,6 +33,10 @@ func ConstsFor(cfg sim.Config) Consts {
 // attributed to each component along each path (Figure 6).
 type StallBreakdown struct {
 	Stall [PathCount][CompCount]float64
+
+	// DeviceDark marks a window in which the profiled CXL device was
+	// surprise-removed mid-run; see QueueReport.DeviceDark.
+	DeviceDark bool
 }
 
 // Total returns a path's total attributed stall cycles.

@@ -311,6 +311,7 @@ var readPaths = [...]PathType{PathDRd, PathRFO, PathHWPF}
 func (p *Plan) AnalyzeQueuesInto(s *Snapshot, k Consts, r *QueueReport) {
 	p.check(s)
 	*r = QueueReport{}
+	r.DeviceDark = p.deviceDark(s)
 	clocks := s.Cycles()
 	if clocks == 0 {
 		return
@@ -393,6 +394,13 @@ func (p *Plan) MeasuredQueuesInto(s *Snapshot, q *[CompCount]float64) bool {
 	return true
 }
 
+// deviceDark reports whether the profiled device vanished during the
+// snapshot window: the root port discovered a surprise removal or
+// fast-failed isolated accesses, so the device bank stopped counting.
+func (p *Plan) deviceDark(s *Snapshot) bool {
+	return p.M2P(s, pmu.M2PDevRemoved) > 0 || p.M2P(s, pmu.M2PFastFails) > 0
+}
+
 // --- PFEstimator (§4.4) -----------------------------------------------------
 
 // CXLWaitShare estimates the CXL-induced share of all offcore waiting from
@@ -418,6 +426,7 @@ func (p *Plan) CXLWaitShare(s *Snapshot) float64 {
 func (p *Plan) EstimateStallsInto(s *Snapshot, k Consts, bd *StallBreakdown) {
 	p.check(s)
 	*bd = StallBreakdown{}
+	bd.DeviceDark = p.deviceDark(s)
 
 	// Per-path CXL read traffic for the flow and for the whole socket.
 	var flowReads, allReads [PathCount]float64

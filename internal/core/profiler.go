@@ -104,6 +104,10 @@ type profMetrics struct {
 	linkRetries *obs.Counter
 	linkCRC     *obs.Counter
 	replayBytes *obs.Counter
+	viral       *obs.Counter
+	errComps    *obs.Counter
+	fastFails   *obs.Counter
+	isolated    *obs.Gauge
 
 	lastHits, lastMisses uint64
 }
@@ -121,6 +125,10 @@ func newProfMetrics(reg *obs.Registry) *profMetrics {
 		linkRetries: reg.Counter("pf_cxl_link_retries_total", "LRSM link retries"),
 		linkCRC:     reg.Counter("pf_cxl_link_crc_errors_total", "link CRC errors detected"),
 		replayBytes: reg.Counter("pf_cxl_link_replay_bytes_total", "wire bytes retransmitted by LRSM replay"),
+		viral:       reg.Counter("pf_cxl_viral_entries_total", "device entries into viral containment"),
+		errComps:    reg.Counter("pf_cxl_error_completions_total", "requests completed with error (viral poison + removal)"),
+		fastFails:   reg.Counter("pf_cxl_fast_fails_total", "accesses fast-failed while the device was isolated"),
+		isolated:    reg.Gauge("pf_cxl_isolated_devices", "CXL devices currently isolated after surprise removal"),
 	}
 }
 
@@ -290,7 +298,18 @@ func (p *Profiler) publish(snap *Snapshot, truncated bool, note string, ran sim.
 		mt.linkRetries.Add(uint64(snap.CXL(dev, pmu.CXLLinkRetries)))
 		mt.linkCRC.Add(uint64(snap.CXL(dev, pmu.CXLLinkCRCErrors)))
 		mt.replayBytes.Add(uint64(snap.CXL(dev, pmu.CXLLinkReplayBytes)))
+		mt.viral.Add(uint64(snap.CXL(dev, pmu.CXLDevViralEntries)))
+		mt.errComps.Add(uint64(snap.CXL(dev, pmu.CXLDevErrCompletions) +
+			snap.M2P(dev, pmu.M2PErrCompletions)))
+		mt.fastFails.Add(uint64(snap.M2P(dev, pmu.M2PFastFails)))
 	}
+	iso := 0
+	for dev := 0; dev < snap.NumCXL(); dev++ {
+		if p.spec.Machine.DeviceIsolated(dev) {
+			iso++
+		}
+	}
+	mt.isolated.Set(float64(iso))
 }
 
 // Step runs one scheduling epoch and returns its analyzed result.

@@ -2,6 +2,7 @@ package cxl
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -98,6 +99,20 @@ type FaultPlan struct {
 	// poisoned media: reads of those lines complete but are flagged and
 	// pay an extra media access for the device's internal correction pass.
 	PoisonBase, PoisonLen uint64
+
+	// Viral state: after ViralThreshold poisoned reads the device enters
+	// viral containment and completes every read as poisoned (CXL 3.0
+	// §12.4).  A non-zero ViralReset clears the state that many cycles
+	// after entry (a host-initiated device reset); zero is permanent.
+	ViralThreshold uint64 // poisoned reads before viral entry (0 = never)
+	ViralReset     uint64 // cycles until reset clears viral (0 = permanent)
+
+	// Surprise removal: at cycle RemoveAt the device vanishes from the
+	// link.  In-flight requests complete with error after the root port's
+	// discovery penalty; once discovered, the host isolates the device and
+	// later accesses take a fast-fail path without touching the link.
+	RemoveAt      uint64 // removal cycle (0 = never)
+	RemovePenalty uint64 // discovery penalty per in-flight hit (0 = DefaultRemovalPenalty)
 }
 
 // DefaultTimeoutPenalty is the stall charged per device-timeout hit when
@@ -105,18 +120,23 @@ type FaultPlan struct {
 // timeout (~2 µs at 2 GHz).
 const DefaultTimeoutPenalty = 4000
 
+// DefaultRemovalPenalty is the root-port discovery stall charged to each
+// request in flight when the device is surprise-removed, sized like a
+// completion-timeout-driven hot-remove flow (~6 µs at 2 GHz).
+const DefaultRemovalPenalty = 12000
+
 // Validate checks plan invariants.
 func (p *FaultPlan) Validate() error {
 	if p == nil {
 		return nil
 	}
 	for d := Direction(0); d < dirCount; d++ {
-		if r := p.CRCRate[d]; r < 0 || r > 1 {
+		if r := p.CRCRate[d]; math.IsNaN(r) || r < 0 || r > 1 {
 			return fmt.Errorf("cxl: %v CRC rate %g outside [0,1]", d, r)
 		}
 	}
 	for i, b := range p.Bursts {
-		if b.Rate < 0 || b.Rate > 1 {
+		if math.IsNaN(b.Rate) || b.Rate < 0 || b.Rate > 1 {
 			return fmt.Errorf("cxl: burst %d rate %g outside [0,1]", i, b.Rate)
 		}
 		if b.Dir >= dirCount {
@@ -237,6 +257,43 @@ func (p *FaultPlan) Poisoned(la uint64) bool {
 	return la >= p.PoisonBase && la-p.PoisonBase < p.PoisonLen
 }
 
+// ViralEnabled reports whether the plan can drive the device viral.
+func (p *FaultPlan) ViralEnabled() bool {
+	return p != nil && p.ViralThreshold > 0
+}
+
+// RemovedBy reports whether the device has been surprise-removed by cycle
+// now (the link is dead; requests reaching it complete with error).
+func (p *FaultPlan) RemovedBy(now uint64) bool {
+	if p == nil || p.RemoveAt == 0 {
+		return false
+	}
+	return now >= p.RemoveAt
+}
+
+// RemovalPenalty returns the root-port discovery stall in cycles.
+func (p *FaultPlan) RemovalPenalty() uint64 {
+	if p == nil {
+		return 0
+	}
+	if p.RemovePenalty > 0 {
+		return p.RemovePenalty
+	}
+	return DefaultRemovalPenalty
+}
+
+// IsolatedBy reports whether the host has isolated the removed device by
+// cycle now: removal plus one discovery penalty (the first errored request
+// tells the root port the device is gone).  Isolation is a pure function
+// of the plan and time so replays are byte-identical regardless of request
+// issue order.
+func (p *FaultPlan) IsolatedBy(now uint64) bool {
+	if p == nil || p.RemoveAt == 0 {
+		return false
+	}
+	return now >= p.RemoveAt+p.RemovalPenalty()
+}
+
 // Empty reports whether the plan injects nothing (a healthy link).
 func (p *FaultPlan) Empty() bool {
 	if p == nil {
@@ -244,10 +301,13 @@ func (p *FaultPlan) Empty() bool {
 	}
 	return p.CRCRate[DirM2S] == 0 && p.CRCRate[DirS2M] == 0 &&
 		len(p.Bursts) == 0 && len(p.Timeouts) == 0 && len(p.Throttles) == 0 &&
-		p.PoisonLen == 0
+		p.PoisonLen == 0 && p.ViralThreshold == 0 && p.RemoveAt == 0
 }
 
-// String summarizes the plan for reports and logs.
+// String renders the plan in the canonical knob syntax accepted by
+// ParseFaultPlan, so any plan printed by a report (chaos findings in
+// particular) can be pasted back into -fault or -replay verbatim.  The
+// round trip Parse(p.String()) yields an equivalent plan.
 func (p *FaultPlan) String() string {
 	if p.Empty() {
 		return "healthy"
@@ -260,17 +320,48 @@ func (p *FaultPlan) String() string {
 	if p.CRCRate[DirS2M] > 0 {
 		parts = append(parts, fmt.Sprintf("crc-s2m=%g", p.CRCRate[DirS2M]))
 	}
-	if n := len(p.Bursts); n > 0 {
-		parts = append(parts, fmt.Sprintf("bursts=%d", n))
+	for _, b := range p.Bursts {
+		knob := "burst-m2s"
+		if b.Dir == DirS2M {
+			knob = "burst-s2m"
+		}
+		if b.Period > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d:%d:%g:%d", knob, b.Start, b.Len, b.Rate, b.Period))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s=%d:%d:%g", knob, b.Start, b.Len, b.Rate))
+		}
 	}
-	if n := len(p.Timeouts); n > 0 {
-		parts = append(parts, fmt.Sprintf("timeouts=%d", n))
+	episode := func(knob string, e Episode) string {
+		if e.Period > 0 {
+			return fmt.Sprintf("%s=%d:%d:%d", knob, e.Start, e.Len, e.Period)
+		}
+		return fmt.Sprintf("%s=%d:%d", knob, e.Start, e.Len)
 	}
-	if n := len(p.Throttles); n > 0 {
-		parts = append(parts, fmt.Sprintf("throttles=%d", n))
+	for _, e := range p.Timeouts {
+		parts = append(parts, episode("timeout", e))
+	}
+	if p.TimeoutPenalty > 0 {
+		parts = append(parts, fmt.Sprintf("timeout-penalty=%d", p.TimeoutPenalty))
+	}
+	for _, e := range p.Throttles {
+		parts = append(parts, episode("throttle", e))
 	}
 	if p.PoisonLen > 0 {
-		parts = append(parts, fmt.Sprintf("poison=%#x+%d", p.PoisonBase, p.PoisonLen))
+		parts = append(parts, fmt.Sprintf("poison=%d:%d", p.PoisonBase, p.PoisonLen))
+	}
+	if p.ViralThreshold > 0 {
+		if p.ViralReset > 0 {
+			parts = append(parts, fmt.Sprintf("viral=%d:%d", p.ViralThreshold, p.ViralReset))
+		} else {
+			parts = append(parts, fmt.Sprintf("viral=%d", p.ViralThreshold))
+		}
+	}
+	if p.RemoveAt > 0 {
+		if p.RemovePenalty > 0 {
+			parts = append(parts, fmt.Sprintf("remove=%d:%d", p.RemoveAt, p.RemovePenalty))
+		} else {
+			parts = append(parts, fmt.Sprintf("remove=%d", p.RemoveAt))
+		}
 	}
 	return strings.Join(parts, ",")
 }
@@ -281,14 +372,24 @@ func (p *FaultPlan) String() string {
 //	crc=R                  per-flit CRC corruption rate, both directions
 //	crc-m2s=R / crc-s2m=R  per-direction rates
 //	burst=START:LEN:RATE[:PERIOD]    corruption burst window (both dirs)
+//	burst-m2s= / burst-s2m=          per-direction burst windows
 //	timeout=START:LEN[:PERIOD]       device-timeout episode
 //	timeout-penalty=N                cycles stalled per timeout hit
 //	throttle=START:LEN[:PERIOD]      DevLoad-throttle episode
 //	poison=BASE:LEN                  poisoned line-address range (bytes)
+//	viral=THRESHOLD[:RESET]          viral entry after N poisoned reads,
+//	                                 optional reset window in cycles
+//	remove=CYCLE[:PENALTY]           surprise removal at CYCLE, optional
+//	                                 discovery penalty per in-flight hit
 //
-// e.g. "crc=1e-3,seed=42,burst=500000:100000:0.3:1000000".
+// e.g. "crc=1e-3,seed=42,burst=500000:100000:0.3:1000000".  The literal
+// "healthy" (what String renders for an empty plan) parses to a no-fault
+// plan.
 func ParseFaultPlan(s string) (*FaultPlan, error) {
 	p := &FaultPlan{Seed: 1}
+	if strings.TrimSpace(s) == "healthy" {
+		return p, nil
+	}
 	for _, kv := range strings.Split(s, ",") {
 		kv = strings.TrimSpace(kv)
 		if kv == "" {
@@ -324,9 +425,9 @@ func ParseFaultPlan(s string) (*FaultPlan, error) {
 			if key != "crc-m2s" {
 				p.CRCRate[DirS2M] = r
 			}
-		case "burst":
+		case "burst", "burst-m2s", "burst-s2m":
 			if len(fields) < 3 || len(fields) > 4 {
-				return nil, fmt.Errorf("cxl: burst wants START:LEN:RATE[:PERIOD], got %q", val)
+				return nil, fmt.Errorf("cxl: %s wants START:LEN:RATE[:PERIOD], got %q", key, val)
 			}
 			start, err := num(0)
 			if err != nil {
@@ -347,6 +448,9 @@ func ParseFaultPlan(s string) (*FaultPlan, error) {
 				}
 			}
 			for d := Direction(0); d < dirCount; d++ {
+				if (key == "burst-m2s" && d != DirM2S) || (key == "burst-s2m" && d != DirS2M) {
+					continue
+				}
 				p.Bursts = append(p.Bursts, Burst{Dir: d, Start: start, Len: length, Period: period, Rate: rate})
 			}
 		case "timeout", "throttle":
@@ -392,8 +496,44 @@ func ParseFaultPlan(s string) (*FaultPlan, error) {
 				return nil, err
 			}
 			p.PoisonBase, p.PoisonLen = base, length
+		case "viral":
+			if len(fields) < 1 || len(fields) > 2 {
+				return nil, fmt.Errorf("cxl: viral wants THRESHOLD[:RESET], got %q", val)
+			}
+			threshold, err := num(0)
+			if err != nil {
+				return nil, err
+			}
+			if threshold == 0 {
+				return nil, fmt.Errorf("cxl: viral threshold must be positive, got %q", val)
+			}
+			var reset uint64
+			if len(fields) == 2 {
+				if reset, err = num(1); err != nil {
+					return nil, err
+				}
+			}
+			p.ViralThreshold, p.ViralReset = threshold, reset
+		case "remove":
+			if len(fields) < 1 || len(fields) > 2 {
+				return nil, fmt.Errorf("cxl: remove wants CYCLE[:PENALTY], got %q", val)
+			}
+			at, err := num(0)
+			if err != nil {
+				return nil, err
+			}
+			if at == 0 {
+				return nil, fmt.Errorf("cxl: removal cycle must be positive, got %q", val)
+			}
+			var penalty uint64
+			if len(fields) == 2 {
+				if penalty, err = num(1); err != nil {
+					return nil, err
+				}
+			}
+			p.RemoveAt, p.RemovePenalty = at, penalty
 		default:
-			return nil, fmt.Errorf("cxl: unknown fault knob %q (want seed, crc, crc-m2s, crc-s2m, burst, timeout, timeout-penalty, throttle, poison)", key)
+			return nil, fmt.Errorf("cxl: unknown fault knob %q (want seed, crc, crc-m2s, crc-s2m, burst, burst-m2s, burst-s2m, timeout, timeout-penalty, throttle, poison, viral, remove)", key)
 		}
 	}
 	if err := p.Validate(); err != nil {

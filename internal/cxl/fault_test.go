@@ -170,4 +170,54 @@ func TestParseFaultPlan(t *testing.T) {
 	if err != nil || !p.Empty() {
 		t.Fatalf("empty spec: plan=%v err=%v", p, err)
 	}
+
+	// Bad RAS knobs.
+	for _, bad := range []string{"viral=0", "viral=x", "remove=0", "remove=1:2:3"} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Errorf("ParseFaultPlan(%q) accepted", bad)
+		}
+	}
+}
+
+// TestFaultPlanStringRoundTrip pins the canonical form: a plan using every
+// knob class prints to a string that re-parses to the identical plan, and
+// an empty plan round-trips through the "healthy" literal.
+func TestFaultPlanStringRoundTrip(t *testing.T) {
+	p := &FaultPlan{
+		Seed:           9,
+		CRCRate:        [2]float64{1e-3, 0.25},
+		Bursts:         []Burst{{Dir: DirS2M, Start: 100, Len: 50, Rate: 0.5, Period: 400}},
+		Timeouts:       []Episode{{Start: 10, Len: 5, Period: 100}},
+		TimeoutPenalty: 777,
+		Throttles:      []Episode{{Start: 0, Len: 1}},
+		PoisonBase:     0x1000,
+		PoisonLen:      256,
+		ViralThreshold: 4,
+		ViralReset:     60_000,
+		RemoveAt:       900_000,
+		RemovePenalty:  5_000,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	q, err := ParseFaultPlan(s)
+	if err != nil {
+		t.Fatalf("String() = %q does not parse: %v", s, err)
+	}
+	if got := q.String(); got != s {
+		t.Fatalf("round trip drift:\n %q\n %q", s, got)
+	}
+	if q.ViralThreshold != 4 || q.ViralReset != 60_000 || q.RemoveAt != 900_000 || q.RemovePenalty != 5_000 {
+		t.Fatalf("RAS knobs lost in round trip: %+v", q)
+	}
+
+	healthy := (&FaultPlan{}).String()
+	if healthy != "healthy" {
+		t.Fatalf("empty plan String() = %q", healthy)
+	}
+	hp, err := ParseFaultPlan(healthy)
+	if err != nil || !hp.Empty() {
+		t.Fatalf("healthy literal: plan=%+v err=%v", hp, err)
+	}
 }

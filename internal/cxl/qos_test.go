@@ -1,0 +1,111 @@
+package cxl
+
+import "testing"
+
+// TestClassifyLoadBoundaries pins the class thresholds exactly at their
+// edges: the spec bands are half-open, [0,0.35) light, [0.35,0.70)
+// optimal, [0.70,0.90) moderate, [0.90,∞) severe.
+func TestClassifyLoadBoundaries(t *testing.T) {
+	const capacity = 100.0
+	cases := []struct {
+		occ  float64
+		want DevLoad
+	}{
+		{0, LightLoad},
+		{34.999, LightLoad},
+		{35, OptimalLoad}, // boundary belongs to the higher class
+		{69.999, OptimalLoad},
+		{70, ModerateOverload},
+		{89.999, ModerateOverload},
+		{90, SevereOverload},
+		{100, SevereOverload},
+		{250, SevereOverload}, // over-capacity still classifies
+	}
+	for _, c := range cases {
+		if got := ClassifyLoad(c.occ, capacity); got != c.want {
+			t.Errorf("ClassifyLoad(%v, %v) = %v, want %v", c.occ, capacity, got, c.want)
+		}
+	}
+}
+
+// TestClassifyLoadDegenerateCapacity: zero or negative capacity can never
+// divide; the device reports light load instead of NaN-driven garbage.
+func TestClassifyLoadDegenerateCapacity(t *testing.T) {
+	for _, capacity := range []float64{0, -1} {
+		for _, occ := range []float64{0, 1, 1e9} {
+			if got := ClassifyLoad(occ, capacity); got != LightLoad {
+				t.Errorf("ClassifyLoad(%v, %v) = %v, want LightLoad", occ, capacity, got)
+			}
+		}
+	}
+}
+
+// TestDominantTieBreaking: Dominant uses strict greater-than, so on an
+// exact tie the earliest (lightest) class wins — a device is never
+// reported more loaded than the evidence supports.
+func TestDominantTieBreaking(t *testing.T) {
+	tr := NewLoadTracker(10)
+	if got := tr.Dominant(); got != LightLoad {
+		t.Fatalf("empty tracker Dominant = %v, want LightLoad", got)
+	}
+
+	// Equal residency in light and severe: light wins the tie.
+	tr = NewLoadTracker(10)
+	tr.Update(0, 10) // occ 10/10 -> severe
+	tr.Advance(100)  // 100 cycles severe
+	tr.Update(100, -10)
+	tr.Advance(200) // 100 cycles light
+	if tr.Cycles(LightLoad) != tr.Cycles(SevereOverload) {
+		t.Fatalf("setup broken: light %d severe %d",
+			tr.Cycles(LightLoad), tr.Cycles(SevereOverload))
+	}
+	if got := tr.Dominant(); got != LightLoad {
+		t.Fatalf("tie Dominant = %v, want LightLoad", got)
+	}
+
+	// One extra severe cycle breaks the tie the other way.
+	tr.Update(200, 10)
+	tr.Advance(301)
+	if got := tr.Dominant(); got != SevereOverload {
+		t.Fatalf("Dominant = %v after severe majority, want SevereOverload", got)
+	}
+}
+
+// TestLoadTrackerZeroCapacity: a zero-capacity tracker is inert — always
+// light, never panics, occupancy clamped — matching ClassifyLoad's
+// degenerate-capacity contract.
+func TestLoadTrackerZeroCapacity(t *testing.T) {
+	tr := NewLoadTracker(0)
+	tr.Update(0, 5)
+	tr.Advance(1_000)
+	tr.Update(1_000, -50) // drives occ negative: clamps to zero
+	tr.Advance(2_000)
+	if got := tr.Current(); got != LightLoad {
+		t.Fatalf("zero-capacity Current = %v, want LightLoad", got)
+	}
+	if got := tr.Cycles(LightLoad); got != 2_000 {
+		t.Fatalf("zero-capacity light residency = %d, want 2000", got)
+	}
+	for d := OptimalLoad; d < devLoadCount; d++ {
+		if tr.Cycles(d) != 0 {
+			t.Fatalf("zero-capacity tracker accumulated %d cycles in %v", tr.Cycles(d), d)
+		}
+	}
+	if got := tr.Dominant(); got != LightLoad {
+		t.Fatalf("zero-capacity Dominant = %v, want LightLoad", got)
+	}
+}
+
+// TestLoadTrackerTimeNeverRewinds: Advance with a stale timestamp is a
+// no-op rather than an underflow.
+func TestLoadTrackerTimeNeverRewinds(t *testing.T) {
+	tr := NewLoadTracker(4)
+	tr.Update(100, 4)
+	tr.Advance(200)
+	before := tr.Cycles(SevereOverload)
+	tr.Advance(150) // stale
+	tr.Update(50, 1)
+	if got := tr.Cycles(SevereOverload); got != before {
+		t.Fatalf("stale Advance changed residency %d -> %d", before, got)
+	}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSupervisePanicIsolation is the acceptance scenario: one task
+// panics, the pool survives, every other task completes, and the summary
+// names the failure with its classification.
+func TestSupervisePanicIsolation(t *testing.T) {
+	prev := SetParallelism(4)
+	defer SetParallelism(prev)
+
+	const n = 8
+	var completed atomic.Int64
+	rep := Supervise(SuperviseOptions{Label: "panic-test"}, n, func(i int, _ *TaskCtx) error {
+		if i == 3 {
+			panic("injected experiment bug")
+		}
+		completed.Add(1)
+		return nil
+	})
+
+	if got := completed.Load(); got != n-1 {
+		t.Fatalf("%d of %d healthy tasks completed", got, n-1)
+	}
+	for i, o := range rep.Outcomes {
+		if i == 3 {
+			if o.Class != FailPanic || o.Err == nil {
+				t.Fatalf("task 3 outcome %+v, want FailPanic", o)
+			}
+			continue
+		}
+		if !o.OK() {
+			t.Fatalf("healthy task %d failed: %+v", i, o)
+		}
+	}
+	sum := rep.Summary()
+	if !strings.Contains(sum, "7/8 tasks ok") ||
+		!strings.Contains(sum, "task 3 failed [panic]") ||
+		!strings.Contains(sum, "injected experiment bug") {
+		t.Fatalf("summary missing failure detail: %q", sum)
+	}
+	if len(rep.Failed()) != 1 || rep.Failed()[0].Index != 3 {
+		t.Fatalf("Failed() = %+v", rep.Failed())
+	}
+}
+
+// TestSupervisePanicIsolationSerial proves the serial path (parallelism 1)
+// contains panics the same way.
+func TestSupervisePanicIsolationSerial(t *testing.T) {
+	prev := SetParallelism(1)
+	defer SetParallelism(prev)
+
+	var completed atomic.Int64
+	rep := Supervise(SuperviseOptions{Label: "serial"}, 4, func(i int, _ *TaskCtx) error {
+		if i == 0 {
+			panic("boom")
+		}
+		completed.Add(1)
+		return nil
+	})
+	if completed.Load() != 3 || rep.Outcomes[0].Class != FailPanic {
+		t.Fatalf("serial supervision broken: completed=%d outcomes=%+v",
+			completed.Load(), rep.Outcomes)
+	}
+}
+
+func TestSuperviseTransientRetry(t *testing.T) {
+	prev := SetParallelism(2)
+	defer SetParallelism(prev)
+
+	var tries atomic.Int64
+	rep := Supervise(SuperviseOptions{
+		Label:       "retry",
+		MaxAttempts: 5,
+		Backoff:     time.Microsecond,
+		MaxBackoff:  10 * time.Microsecond,
+		Seed:        7,
+	}, 1, func(i int, tc *TaskCtx) error {
+		if tries.Add(1) < 3 {
+			return Transient(errors.New("flaky backend"))
+		}
+		return nil
+	})
+	o := rep.Outcomes[0]
+	if !o.OK() || o.Attempts != 3 {
+		t.Fatalf("outcome %+v, want success on attempt 3", o)
+	}
+
+	// A transient failure that never clears exhausts its attempts and is
+	// classified FailTransient.
+	rep = Supervise(SuperviseOptions{
+		Label: "retry", MaxAttempts: 3, Backoff: time.Microsecond,
+	}, 1, func(i int, tc *TaskCtx) error {
+		return Transient(errors.New("still down"))
+	})
+	o = rep.Outcomes[0]
+	if o.Class != FailTransient || o.Attempts != 3 {
+		t.Fatalf("outcome %+v, want FailTransient after 3 attempts", o)
+	}
+}
+
+func TestSupervisePermanentNoRetry(t *testing.T) {
+	var tries atomic.Int64
+	rep := Supervise(SuperviseOptions{Label: "perm", MaxAttempts: 5, Backoff: time.Microsecond},
+		1, func(i int, tc *TaskCtx) error {
+			tries.Add(1)
+			return errors.New("bad config")
+		})
+	o := rep.Outcomes[0]
+	if o.Class != FailPermanent || tries.Load() != 1 {
+		t.Fatalf("outcome %+v after %d tries, want FailPermanent with no retry", o, tries.Load())
+	}
+}
+
+func TestSuperviseCycleBudget(t *testing.T) {
+	rep := Supervise(SuperviseOptions{Label: "budget", CycleBudget: 10_000},
+		1, func(i int, tc *TaskCtx) error {
+			for {
+				// A cooperative simulation loop: charge each chunk and stop
+				// when the supervisor says the budget is gone.
+				if err := tc.Charge(4_000); err != nil {
+					return err
+				}
+			}
+		})
+	o := rep.Outcomes[0]
+	if o.Class != FailDeadline || !errors.Is(o.Err, ErrBudget) {
+		t.Fatalf("outcome %+v, want FailDeadline/ErrBudget", o)
+	}
+
+	// An unbudgeted context never expires.
+	tc := &TaskCtx{}
+	if err := tc.Charge(1 << 40); err != nil {
+		t.Fatalf("unbudgeted Charge returned %v", err)
+	}
+	if tc.Remaining() != 0 {
+		t.Fatalf("unbudgeted Remaining = %d", tc.Remaining())
+	}
+}
+
+// TestBackoffDeterministic pins the jitter schedule to the seed.
+func TestBackoffDeterministic(t *testing.T) {
+	opt := SuperviseOptions{Backoff: time.Millisecond, MaxBackoff: 32 * time.Millisecond, Seed: 9}
+	for task := 0; task < 3; task++ {
+		for attempt := 1; attempt <= 6; attempt++ {
+			a := backoffDelay(opt, task, attempt)
+			b := backoffDelay(opt, task, attempt)
+			if a != b {
+				t.Fatalf("jitter not deterministic for task %d attempt %d", task, attempt)
+			}
+			if a < time.Millisecond || a > 48*time.Millisecond {
+				t.Fatalf("delay %v outside [base, 1.5*cap]", a)
+			}
+		}
+	}
+	// Exponential growth up to the cap: attempt 6 >= attempt 1.
+	if backoffDelay(opt, 0, 6) < backoffDelay(opt, 0, 1) {
+		t.Fatal("backoff did not grow with attempts")
+	}
+}

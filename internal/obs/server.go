@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -83,12 +84,31 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 // Addr returns the bound address after Start.
 func (s *Server) Addr() net.Addr { return s.addr }
 
-// Close stops the server.
+// Close stops the server immediately, dropping in-flight requests.
 func (s *Server) Close() error {
 	if s.http == nil {
 		return nil
 	}
 	return s.http.Close()
+}
+
+// Shutdown stops accepting new connections and waits up to timeout for
+// in-flight requests (a /metrics scrape, a /trace dump) to finish before
+// forcing the remaining connections closed.  It returns nil on a clean
+// drain and the context error when the timeout forced the close.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	if s.http == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := s.http.Shutdown(ctx)
+	if err != nil {
+		// The drain deadline passed with requests still in flight; force
+		// them closed so the caller is never stuck behind a slow scraper.
+		s.http.Close()
+	}
+	return err
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
@@ -108,6 +109,90 @@ func TestServerStartStop(t *testing.T) {
 		t.Fatalf("/trace without tracer = %d, want 404", code)
 	}
 	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerGracefulShutdown proves Shutdown drains an in-flight request
+// before returning, and that the port stops accepting afterwards.
+func TestServerGracefulShutdown(t *testing.T) {
+	release := make(chan struct{})
+	inHandler := make(chan struct{}, 1)
+	status := func() any {
+		inHandler <- struct{}{}
+		<-release // simulate a slow scraper mid-request
+		return map[string]any{"ok": true}
+	}
+	s := NewServer(NewRegistry(), nil, status, 1)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan int, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr.String() + "/status")
+		if err != nil {
+			got <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		got <- resp.StatusCode
+	}()
+	<-inHandler // the request is now in flight
+
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(5 * time.Second) }()
+	select {
+	case err := <-done:
+		t.Fatalf("Shutdown returned %v before the in-flight request finished", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown after drain: %v", err)
+	}
+	if code := <-got; code != http.StatusOK {
+		t.Fatalf("in-flight request got %d, want 200", code)
+	}
+	if _, err := http.Get("http://" + addr.String() + "/status"); err == nil {
+		t.Fatal("server still accepting after Shutdown")
+	}
+}
+
+// TestServerShutdownTimeout proves a stuck request cannot wedge Shutdown:
+// the deadline forces the connection closed and the error reports it.
+func TestServerShutdownTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	inHandler := make(chan struct{}, 1)
+	status := func() any {
+		inHandler <- struct{}{}
+		<-release
+		return nil
+	}
+	s := NewServer(NewRegistry(), nil, status, 1)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		resp, err := http.Get("http://" + addr.String() + "/status")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-inHandler
+	if err := s.Shutdown(20 * time.Millisecond); err == nil {
+		t.Fatal("Shutdown returned nil despite a wedged request")
+	}
+}
+
+// Shutdown before Start is a no-op, mirroring Close.
+func TestServerShutdownUnstarted(t *testing.T) {
+	s := NewServer(nil, nil, nil, 1)
+	if err := s.Shutdown(time.Second); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -540,4 +540,20 @@ var (
 		"Cycles the device media ran rate-limited by a DevLoad throttle episode")
 	CXLDevPoisonRd = reg("unc_cxldimm_poison_reads", UnitCXL, PerDevice, KindEvent,
 		"Reads returning data flagged poisoned by the device")
+
+	// RAS escalation beyond the link (CXL 3.0 §12): viral containment on
+	// the device, surprise removal discovered by the root port, and the
+	// host-side fast-fail path once the device is isolated.  Removal and
+	// isolation counters live on the M2PCIe (host) bank because the device
+	// bank goes dark the moment the device vanishes.
+	CXLDevViralEntries = reg("unc_cxldimm_viral_entries", UnitCXL, PerDevice, KindEvent,
+		"Times the device entered viral containment (poison threshold crossed)")
+	CXLDevErrCompletions = reg("unc_cxldimm_err_completions", UnitCXL, PerDevice, KindEvent,
+		"Reads the device completed as poisoned while in viral containment")
+	M2PDevRemoved = reg("unc_m2p_dev_removed", UnitM2PCIe, PerSocket, KindEvent,
+		"Surprise device removals discovered by the root port")
+	M2PErrCompletions = reg("unc_m2p_err_completions", UnitM2PCIe, PerSocket, KindEvent,
+		"In-flight requests the root port completed with error after removal")
+	M2PFastFails = reg("unc_m2p_fast_fails", UnitM2PCIe, PerSocket, KindEvent,
+		"Accesses fast-failed by the host while the device was isolated")
 )

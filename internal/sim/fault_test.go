@@ -147,6 +147,161 @@ func TestCXLPoisonRange(t *testing.T) {
 	}
 }
 
+func TestCXLViralContainment(t *testing.T) {
+	as := testSpace(t)
+	r, err := as.Alloc(1<<20, mem.Fixed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	cfg.L1PFDegree, cfg.L2PFDegree = 0, 0
+	cfg.Faults = &cxl.FaultPlan{
+		Seed:           1,
+		PoisonBase:     r.Base,
+		PoisonLen:      1 << 20, // the whole region is poisoned media
+		ViralThreshold: 4,
+	}
+	m := New(cfg, as)
+	m.Attach(0, &opList{ops: seqLoads(r.Base, 256, 64, true)})
+	m.Run(20_000_000)
+	m.Sync()
+	b := m.Bank("cxl0")
+	if got := b.Read(pmu.CXLDevViralEntries); got != 1 {
+		t.Fatalf("viral entries = %d, want 1", got)
+	}
+	// Exactly threshold poisoned reads before containment; everything after
+	// completes as an error.
+	if got := b.Read(pmu.CXLDevPoisonRd); got != 4 {
+		t.Fatalf("poison reads = %d, want 4 (the threshold)", got)
+	}
+	errs := b.Read(pmu.CXLDevErrCompletions)
+	cas := b.Read(pmu.CXLDevCASRd)
+	if errs == 0 || errs != cas-4 {
+		t.Fatalf("err completions = %d, want CAS-4 = %d", errs, cas-4)
+	}
+	if !m.DeviceViral(0) {
+		t.Fatal("permanent viral state not reported by DeviceViral")
+	}
+}
+
+func TestCXLViralReset(t *testing.T) {
+	as := testSpace(t)
+	r, err := as.Alloc(1<<20, mem.Fixed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	cfg.L1PFDegree, cfg.L2PFDegree = 0, 0
+	cfg.Faults = &cxl.FaultPlan{
+		Seed:           1,
+		PoisonBase:     r.Base,
+		PoisonLen:      1 << 20,
+		ViralThreshold: 2,
+		ViralReset:     20_000, // a few dependent-read round trips
+	}
+	m := New(cfg, as)
+	m.Attach(0, &opList{ops: seqLoads(r.Base, 512, 64, true)})
+	m.Run(20_000_000)
+	m.Sync()
+	b := m.Bank("cxl0")
+	if got := b.Read(pmu.CXLDevViralEntries); got < 2 {
+		t.Fatalf("viral entries = %d, want >= 2 after resets", got)
+	}
+	// Each containment round begins with a fresh poison count, so more than
+	// one threshold's worth of poisoned reads accumulate.
+	if got := b.Read(pmu.CXLDevPoisonRd); got <= 2 {
+		t.Fatalf("poison reads = %d, want > threshold across resets", got)
+	}
+}
+
+func TestCXLSurpriseRemoval(t *testing.T) {
+	as := testSpace(t)
+	r, err := as.Alloc(1<<20, mem.Fixed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	cfg.L1PFDegree, cfg.L2PFDegree = 0, 0
+	cfg.Faults = &cxl.FaultPlan{Seed: 1, RemoveAt: 200_000}
+	m := New(cfg, as)
+	m.Attach(0, &opList{ops: seqLoads(r.Base, 4096, 64, true)})
+	m.Run(20_000_000)
+	m.Sync()
+
+	dev, host := m.Bank("cxl0"), m.Bank("m2pcie0")
+	if got := host.Read(pmu.M2PDevRemoved); got != 1 {
+		t.Fatalf("removals discovered = %d, want 1", got)
+	}
+	if host.Read(pmu.M2PErrCompletions) == 0 {
+		t.Fatal("no error completions from the removal")
+	}
+	if host.Read(pmu.M2PFastFails) == 0 {
+		t.Fatal("no fast-fails after isolation")
+	}
+	if !m.DeviceIsolated(0) {
+		t.Fatal("removed device not reported isolated")
+	}
+	// The device bank went dark: it served some reads before removal and
+	// none after, while the whole chain still drained (fast-fail keeps the
+	// workload making progress).
+	cas := dev.Read(pmu.CXLDevCASRd)
+	if cas == 0 || cas >= 4096 {
+		t.Fatalf("device served %d reads, want some but not all", cas)
+	}
+	if !m.Idle() {
+		t.Fatal("machine did not drain after removal")
+	}
+	if cas+host.Read(pmu.M2PErrCompletions) != 4096 {
+		t.Fatalf("reads unaccounted: %d served + %d errored != 4096",
+			cas, host.Read(pmu.M2PErrCompletions))
+	}
+}
+
+func TestCXLRASDeterminism(t *testing.T) {
+	snap := func() map[string]uint64 {
+		as := testSpace(t)
+		r, err := as.Alloc(1<<20, mem.Fixed(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := smallConfig()
+		cfg.L1PFDegree, cfg.L2PFDegree = 0, 0
+		cfg.Faults = &cxl.FaultPlan{
+			Seed:           7,
+			CRCRate:        [2]float64{0.01, 0.01},
+			PoisonBase:     r.Base,
+			PoisonLen:      1 << 18,
+			ViralThreshold: 3,
+			ViralReset:     50_000,
+			RemoveAt:       1_200_000,
+		}
+		m := New(cfg, as)
+		m.Attach(0, &opList{ops: seqLoads(r.Base, 2048, 64, true)})
+		m.Run(20_000_000)
+		m.Sync()
+		dev, host := m.Bank("cxl0"), m.Bank("m2pcie0")
+		return map[string]uint64{
+			"viral":   dev.Read(pmu.CXLDevViralEntries),
+			"errcomp": dev.Read(pmu.CXLDevErrCompletions),
+			"poison":  dev.Read(pmu.CXLDevPoisonRd),
+			"cas":     dev.Read(pmu.CXLDevCASRd),
+			"removed": host.Read(pmu.M2PDevRemoved),
+			"hosterr": host.Read(pmu.M2PErrCompletions),
+			"fast":    host.Read(pmu.M2PFastFails),
+			"crc":     dev.Read(pmu.CXLLinkCRCErrors),
+		}
+	}
+	a, b := snap(), snap()
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("counter %s diverged across identical RAS runs: %d vs %d", k, v, b[k])
+		}
+	}
+	if a["viral"] == 0 || a["removed"] == 0 {
+		t.Fatalf("RAS scenario too tame to test determinism: %+v", a)
+	}
+}
+
 func TestSetFaultPlanMidRun(t *testing.T) {
 	as := testSpace(t)
 	r, err := as.Alloc(1<<20, mem.Fixed(2))

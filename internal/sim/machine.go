@@ -1049,12 +1049,29 @@ func (m *Machine) DevLoad(dev int) cxl.DevLoad {
 
 // SetFaultPlan installs (or clears, with nil) the link-fault schedule of
 // CXL device dev.  The plan applies to traffic issued after the call;
-// in-flight requests already priced keep their timing.
+// in-flight requests already priced keep their timing.  RAS escalation
+// state (poison count, viral containment, removal discovery) restarts with
+// the new plan.
 func (m *Machine) SetFaultPlan(dev int, plan *cxl.FaultPlan) {
 	if err := plan.Validate(); err != nil {
 		panic("sim: " + err.Error())
 	}
-	m.ports[dev].plan = plan
+	p := m.ports[dev]
+	p.plan = plan
+	p.poisonSeen, p.viral, p.viralUntil, p.removalSeen = 0, false, 0, false
+}
+
+// DeviceViral reports whether CXL device dev is currently in viral
+// containment (every read completes flagged poisoned).
+func (m *Machine) DeviceViral(dev int) bool {
+	p := m.ports[dev]
+	return p.viralAt(m.eng.Now())
+}
+
+// DeviceIsolated reports whether the host has isolated CXL device dev
+// after a surprise removal; isolated devices fast-fail all accesses.
+func (m *Machine) DeviceIsolated(dev int) bool {
+	return m.ports[dev].plan.IsolatedBy(uint64(m.eng.Now()))
 }
 
 // Idle reports whether the machine has no scheduled work left: every

@@ -343,6 +343,14 @@ type cxlPort struct {
 	devRPQ, devWPQ       *boundedQueue
 	devRPQOcc, devWPQOcc *pmu.OccTracker
 	media                server // device media bandwidth
+
+	// RAS escalation state.  All three evolve in request-issue order, which
+	// the single-threaded engine makes deterministic, so same-seed replays
+	// produce byte-identical counter streams.
+	poisonSeen  uint64 // poisoned reads counted toward the viral threshold
+	viral       bool   // device is in viral containment
+	viralUntil  Cycles // reset instant clearing viral (0 = permanent)
+	removalSeen bool   // root port already counted the surprise removal
 }
 
 func newCXLPort(cfg *Config, m2pBank, devBank *pmu.Bank) *cxlPort {
@@ -447,6 +455,65 @@ func (p *cxlPort) linkXfer(eng *Engine, srv *byteServer, dir cxl.Direction, read
 	return start
 }
 
+// removedFastFailLat is the host-side cost of the fast-fail path: once the
+// root port has isolated a removed device, accesses are rejected at the
+// M2PCIe boundary with a synthesized error completion instead of waiting a
+// full discovery timeout on a dead link.
+const removedFastFailLat = 32
+
+// viralAt reports whether the device is in viral containment at t,
+// clearing the state first when the reset window has elapsed.
+func (p *cxlPort) viralAt(t Cycles) bool {
+	if !p.viral {
+		return false
+	}
+	if p.viralUntil > 0 && t >= p.viralUntil {
+		// Host-initiated reset: the device leaves containment and the
+		// poison count starts over.
+		p.viral = false
+		p.poisonSeen = 0
+		return false
+	}
+	return true
+}
+
+// notePoison accounts one poisoned read at time t and trips viral
+// containment when the plan's threshold is crossed.
+func (p *cxlPort) notePoison(eng *Engine, t Cycles) {
+	p.poisonSeen++
+	if !p.viral && p.plan.ViralEnabled() && p.poisonSeen >= p.plan.ViralThreshold {
+		p.viral = true
+		p.viralUntil = 0
+		if p.plan.ViralReset > 0 {
+			p.viralUntil = t + Cycles(p.plan.ViralReset)
+		}
+		eng.at(t, evBankInc, p.devBank, int32(pmu.CXLDevViralEntries), 0)
+	}
+}
+
+// noteRemoval counts the surprise removal once, at the instant the root
+// port first learns the device is gone.
+func (p *cxlPort) noteRemoval(eng *Engine, t Cycles) {
+	if p.removalSeen {
+		return
+	}
+	p.removalSeen = true
+	eng.at(t, evBankInc, p.m2pBank, int32(pmu.M2PDevRemoved), 0)
+}
+
+// fastFail completes an access to an isolated device at the root port: a
+// synthesized error completion after a short host-side delay, never
+// touching the link or the (dark) device bank.
+func (p *cxlPort) fastFail(eng *Engine, arrival Cycles) Cycles {
+	done := arrival + p.cfg.M2PLat + removedFastFailLat
+	eng.at(arrival, evCXLArrive, p, 0, 0)
+	eng.at(done, evOcc, p.ingress, -1, 0)
+	eng.at(done, evBankInc, p.m2pBank, int32(pmu.M2PFastFails), 0)
+	eng.at(done, evBankInc, p.m2pBank, int32(pmu.M2PErrCompletions), 0)
+	p.noteRemoval(eng, done)
+	return done
+}
+
 // ctrlDelay returns the device-controller latency for a request reaching
 // it at t, inflated by an active completion-timeout episode.
 func (p *cxlPort) ctrlDelay(eng *Engine, t Cycles) Cycles {
@@ -470,14 +537,36 @@ func (p *cxlPort) mediaAcquire(eng *Engine, t Cycles) Cycles {
 	return start
 }
 
+// readRemoved completes a read whose request crossed the link into a
+// device that vanished mid-flight: the root port waits out the discovery
+// penalty on the dead link and synthesizes an error completion.  No
+// device-side counters move — the device bank is dark from RemoveAt on.
+func (p *cxlPort) readRemoved(eng *Engine, arrival, txStart, devArrive Cycles) Cycles {
+	p.packReq.commit(devArrive) // the packing-buffer entry dies with the device
+	discover := devArrive + Cycles(p.plan.RemovalPenalty())
+	done := discover + p.cfg.M2PLat
+	eng.at(arrival, evCXLArrive, p, 0, 0)
+	eng.at(txStart, evOcc, p.ingress, -1, 0)
+	eng.at(done, evBankInc, p.m2pBank, int32(pmu.M2PErrCompletions), 0)
+	p.noteRemoval(eng, discover)
+	return done
+}
+
 // read performs a CXL.mem load (M2S Req -> S2M DRS) of line la arriving at
 // the M2PCIe ingress at arrival, returning the host data-return time.
 func (p *cxlPort) read(eng *Engine, arrival Cycles, la uint64) Cycles {
+	if p.plan.IsolatedBy(uint64(arrival)) {
+		return p.fastFail(eng, arrival)
+	}
+
 	// M2PCIe ingress: the entry waits for link credit, which is starved
 	// when the device request packing buffer is full.
 	ready := p.packReq.admit(arrival + p.cfg.M2PLat)
 	txStart := p.linkXfer(eng, &p.linkTx, cxl.DirM2S, ready, cxl.BytesPerMessage(cxl.MemRd))
 	devArrive := txStart + p.cfg.FlexBusLat
+	if p.plan.RemovedBy(uint64(devArrive)) {
+		return p.readRemoved(eng, arrival, txStart, devArrive)
+	}
 
 	// Device: packing buffer until the controller hands off to the MC.
 	ctrlDone := devArrive + p.ctrlDelay(eng, devArrive)
@@ -486,11 +575,18 @@ func (p *cxlPort) read(eng *Engine, arrival Cycles, la uint64) Cycles {
 
 	mediaStart := p.mediaAcquire(eng, rpqAdmit)
 	data := mediaStart + p.cfg.CXLMediaLat
-	if p.plan.Poisoned(la) {
+	switch {
+	case p.viralAt(devArrive):
+		// Viral containment: every read completes at normal media timing
+		// but returns data flagged poisoned — an error completion, not a
+		// correction pass, because the device no longer trusts its media.
+		eng.at(data, evBankInc, p.devBank, int32(pmu.CXLDevErrCompletions), 0)
+	case p.plan.Poisoned(la):
 		// Poisoned media: the device's internal correction pass re-reads
 		// before returning data flagged poisoned.
 		data += p.cfg.CXLMediaLat
 		eng.at(data, evBankInc, p.devBank, int32(pmu.CXLDevPoisonRd), 0)
+		p.notePoison(eng, data)
 	}
 	p.devRPQ.commit(data)
 
@@ -524,9 +620,25 @@ func (p *cxlPort) read(eng *Engine, arrival Cycles, la uint64) Cycles {
 // credit-admission time (backpressure point for the evicting fill) and the
 // time the write is durable at the device.
 func (p *cxlPort) write(eng *Engine, arrival Cycles) (admitted, drained Cycles) {
+	if p.plan.IsolatedBy(uint64(arrival)) {
+		return arrival, p.fastFail(eng, arrival)
+	}
+
 	ready := p.packData.admit(arrival + p.cfg.M2PLat)
 	txStart := p.linkXfer(eng, &p.linkTx, cxl.DirM2S, ready, cxl.BytesPerMessage(cxl.MemWr))
 	devArrive := txStart + p.cfg.FlexBusLat
+	if p.plan.RemovedBy(uint64(devArrive)) {
+		// Same discovery flow as readRemoved, with the packing-data entry
+		// dying alongside the device.
+		p.packData.commit(devArrive)
+		discover := devArrive + Cycles(p.plan.RemovalPenalty())
+		done := discover + p.cfg.M2PLat
+		eng.at(arrival, evCXLArrive, p, 0, 0)
+		eng.at(txStart, evOcc, p.ingress, -1, 0)
+		eng.at(done, evBankInc, p.m2pBank, int32(pmu.M2PErrCompletions), 0)
+		p.noteRemoval(eng, discover)
+		return ready, done
+	}
 
 	ctrlDone := devArrive + p.ctrlDelay(eng, devArrive)
 	wpqAdmit := p.devWPQ.admit(ctrlDone)

@@ -34,4 +34,17 @@ code=$(curl -s -o /tmp/obs_smoke_status -w '%{http_code}' "$url/status")
 [ "$code" = 200 ] || fail "/status returned $code"
 grep -q '"epochs"' /tmp/obs_smoke_status || fail "/status JSON lacks epoch fields"
 
+# Graceful shutdown: SIGTERM drains and exits 0 rather than being killed.
+# Wait for the run to finish first — the signal handler is installed once
+# the post-run serving loop begins.
+for _ in $(seq 1 50); do
+    grep -q '^pathfinder: run complete' "$log" && break
+    sleep 0.2
+done
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+[ "$rc" = 0 ] || fail "SIGTERM exit status $rc (want clean drain)"
+grep -q '^pathfinder: shutting down' "$log" || fail "no graceful-shutdown line after SIGTERM"
+
 echo "obs-smoke: OK ($url: /metrics has $(grep -c '^pf_' /tmp/obs_smoke_metrics) pf_ series)"
