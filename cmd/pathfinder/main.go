@@ -74,8 +74,18 @@ type runStatus struct {
 	EpochCycles uint64      `json:"epoch_cycles"`
 	Truncated   int         `json:"epochs_truncated"`
 	Note        string      `json:"last_note,omitempty"`
-	Apps        []statusApp `json:"apps"`
-	Link        *statusLink `json:"cxl_link,omitempty"`
+	Apps        []statusApp  `json:"apps"`
+	Engine      statusEngine `json:"engine"`
+	Link        *statusLink  `json:"cxl_link,omitempty"`
+}
+
+// statusEngine surfaces the run-ahead fast path's effectiveness: ops the
+// core stepper executed inline versus events dispatched through the
+// engine.  A healthy hit-dominated run keeps inline_steps well above
+// dispatched_events.
+type statusEngine struct {
+	InlineSteps      uint64 `json:"inline_steps"`
+	DispatchedEvents uint64 `json:"dispatched_events"`
 }
 
 type statusApp struct {
@@ -266,6 +276,10 @@ func main() {
 		}
 		for _, run := range runs {
 			st.Apps = append(st.Apps, statusApp{Label: run.Label, Core: run.Core})
+		}
+		st.Engine = statusEngine{
+			InlineSteps:      m.InlineSteps(),
+			DispatchedEvents: m.DispatchedEvents(),
 		}
 		if last != nil {
 			s := last.Snapshot

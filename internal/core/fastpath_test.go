@@ -1,0 +1,236 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"pathfinder/internal/cxl"
+	"pathfinder/internal/obs"
+	"pathfinder/internal/pmu"
+	"pathfinder/internal/sim"
+	"pathfinder/internal/workload"
+)
+
+// Run-ahead equivalence: the core-stepping fast path executes
+// hit-dominated op runs inline, advancing the engine clock without
+// event-engine round-trips.  It must be invisible to every observable:
+// these tests run identical fixed-seed scenarios with the fast path on
+// and forced off, and require the captured snapshot digests — every PMU
+// counter of every bank, serialized — to be byte-identical per epoch.
+
+// fastpathScenario configures a freshly built rig (workloads, fault
+// plans, tracer).  It runs twice per test, once per engine mode, so both
+// machines see identical construction order and workload seeds.  The
+// returned cleanup (may be nil) runs after each machine finishes.
+type fastpathScenario func(t *testing.T, m *sim.Machine, local, cxlReg workload.Region) func()
+
+type fastpathRun struct {
+	digests []Digest
+	now     sim.Cycles
+	inline  uint64
+}
+
+func runFastpath(t *testing.T, fast bool, epochs int, cyc sim.Cycles, setup fastpathScenario) fastpathRun {
+	t.Helper()
+	m, localReg, cxlReg := testRig(t)
+	m.SetRunAhead(fast)
+	cleanup := setup(t, m, region(localReg), region(cxlReg))
+	cap := NewCapturer(m)
+	var out fastpathRun
+	for e := 0; e < epochs; e++ {
+		m.Run(cyc)
+		out.digests = append(out.digests, EncodeDigest(cap.Capture()))
+	}
+	if cleanup != nil {
+		cleanup()
+	}
+	out.now = m.Now()
+	out.inline = m.InlineSteps()
+	return out
+}
+
+// fastpathGolden asserts byte-identical digests between the two modes and
+// that the fast-path run actually exercised inline stepping.
+func fastpathGolden(t *testing.T, epochs int, cyc sim.Cycles, setup fastpathScenario) {
+	t.Helper()
+	on := runFastpath(t, true, epochs, cyc, setup)
+	off := runFastpath(t, false, epochs, cyc, setup)
+	if on.now != off.now {
+		t.Fatalf("final clock differs: fast=%d dispatch=%d", on.now, off.now)
+	}
+	if on.inline == 0 {
+		t.Fatal("fast-path run executed zero inline steps; scenario does not exercise run-ahead")
+	}
+	if off.inline != 0 {
+		t.Fatalf("dispatch-only run reported %d inline steps", off.inline)
+	}
+	for e := range on.digests {
+		if !bytes.Equal(on.digests[e], off.digests[e]) {
+			t.Errorf("epoch %d digest differs between run-ahead and dispatch-only engines", e)
+			diffDigests(t, on.digests[e], off.digests[e])
+		}
+	}
+}
+
+// diffDigests decodes both digests and reports the first few differing
+// counters, so a divergence points at the responsible subsystem instead
+// of an opaque byte offset.
+func diffDigests(t *testing.T, a, b Digest) {
+	t.Helper()
+	sa, ea := DecodeDigest(a, pmu.Default.Len())
+	sb, eb := DecodeDigest(b, pmu.Default.Len())
+	if ea != nil || eb != nil {
+		t.Logf("decode failed: %v / %v", ea, eb)
+		return
+	}
+	shown := 0
+	for _, name := range sa.idx.names {
+		da, db := sa.bankDelta(name), sb.bankDelta(name)
+		for e := range da {
+			if da[e] != db[e] && shown < 8 {
+				t.Logf("  %s[%d]: fast=%d dispatch=%d", name, e, da[e], db[e])
+				shown++
+			}
+		}
+	}
+}
+
+func TestFastpathGoldenSingleCoreLocal(t *testing.T) {
+	fastpathGolden(t, 3, 1_000_000,
+		func(t *testing.T, m *sim.Machine, local, _ workload.Region) func() {
+			m.Attach(0, workload.NewStream(local, 2, 0.2, 1))
+			return nil
+		})
+}
+
+func TestFastpathGoldenSingleCoreCXL(t *testing.T) {
+	fastpathGolden(t, 3, 1_000_000,
+		func(t *testing.T, m *sim.Machine, _, cxlReg workload.Region) func() {
+			m.Attach(0, workload.NewStream(cxlReg, 2, 0.2, 2))
+			return nil
+		})
+}
+
+func TestFastpathGoldenMultiCoreMixed(t *testing.T) {
+	fastpathGolden(t, 3, 1_500_000,
+		func(t *testing.T, m *sim.Machine, local, cxlReg workload.Region) func() {
+			m.Attach(0, workload.NewStream(local, 2, 0.2, 1))
+			m.Attach(1, workload.NewStream(cxlReg, 2, 0.3, 2))
+			m.Attach(2, workload.NewPointerChase(cxlReg, 2, 3))
+			m.Attach(3, workload.NewStream(local, 0, 0, 4))
+			return nil
+		})
+}
+
+func TestFastpathGoldenFaultPlan(t *testing.T) {
+	fastpathGolden(t, 3, 1_500_000,
+		func(t *testing.T, m *sim.Machine, local, cxlReg workload.Region) func() {
+			m.SetFaultPlan(0, &cxl.FaultPlan{
+				Seed:    7,
+				CRCRate: [2]float64{0.01, 0.01},
+				Bursts: []cxl.Burst{
+					{Dir: cxl.DirS2M, Start: 200_000, Len: 100_000, Period: 500_000, Rate: 0.4},
+				},
+				Timeouts:       []cxl.Episode{{Start: 400_000, Len: 50_000, Period: 600_000}},
+				PoisonBase:     0,
+				PoisonLen:      1 << 10,
+				ViralThreshold: 64,
+				ViralReset:     300_000,
+			})
+			m.Attach(0, workload.NewStream(cxlReg, 2, 0.2, 3))
+			m.Attach(2, workload.NewStream(local, 2, 0.2, 4))
+			return nil
+		})
+}
+
+func TestFastpathGoldenSurpriseRemoval(t *testing.T) {
+	fastpathGolden(t, 3, 800_000,
+		func(t *testing.T, m *sim.Machine, local, cxlReg workload.Region) func() {
+			m.SetFaultPlan(0, &cxl.FaultPlan{Seed: 1, RemoveAt: 500_000})
+			m.Attach(0, workload.NewStream(cxlReg, 0, 0, 1))
+			m.Attach(1, workload.NewStream(local, 2, 0.2, 2))
+			return nil
+		})
+}
+
+func TestFastpathGoldenTracerAttached(t *testing.T) {
+	var stats [2]struct {
+		committed, dropped uint64
+	}
+	i := 0
+	fastpathGolden(t, 2, 1_000_000,
+		func(t *testing.T, m *sim.Machine, local, cxlReg workload.Region) func() {
+			// Sampling every 4th op mixes traced (dispatch-forced) and
+			// untraced (inline-eligible) ops in the same run.
+			tr := obs.NewTracer(1<<14, 4)
+			tr.Enable()
+			m.SetTracer(tr)
+			m.Attach(0, workload.NewStream(cxlReg, 2, 0.2, 5))
+			m.Attach(1, workload.NewStream(local, 2, 0.2, 6))
+			slot := &stats[i]
+			i++
+			return func() {
+				_, slot.committed, slot.dropped = tr.Stats()
+			}
+		})
+	// The tracer must observe the same request population in both modes.
+	if stats[0] != stats[1] {
+		t.Fatalf("tracer stats differ: fast=%+v dispatch=%+v", stats[0], stats[1])
+	}
+	if stats[0].committed == 0 {
+		t.Fatal("tracer committed no records")
+	}
+}
+
+// TestFastpathStepEquivalence drives the same workload via one big
+// RunUntil (run-ahead eligible) and via repeated short Run slices (which
+// constantly re-clips the horizon), requiring identical digests.  This
+// pins the horizon-clipping bail-out: inline stepping must never cross a
+// RunUntil boundary in an observable way.
+func TestFastpathStepEquivalence(t *testing.T) {
+	run := func(slices int, each sim.Cycles) Digest {
+		m, localReg, cxlReg := testRig(t)
+		m.Attach(0, workload.NewStream(region(localReg), 2, 0.2, 9))
+		m.Attach(1, workload.NewStream(region(cxlReg), 2, 0.1, 10))
+		cap := NewCapturer(m)
+		for i := 0; i < slices; i++ {
+			m.Run(each)
+		}
+		return EncodeDigest(cap.Capture())
+	}
+	whole := run(1, 1_200_000)
+	sliced := run(1200, 1_000)
+	if !bytes.Equal(whole, sliced) {
+		t.Fatal("digest differs between one RunUntil and 1200 sliced Runs")
+	}
+	finer := run(300, 4_000)
+	if !bytes.Equal(whole, finer) {
+		t.Fatal("digest differs between one RunUntil and 300 sliced Runs")
+	}
+}
+
+// TestFastpathCounters checks the introspection counters behave as
+// documented: inline steps dominate dispatches on a hit-heavy stream, and
+// disabling run-ahead routes every op through the engine.
+func TestFastpathCounters(t *testing.T) {
+	m, localReg, _ := testRig(t)
+	m.Attach(0, workload.NewStream(region(localReg), 2, 0.2, 1))
+	m.Run(500_000)
+	in, ev := m.InlineSteps(), m.DispatchedEvents()
+	if in == 0 {
+		t.Fatal("no inline steps on a hit-dominated stream")
+	}
+	if in < ev {
+		t.Errorf("inline steps (%d) should dominate dispatched events (%d) on a local stream", in, ev)
+	}
+	m2, localReg2, _ := testRig(t)
+	m2.SetRunAhead(false)
+	m2.Attach(0, workload.NewStream(region(localReg2), 2, 0.2, 1))
+	m2.Run(500_000)
+	if m2.InlineSteps() != 0 {
+		t.Fatalf("run-ahead disabled but %d inline steps recorded", m2.InlineSteps())
+	}
+	if m2.DispatchedEvents() == 0 {
+		t.Fatal("dispatch-only run recorded no dispatched events")
+	}
+}

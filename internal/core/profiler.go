@@ -99,6 +99,8 @@ type profMetrics struct {
 	idle        *obs.Counter
 	epochCycles *obs.Gauge
 	heapDepth   *obs.Gauge
+	inlineSteps *obs.Counter
+	dispatched  *obs.Counter
 	poolHits    *obs.Counter
 	poolMisses  *obs.Counter
 	linkRetries *obs.Counter
@@ -109,7 +111,8 @@ type profMetrics struct {
 	fastFails   *obs.Counter
 	isolated    *obs.Gauge
 
-	lastHits, lastMisses uint64
+	lastHits, lastMisses     uint64
+	lastInline, lastDispatch uint64
 }
 
 func newProfMetrics(reg *obs.Registry) *profMetrics {
@@ -120,6 +123,8 @@ func newProfMetrics(reg *obs.Registry) *profMetrics {
 		idle:        reg.Counter("pf_profiler_epochs_idle_total", "epochs ended early with every workload idle"),
 		epochCycles: reg.Gauge("pf_profiler_epoch_cycles", "cycles simulated in the latest epoch"),
 		heapDepth:   reg.Gauge("pf_engine_events_pending", "event-engine depth (timing wheel + heap)"),
+		inlineSteps: reg.Counter("pf_engine_inline_steps", "workload ops executed inline by the run-ahead fast path"),
+		dispatched:  reg.Counter("pf_engine_dispatched_events", "events dispatched through the engine"),
 		poolHits:    reg.Counter("pf_snapshot_pool_hits_total", "captures served from the snapshot pool"),
 		poolMisses:  reg.Counter("pf_snapshot_pool_misses_total", "captures that allocated a snapshot"),
 		linkRetries: reg.Counter("pf_cxl_link_retries_total", "LRSM link retries"),
@@ -290,6 +295,10 @@ func (p *Profiler) publish(snap *Snapshot, truncated bool, note string, ran sim.
 	}
 	mt.epochCycles.Set(float64(ran))
 	mt.heapDepth.Set(float64(p.spec.Machine.PendingEvents()))
+	in, ev := p.spec.Machine.InlineSteps(), p.spec.Machine.DispatchedEvents()
+	mt.inlineSteps.Add(in - mt.lastInline)
+	mt.dispatched.Add(ev - mt.lastDispatch)
+	mt.lastInline, mt.lastDispatch = in, ev
 	hits, misses := p.cap.PoolStats()
 	mt.poolHits.Add(hits - mt.lastHits)
 	mt.poolMisses.Add(misses - mt.lastMisses)

@@ -15,7 +15,8 @@ type OccTracker struct {
 
 	capacity int // for full detection; 0 means unbounded
 	cur      int
-	last     uint64 // cycle of the previous update
+	last     uint64   // cycle of the previous update
+	rel      []uint64 // queued falling edges (Release cycles), sorted
 }
 
 // NewOccTracker returns a tracker over bank feeding the given events.  Pass
@@ -35,6 +36,24 @@ func (t *OccTracker) Full() bool { return t.capacity > 0 && t.cur >= t.capacity 
 // Advance integrates the counters up to cycle now without changing the
 // occupancy.
 func (t *OccTracker) Advance(now uint64) {
+	if n := len(t.rel); n > 0 && t.rel[0] <= now {
+		k := 0
+		for k < n && t.rel[k] <= now {
+			t.integrate(t.rel[k])
+			t.cur--
+			k++
+		}
+		if t.cur < 0 {
+			panic("pmu: negative queue occupancy")
+		}
+		m := copy(t.rel, t.rel[k:])
+		t.rel = t.rel[:m]
+	}
+	t.integrate(now)
+}
+
+// integrate accumulates the counters up to now at the current level.
+func (t *OccTracker) integrate(now uint64) {
 	if now <= t.last {
 		return
 	}
@@ -53,6 +72,18 @@ func (t *OccTracker) Advance(now uint64) {
 	}
 }
 
+// Release schedules a falling edge at cycle `at`: the tracker integrates
+// up to `at` at the current level and then decrements, exactly as an
+// Update(at, -1) issued when that cycle is reached would.  Pairing an
+// Update(+1) with a Release halves the event traffic of every
+// enter/leave-shaped residency.
+func (t *OccTracker) Release(at uint64) {
+	t.rel = append(t.rel, at)
+	for i := len(t.rel) - 1; i > 0 && t.rel[i-1] > at; i-- {
+		t.rel[i], t.rel[i-1] = t.rel[i-1], t.rel[i]
+	}
+}
+
 // Update integrates up to now and then applies delta to the occupancy.
 // A negative resulting occupancy indicates a simulator bug and panics.
 func (t *OccTracker) Update(now uint64, delta int) {
@@ -67,6 +98,7 @@ func (t *OccTracker) Update(now uint64, delta int) {
 func (t *OccTracker) Reset(now uint64) {
 	t.cur = 0
 	t.last = now
+	t.rel = t.rel[:0]
 }
 
 // BusyTracker accumulates cycles during which a condition holds (e.g. a
@@ -78,6 +110,7 @@ type BusyTracker struct {
 	event Event
 	depth int
 	since uint64
+	rel   []uint64 // queued End cycles, sorted ascending
 }
 
 // NewBusyTracker returns a tracker feeding event on bank.
@@ -90,15 +123,45 @@ func (t *BusyTracker) Active() bool { return t.depth > 0 }
 
 // Begin marks the condition as holding from cycle now.
 func (t *BusyTracker) Begin(now uint64) {
+	if len(t.rel) > 0 && t.rel[0] <= now {
+		t.drainRel(now)
+	}
 	if t.depth == 0 {
 		t.since = now
 	}
 	t.depth++
 }
 
+// Release schedules an End at cycle `at`, exactly as an End call issued
+// when that cycle is reached would behave.
+func (t *BusyTracker) Release(at uint64) {
+	t.rel = append(t.rel, at)
+	for i := len(t.rel) - 1; i > 0 && t.rel[i-1] > at; i-- {
+		t.rel[i], t.rel[i-1] = t.rel[i-1], t.rel[i]
+	}
+}
+
+// drainRel applies queued Ends due at or before now, in time order.
+func (t *BusyTracker) drainRel(now uint64) {
+	k := 0
+	for k < len(t.rel) && t.rel[k] <= now {
+		t.end(t.rel[k])
+		k++
+	}
+	n := copy(t.rel, t.rel[k:])
+	t.rel = t.rel[:n]
+}
+
 // End marks one cause of the condition as cleared at cycle now, accumulating
 // the busy interval when the last cause clears.
 func (t *BusyTracker) End(now uint64) {
+	if len(t.rel) > 0 && t.rel[0] <= now {
+		t.drainRel(now)
+	}
+	t.end(now)
+}
+
+func (t *BusyTracker) end(now uint64) {
 	if t.depth == 0 {
 		panic("pmu: BusyTracker.End without Begin")
 	}
@@ -111,6 +174,9 @@ func (t *BusyTracker) End(now uint64) {
 // Flush accumulates any open interval up to now and restarts it, so that
 // snapshots taken mid-interval observe the cycles spent so far.
 func (t *BusyTracker) Flush(now uint64) {
+	if len(t.rel) > 0 && t.rel[0] <= now {
+		t.drainRel(now)
+	}
 	if t.depth > 0 && now > t.since {
 		t.bank.Add(t.event, now-t.since)
 		t.since = now

@@ -1,0 +1,130 @@
+package pmu
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The Release queues let the simulator schedule a tracker's falling edge
+// at enter time (one observer entry per residency instead of two).  These
+// tests pin their defining property: a tracker fed Update(+1)+Release(at)
+// pulses is indistinguishable from one fed the equivalent explicit edges
+// in global time order.
+
+func TestOccTrackerReleaseEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		ba := NewBank(Default, "imc0ch0")
+		bb := NewBank(Default, "imc0ch0")
+		pulsed := NewOccTracker(ba, RPQOccupancy, RPQCyclesNE, CXLRxPackBufFullReq, 4)
+		explicit := NewOccTracker(bb, RPQOccupancy, RPQCyclesNE, CXLRxPackBufFullReq, 4)
+
+		type edge struct {
+			at    uint64
+			delta int
+		}
+		var edges []edge
+		now := uint64(0)
+		for i := 0; i < 40; i++ {
+			now += uint64(rng.Intn(20))
+			hold := uint64(1 + rng.Intn(50))
+			pulsed.Update(now, +1)
+			pulsed.Release(now + hold)
+			edges = append(edges, edge{now, +1}, edge{now + hold, -1})
+		}
+		sort.SliceStable(edges, func(i, j int) bool { return edges[i].at < edges[j].at })
+		for _, e := range edges {
+			explicit.Update(e.at, e.delta)
+		}
+		horizon := now + 100
+		pulsed.Advance(horizon)
+		explicit.Advance(horizon)
+
+		for _, ev := range []Event{RPQOccupancy, RPQCyclesNE, CXLRxPackBufFullReq} {
+			if ga, gb := ba.Read(ev), bb.Read(ev); ga != gb {
+				t.Fatalf("trial %d: %s = %d (pulsed) vs %d (explicit)",
+					trial, Default.Name(ev), ga, gb)
+			}
+		}
+		if pulsed.Len() != explicit.Len() {
+			t.Fatalf("trial %d: Len %d vs %d", trial, pulsed.Len(), explicit.Len())
+		}
+	}
+}
+
+// Mid-stream reads: Advance between pulses must settle due releases, so
+// Len reflects only residencies still open at that cycle.
+func TestOccTrackerReleaseMidstream(t *testing.T) {
+	b := NewBank(Default, "imc0ch0")
+	tr := NewOccTracker(b, RPQOccupancy, -1, -1, 0)
+	tr.Update(10, +1)
+	tr.Release(30)
+	tr.Update(20, +1)
+	tr.Release(60)
+	tr.Advance(40)
+	if tr.Len() != 1 {
+		t.Fatalf("Len at 40 = %d, want 1 (release at 30 is due)", tr.Len())
+	}
+	// 1*(20-10) + 2*(30-20) + 1*(40-30) = 40
+	if got := b.Read(RPQOccupancy); got != 40 {
+		t.Fatalf("occupancy integral at 40 = %d, want 40", got)
+	}
+	tr.Advance(70)
+	if tr.Len() != 0 {
+		t.Fatalf("Len at 70 = %d, want 0", tr.Len())
+	}
+	// + 1*(60-40) = 60
+	if got := b.Read(RPQOccupancy); got != 60 {
+		t.Fatalf("occupancy integral at 70 = %d, want 60", got)
+	}
+}
+
+func TestBusyTrackerReleaseEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		ba := NewBank(Default, "core0")
+		bb := NewBank(Default, "core0")
+		pulsed := NewBusyTracker(ba, CyclesL1DMiss)
+		explicit := NewBusyTracker(bb, CyclesL1DMiss)
+
+		type edge struct {
+			at    uint64
+			begin bool
+		}
+		var edges []edge
+		now := uint64(0)
+		for i := 0; i < 40; i++ {
+			now += uint64(rng.Intn(20))
+			hold := uint64(1 + rng.Intn(50))
+			pulsed.Begin(now)
+			pulsed.Release(now + hold)
+			edges = append(edges, edge{now, true}, edge{now + hold, false})
+		}
+		// Begins before Ends at equal cycles: zero-width pulses must not
+		// trip the depth-0 panic in either feeding order.
+		sort.SliceStable(edges, func(i, j int) bool {
+			if edges[i].at != edges[j].at {
+				return edges[i].at < edges[j].at
+			}
+			return edges[i].begin && !edges[j].begin
+		})
+		for _, e := range edges {
+			if e.begin {
+				explicit.Begin(e.at)
+			} else {
+				explicit.End(e.at)
+			}
+		}
+		horizon := now + 100
+		pulsed.Flush(horizon)
+		explicit.Flush(horizon)
+
+		if ga, gb := ba.Read(CyclesL1DMiss), bb.Read(CyclesL1DMiss); ga != gb {
+			t.Fatalf("trial %d: busy cycles = %d (pulsed) vs %d (explicit)", trial, ga, gb)
+		}
+		if pulsed.Active() != explicit.Active() {
+			t.Fatalf("trial %d: Active %v vs %v", trial, pulsed.Active(), explicit.Active())
+		}
+	}
+}

@@ -54,6 +54,12 @@ type Cache struct {
 	lines   []Line // sets * ways, set-major
 	stamp   uint64
 
+	// mru is the per-set way predictor: the way of the last hit (or
+	// insert) in each set.  Hit-dominated lookups check it before
+	// scanning the ways — temporal reuse makes it right most of the
+	// time, turning the common hit into a single tag compare.
+	mru []uint8
+
 	// Victim carries eviction results out of Insert without allocating.
 	Victim    Line
 	HasVictim bool
@@ -76,10 +82,14 @@ func NewCache(size, ways int) *Cache {
 		p *= 2
 	}
 	sets = p
+	if ways > 256 {
+		panic("sim: cache associativity above 256 breaks the way predictor")
+	}
 	return &Cache{
 		ways:    ways,
 		setMask: uint64(sets - 1),
 		lines:   make([]Line, sets*ways),
+		mru:     make([]uint8, sets),
 	}
 }
 
@@ -89,30 +99,51 @@ func (c *Cache) Sets() int { return len(c.lines) / c.ways }
 // Ways returns the associativity.
 func (c *Cache) Ways() int { return c.ways }
 
+// setIdx returns the set index of line address la.
+func (c *Cache) setIdx(la uint64) uint64 {
+	return (la >> mem.LineShift) & c.setMask
+}
+
 // setOf returns the slice of ways for the set containing line address la.
 func (c *Cache) setOf(la uint64) []Line {
-	set := (la >> mem.LineShift) & c.setMask
-	base := int(set) * c.ways
+	base := int(c.setIdx(la)) * c.ways
 	return c.lines[base : base+c.ways]
 }
 
 // Lookup returns the line holding la, bumping its LRU recency, or nil on
-// miss.  la must be line aligned.
+// miss.  la must be line aligned.  The predicted (last-hit) way is probed
+// first, so lookups with temporal reuse cost one tag compare instead of a
+// scan of every way.
 func (c *Cache) Lookup(la uint64) *Line {
-	set := c.setOf(la)
+	si := c.setIdx(la)
+	base := int(si) * c.ways
+	if l := &c.lines[base+int(c.mru[si])]; l.State != Invalid && l.Tag == la {
+		c.stamp++
+		l.stamp = c.stamp
+		return l
+	}
+	set := c.lines[base : base+c.ways]
 	for i := range set {
 		if set[i].State != Invalid && set[i].Tag == la {
 			c.stamp++
 			set[i].stamp = c.stamp
+			c.mru[si] = uint8(i)
 			return &set[i]
 		}
 	}
 	return nil
 }
 
-// Peek returns the line holding la without touching recency, or nil.
+// Peek returns the line holding la without touching recency, or nil.  The
+// predicted way is probed first; the predictor itself is left untouched
+// (Peek models snoops and presence checks, not demand reuse).
 func (c *Cache) Peek(la uint64) *Line {
-	set := c.setOf(la)
+	si := c.setIdx(la)
+	base := int(si) * c.ways
+	if l := &c.lines[base+int(c.mru[si])]; l.State != Invalid && l.Tag == la {
+		return l
+	}
+	set := c.lines[base : base+c.ways]
 	for i := range set {
 		if set[i].State != Invalid && set[i].Tag == la {
 			return &set[i]
@@ -127,33 +158,37 @@ func (c *Cache) Peek(la uint64) *Line {
 // state in place.  It returns the inserted line.
 func (c *Cache) Insert(la uint64, st State) *Line {
 	c.HasVictim = false
-	set := c.setOf(la)
+	si := c.setIdx(la)
+	set := c.lines[int(si)*c.ways : int(si+1)*c.ways]
 	for i := range set {
 		if set[i].State != Invalid && set[i].Tag == la {
 			set[i].State = st
 			c.stamp++
 			set[i].stamp = c.stamp
+			c.mru[si] = uint8(i)
 			return &set[i]
 		}
 	}
 	// Miss: evict the first invalid way, else the least recently used.
-	var victim *Line
+	vi := -1
 	for i := range set {
 		w := &set[i]
 		if w.State == Invalid {
-			victim = w
+			vi = i
 			break
 		}
-		if victim == nil || w.stamp < victim.stamp {
-			victim = w
+		if vi < 0 || w.stamp < set[vi].stamp {
+			vi = i
 		}
 	}
+	victim := &set[vi]
 	if victim.State != Invalid {
 		c.Victim = *victim
 		c.HasVictim = true
 	}
 	c.stamp++
 	*victim = Line{Tag: la, State: st, stamp: c.stamp}
+	c.mru[si] = uint8(vi)
 	return victim
 }
 

@@ -38,11 +38,22 @@ type Core struct {
 	sbNextFree Cycles
 	sbLastDone Cycles // commit time of the previous store (TSO in-order drain)
 
+	// Earliest completion time in each pending list (max when empty).
+	// Pruning is skipped entirely while now is below the watermark, so
+	// hit-dominated runs stop rescanning unchanged lists every op.
+	lfbMinDone Cycles
+	sbMinDone  Cycles
+	pfMinDone  Cycles
+
 	fbFullUntil Cycles // end of the last counted LFB-full wait interval
 
 	l1pf, l2pf *prefetcher
-	pfInFlight int
-	pfScratch  []uint64
+	// pfDone holds the completion cycles of in-flight hardware/software
+	// prefetches.  The in-flight count is derived by pruning completed
+	// entries at read time, which replaces a per-prefetch retirement
+	// event through the engine.
+	pfDone    []Cycles
+	pfScratch []uint64
 
 	// Offcore-outstanding trackers (the core PMU's latency events).
 	oroData   *pmu.OccTracker
@@ -56,6 +67,11 @@ type Core struct {
 
 	gen     workload.Generator
 	running bool
+
+	// op is the scratch operation filled by gen.Next.  It lives on the
+	// core, not the coreStep stack: a stack-local would escape through the
+	// Generator interface call and cost one heap object per simulated op.
+	op workload.Op
 }
 
 func newCore(id, cluster int, cfg *Config, bank *pmu.Bank) *Core {
@@ -91,6 +107,29 @@ func (c *Core) Bank() *pmu.Bank { return c.bank }
 // Running reports whether a workload is attached and not yet exhausted.
 func (c *Core) Running() bool { return c.running }
 
+// pfLive returns the number of prefetches still in flight at cycle now,
+// pruning completed entries.  A prefetch whose data returned exactly at
+// now is no longer in flight — matching the retirement event the engine
+// used to dispatch ahead of any same-cycle core step.
+func (c *Core) pfLive(now Cycles) int {
+	if now < c.pfMinDone {
+		return len(c.pfDone)
+	}
+	out := c.pfDone[:0]
+	min := ^Cycles(0)
+	for _, d := range c.pfDone {
+		if d > now {
+			if d < min {
+				min = d
+			}
+			out = append(out, d)
+		}
+	}
+	c.pfDone = out
+	c.pfMinDone = min
+	return len(out)
+}
+
 // findLFB returns the pending LFB entry covering line la, pruning entries
 // completed by cycle now.
 func (c *Core) findLFB(la uint64, now Cycles) *lfbEntry {
@@ -105,13 +144,21 @@ func (c *Core) findLFB(la uint64, now Cycles) *lfbEntry {
 
 // pruneLFB drops entries whose data has returned by now.
 func (c *Core) pruneLFB(now Cycles) {
+	if now < c.lfbMinDone {
+		return
+	}
 	out := c.lfb[:0]
+	min := ^Cycles(0)
 	for _, e := range c.lfb {
 		if e.done > now {
+			if e.done < min {
+				min = e.done
+			}
 			out = append(out, e)
 		}
 	}
 	c.lfb = out
+	c.lfbMinDone = min
 }
 
 // allocLFB finds a free LFB slot at or after t, returning the time the
@@ -160,13 +207,21 @@ func (c *Core) demandLoadsOutstanding() bool {
 
 // pruneSB drops completed store-buffer entries.
 func (c *Core) pruneSB(now Cycles) {
+	if now < c.sbMinDone {
+		return
+	}
 	out := c.sb[:0]
+	min := ^Cycles(0)
 	for _, e := range c.sb {
 		if e.done > now {
+			if e.done < min {
+				min = e.done
+			}
 			out = append(out, e)
 		}
 	}
 	c.sb = out
+	c.sbMinDone = min
 }
 
 // sync flushes the core's trackers so a snapshot observes integrals up to

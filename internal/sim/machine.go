@@ -164,6 +164,7 @@ func (m *Machine) Run(d Cycles) {
 // The profiler calls this at every scheduling-epoch boundary.
 func (m *Machine) Sync() {
 	now := m.eng.Now()
+	m.eng.drainObs(now)
 	d := now - m.lastSync
 	m.lastSync = now
 	for _, c := range m.cores {
@@ -192,49 +193,80 @@ func (m *Machine) Sync() {
 // Core instruction stepping.
 // ---------------------------------------------------------------------------
 
+// coreStep executes workload ops on core c, starting at cycle now.
+//
+// After each op it computes the core's continuation cycle `next` and —
+// instead of unconditionally scheduling an evCoreStep and round-tripping
+// through the engine — keeps executing inline, advancing the clock
+// directly, for as long as (a) no other live event (wheel or heap) is
+// scheduled at or before `next`, (b) `next` stays within the active
+// RunUntil horizon, and (c) the op was not sampled by the tracer.  The
+// fast path only fires when the core step would have been the globally
+// next event anyway, so the op/event interleaving — and every PMU
+// counter, occupancy integral, and trace span derived from it — is
+// identical to the event-driven path by construction (pinned by the
+// fast-path golden digest suite).  Hit-dominated op runs thus cost no
+// engine round-trips; misses bail out on their own same-cycle events.
 func (m *Machine) coreStep(c *Core, now Cycles) {
-	if !c.running || c.gen == nil {
-		return
-	}
-	var op workload.Op
-	if !c.gen.Next(&op) {
-		c.running = false
-		return
-	}
-	t := now + Cycles(op.Think)
-	c.bank.Add(pmu.InstRetiredAny, uint64(op.Think)+1)
+	eng := m.eng
+	for {
+		if !c.running || c.gen == nil {
+			return
+		}
+		if !c.gen.Next(&c.op) {
+			c.running = false
+			return
+		}
+		op := &c.op
+		t := now + Cycles(op.Think)
+		c.bank.Add(pmu.InstRetiredAny, uint64(op.Think)+1)
 
-	var next Cycles
-	switch op.Kind {
-	case workload.Load:
-		if tr := m.tr; tr != nil && tr.Sample() {
-			m.cur = tr.Begin(c.id, op.Addr, "DRd")
-			next = m.load(c, op.Addr, t, op.Dep)
-			tr.Commit(m.cur)
-			m.cur = nil
-		} else {
-			next = m.load(c, op.Addr, t, op.Dep)
+		var next Cycles
+		sampled := false
+		switch op.Kind {
+		case workload.Load:
+			if tr := m.tr; tr != nil && tr.Sample() {
+				sampled = true
+				m.cur = tr.Begin(c.id, op.Addr, "DRd")
+				next = m.load(c, op.Addr, t, op.Dep)
+				tr.Commit(m.cur)
+				m.cur = nil
+			} else {
+				next = m.load(c, op.Addr, t, op.Dep)
+			}
+		case workload.Store:
+			if tr := m.tr; tr != nil && tr.Sample() {
+				sampled = true
+				m.cur = tr.Begin(c.id, op.Addr, "DWr")
+				next = m.store(c, op.Addr, t)
+				tr.Commit(m.cur)
+				m.cur = nil
+			} else {
+				next = m.store(c, op.Addr, t)
+			}
+		case workload.Prefetch:
+			m.swPrefetch(c, op.Addr, t)
+			next = t + 1
+		default:
+			next = t + 1
 		}
-	case workload.Store:
-		if tr := m.tr; tr != nil && tr.Sample() {
-			m.cur = tr.Begin(c.id, op.Addr, "DWr")
-			next = m.store(c, op.Addr, t)
-			tr.Commit(m.cur)
-			m.cur = nil
-		} else {
-			next = m.store(c, op.Addr, t)
+		if next <= now {
+			next = now + 1
 		}
-	case workload.Prefetch:
-		m.swPrefetch(c, op.Addr, t)
-		next = t + 1
-	default:
-		next = t + 1
+		c.bank.Add(pmu.CPUClkUnhalted, next-now)
+		if eng.runAhead && next <= eng.horizon && !sampled && eng.quietUntil(next) {
+			eng.now = next
+			eng.inlineSteps++
+			// Apply observer entries due by the new cycle before the next
+			// op, exactly as the dispatch loop would have; keeping the
+			// observer wheel near-empty also keeps its buckets cache-hot.
+			eng.drainObs(next)
+			now = next
+			continue
+		}
+		eng.at(next, evCoreStep, c, 0, 0)
+		return
 	}
-	if next <= now {
-		next = now + 1
-	}
-	c.bank.Add(pmu.CPUClkUnhalted, next-now)
-	m.eng.at(next, evCoreStep, c, 0, 0)
 }
 
 // load executes a demand load issued at t, returning when the core may
@@ -320,20 +352,22 @@ func (m *Machine) missPath(c *Core, class ReqClass, la uint64, t Cycles) accessR
 	res := m.accessL2Down(c, class, la, start)
 	res.times.issue = start
 
+	if res.done < c.lfbMinDone {
+		c.lfbMinDone = res.done
+	}
 	c.lfb = append(c.lfb, lfbEntry{line: la, done: res.done, times: res.times,
 		class: class, missedL2: res.missedL2, missedLLC: res.missedLLC})
-	m.eng.at(start, evOcc, c.lfbOcc, +1, 0)
 	done := res.done
-	m.eng.at(done, evOcc, c.lfbOcc, -1, 0)
-
 	if class == ClassDRd {
-		m.eng.at(start, evBusyBegin, c.missL1Busy, 0, 0)
-		m.eng.at(done, evBusyEnd, c.missL1Busy, 0, 0)
+		// The LFB residency and the L1-miss-outstanding window coincide
+		// for a demand load; one fused event covers both trackers.
+		m.eng.obsAt(start, evLFBDemand, c, 0, uint64(done))
 		if res.missedL2 {
 			enter := res.times.torEnter
-			m.eng.at(enter, evBusyBegin, c.missL2Busy, 0, 0)
-			m.eng.at(done, evBusyEnd, c.missL2Busy, 0, 0)
+			m.eng.obsAt(enter, evBusyPulse, c.missL2Busy, 0, uint64(done))
 		}
+	} else {
+		m.eng.obsAt(start, evOccPulse, c.lfbOcc, 0, uint64(done))
 	}
 	return res
 }
@@ -411,22 +445,19 @@ func (m *Machine) accessL2Down(c *Core, class ReqClass, la uint64, t Cycles) acc
 	// Offcore-outstanding trackers (chronological via events).
 	isRead := class != ClassRFO && class != ClassL2PFRFO
 	done := res.done
-	if isRead {
-		m.eng.at(tOff, evOcc, c.oroData, +1, 0)
-		m.eng.at(done, evOcc, c.oroData, -1, 0)
-	}
 	if class == ClassDRd {
-		m.eng.at(tOff, evOcc, c.oroDemand, +1, 0)
-		m.eng.at(done, evOcc, c.oroDemand, -1, 0)
+		// A demand read enters the data-read and demand-data-read
+		// windows together; one fused event covers both trackers.
+		m.eng.obsAt(tOff, evORODemand, c, 0, uint64(done))
 		if res.missedLLC {
 			enter := res.times.memEnter
-			m.eng.at(enter, evOcc, c.oroL3Miss, +1, 0)
-			m.eng.at(done, evOcc, c.oroL3Miss, -1, 0)
+			m.eng.obsAt(enter, evOccPulse, c.oroL3Miss, 0, uint64(done))
 		}
+	} else if isRead {
+		m.eng.obsAt(tOff, evOccPulse, c.oroData, 0, uint64(done))
 	}
 	if class == ClassRFO {
-		m.eng.at(tOff, evBusyBegin, c.rfoBusy, 0, 0)
-		m.eng.at(done, evBusyEnd, c.rfoBusy, 0, 0)
+		m.eng.obsAt(tOff, evBusyPulse, c.rfoBusy, 0, uint64(done))
 	}
 
 	// Fill the hierarchy on the way back.
@@ -744,14 +775,13 @@ func (m *Machine) torTransit(s *chaSlice, c *Core, class ReqClass, loc ServeLoc,
 		return
 	}
 	aux := packClassLoc(class, loc)
-	m.eng.at(enter, evTOREnter, s, aux, 0)
-	m.eng.at(leave, evTORLeave, s, aux, 0)
+	m.eng.obsAt(enter, evTORPulse, s, aux, uint64(leave))
 }
 
 // coreServeCounters increments the core-PMU offcore-response family and
 // the retired-load serve-location events at completion time.
 func (m *Machine) coreServeCounters(c *Core, class ReqClass, loc ServeLoc, done Cycles) {
-	m.eng.at(done, evServe, c, packClassLoc(class, loc), 0)
+	m.eng.obsAt(done, evServe, c, packClassLoc(class, loc), 0)
 }
 
 // serveRetired is the evServe payload: the OCR response-scenario family of
@@ -828,7 +858,7 @@ func (m *Machine) fillL2(c *Core, la uint64, st State, t Cycles) {
 // path's core->CHA writeback).
 func (m *Machine) l2VictimWriteback(c *Core, la uint64, t Cycles) {
 	s := m.slices[mem.SliceOf(la, len(m.slices))]
-	m.eng.at(t, evWBInsert, s, int32(pmu.WBMToE), 0)
+	m.eng.obsAt(t, evWBInsert, s, int32(pmu.WBMToE), 0)
 	c.bank.Inc(pmu.OCRModifiedWriteAny)
 	// The evicting core may still hold the line in its L1 (the L2 victim
 	// was selected independently), so its presence bit must survive —
@@ -856,7 +886,7 @@ func (m *Machine) l2VictimWriteback(c *Core, la uint64, t Cycles) {
 // CXL-resident lines.  It returns the device-queue admission time, which a
 // caller uses as fill backpressure when the write queue is full.
 func (m *Machine) writebackToMemory(s *chaSlice, la uint64, t Cycles, transition int) Cycles {
-	m.eng.at(t, evWBInsert, s, int32(transition), 0)
+	m.eng.obsAt(t, evWBInsert, s, int32(transition), 0)
 	depart := t + m.cfg.MeshLat
 	var admit, done Cycles
 	switch m.as.KindOf(la) {
@@ -876,8 +906,7 @@ func (m *Machine) writebackToMemory(s *chaSlice, la uint64, t Cycles, transition
 		admit, done = m.ports[dev].write(m.eng, depart)
 	}
 	if transition == pmu.WBMToI {
-		m.eng.at(t, evOcc, s.wbmtoi, +1, 0)
-		m.eng.at(done, evOcc, s.wbmtoi, -1, 0)
+		m.eng.obsAt(t, evOccPulse, s.wbmtoi, 0, uint64(done))
 	}
 	return admit
 }
@@ -930,6 +959,9 @@ func (m *Machine) store(c *Core, addr uint64, t Cycles) Cycles {
 		done = c.sbLastDone
 	}
 	c.sbLastDone = done
+	if done < c.sbMinDone {
+		c.sbMinDone = done
+	}
 	c.sb = append(c.sb, sbEntry{line: la, done: done})
 	c.bank.Add(pmu.MemTransStoreSample, uint64(done-t))
 	c.bank.Inc(pmu.MemTransStoreCount)
@@ -976,7 +1008,7 @@ func (m *Machine) trainL1PF(c *Core, la uint64, t Cycles) {
 	c.pfScratch = c.pfScratch[:0]
 	c.pfScratch = c.l1pf.train(la, c.pfScratch)
 	for _, cand := range c.pfScratch {
-		if c.pfInFlight >= m.cfg.PFMaxInFlight {
+		if c.pfLive(t) >= m.cfg.PFMaxInFlight {
 			return
 		}
 		if len(c.lfb)+2 > m.cfg.LFBEntries {
@@ -985,9 +1017,11 @@ func (m *Machine) trainL1PF(c *Core, la uint64, t Cycles) {
 		if c.l1.Peek(cand) != nil || c.findLFB(cand, t) != nil {
 			continue
 		}
-		c.pfInFlight++
 		res := m.missPath(c, ClassL1PF, cand, t)
-		m.eng.at(res.done, evPFDone, c, 0, 0)
+		if res.done < c.pfMinDone {
+			c.pfMinDone = res.done
+		}
+		c.pfDone = append(c.pfDone, res.done)
 	}
 }
 
@@ -1000,7 +1034,7 @@ func (m *Machine) trainL2PF(c *Core, trigger ReqClass, la uint64, t Cycles) {
 	}
 	buf := c.l2pf.train(la, c.pfScratch[:0])
 	for _, cand := range buf {
-		if c.pfInFlight >= m.cfg.PFMaxInFlight {
+		if c.pfLive(t) >= m.cfg.PFMaxInFlight {
 			break
 		}
 		if c.l2.Peek(cand) != nil {
@@ -1008,7 +1042,6 @@ func (m *Machine) trainL2PF(c *Core, trigger ReqClass, la uint64, t Cycles) {
 			continue
 		}
 		c.bank.Inc(pmu.L2HWPFMiss)
-		c.pfInFlight++
 		var rt reqTimes
 		rt.issue = t
 		rt.l2Start = t
@@ -1018,7 +1051,10 @@ func (m *Machine) trainL2PF(c *Core, trigger ReqClass, la uint64, t Cycles) {
 			st = Shared
 		}
 		m.fillL2(c, cand, st, llc.done)
-		m.eng.at(llc.done, evPFDone, c, 0, 0)
+		if llc.done < c.pfMinDone {
+			c.pfMinDone = llc.done
+		}
+		c.pfDone = append(c.pfDone, llc.done)
 	}
 	c.pfScratch = buf[:0]
 }
@@ -1030,12 +1066,11 @@ func (m *Machine) swPrefetch(c *Core, addr uint64, t Cycles) {
 	if c.l1.Peek(la) != nil || c.findLFB(la, t) != nil {
 		return
 	}
-	if len(c.lfb) >= m.cfg.LFBEntries || c.pfInFlight >= m.cfg.PFMaxInFlight {
+	if len(c.lfb) >= m.cfg.LFBEntries || c.pfLive(t) >= m.cfg.PFMaxInFlight {
 		return // software prefetches are droppable hints
 	}
-	c.pfInFlight++
 	res := m.missPath(c, ClassSWPF, la, t)
-	m.eng.at(res.done, evPFDone, c, 0, 0)
+	c.pfDone = append(c.pfDone, res.done)
 }
 
 // trailingZeros returns the index of the lowest set bit.
@@ -1044,6 +1079,7 @@ func trailingZeros(b uint64) int { return bits.TrailingZeros64(b) }
 // DevLoad returns the dominant CXL QoS telemetry class of device dev so
 // far — the CXL 3.x DevLoad indication derived from its queue pressure.
 func (m *Machine) DevLoad(dev int) cxl.DevLoad {
+	m.eng.drainObs(m.eng.Now())
 	return m.ports[dev].devLoad()
 }
 
@@ -1083,6 +1119,22 @@ func (m *Machine) Idle() bool { return m.eng.Pending() == 0 }
 // PendingEvents reports the current event-engine depth (wheel + heap) —
 // the pf_engine_events_pending gauge.
 func (m *Machine) PendingEvents() int { return m.eng.Pending() }
+
+// SetRunAhead enables or disables the core-stepping run-ahead fast path
+// (on by default).  Forcing it off makes every op round-trip through the
+// event engine; the golden digest suite runs both ways to prove the PMU
+// output is byte-identical.
+func (m *Machine) SetRunAhead(on bool) { m.eng.runAhead = on }
+
+// InlineSteps reports how many workload ops the run-ahead fast path has
+// executed inline, without an event-engine round-trip — the
+// pf_engine_inline_steps counter.
+func (m *Machine) InlineSteps() uint64 { return m.eng.inlineSteps }
+
+// DispatchedEvents reports how many events the engine has dispatched —
+// the pf_engine_dispatched_events counter.  The ratio of InlineSteps to
+// ops stepped is the fast-path hit rate.
+func (m *Machine) DispatchedEvents() uint64 { return m.eng.dispatched }
 
 // SetTracer attaches a request-path tracer (nil detaches).  With no tracer
 // — or a disabled one — the per-op cost is a nil check plus one atomic

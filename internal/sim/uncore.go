@@ -210,6 +210,27 @@ func (s *chaSlice) torEnter(now Cycles, class ReqClass, loc ServeLoc) {
 	}
 }
 
+// torPulse is the evTORPulse payload: one whole TOR residency — the
+// insert counters and rising edges at now, with the falling edges queued
+// inside each tracker for cycle leave.
+func (s *chaSlice) torPulse(now, leave Cycles, class ReqClass, loc ServeLoc) {
+	fam := s.torClassFamily(class)
+	scns := drdScnTable[loc]
+	if class.IsRFOLike() {
+		scns = rfoScnTable[loc]
+	}
+	for _, scn := range scns {
+		s.bank.Inc(fam.inserts[scn])
+		fam.occ[scn].Update(uint64(now), +1)
+		fam.occ[scn].Release(uint64(leave))
+	}
+	for _, scn := range iaScnTable[loc] {
+		s.bank.Inc(s.ia.inserts[scn])
+		s.ia.occ[scn].Update(uint64(now), +1)
+		s.ia.occ[scn].Release(uint64(leave))
+	}
+}
+
 // torLeave is the evTORLeave payload: the falling occupancy edges.
 func (s *chaSlice) torLeave(now Cycles, class ReqClass, loc ServeLoc) {
 	fam := s.torClassFamily(class)
@@ -285,8 +306,7 @@ func (ch *imcChannel) read(eng *Engine, arrival Cycles) Cycles {
 	start := ch.bus.acquire(admit)
 	data := start + ch.lat
 	ch.rpq.commit(data) // RPQ entry is held until data returns
-	eng.at(admit, evIMCReadAdmit, ch, 0, 0)
-	eng.at(data, evOcc, ch.rpqOcc, -1, 0)
+	eng.obsAt(admit, evIMCReadAdmit, ch, 0, uint64(data))
 	return data
 }
 
@@ -298,8 +318,7 @@ func (ch *imcChannel) write(eng *Engine, arrival Cycles) (admitted, drained Cycl
 	start := ch.bus.acquire(admit)
 	done := start + ch.lat
 	ch.wpq.commit(done)
-	eng.at(admit, evIMCWriteAdmit, ch, 0, 0)
-	eng.at(done, evOcc, ch.wpqOcc, -1, 0)
+	eng.obsAt(admit, evIMCWriteAdmit, ch, 0, uint64(done))
 	return admit, done
 }
 
@@ -427,7 +446,7 @@ func (p *cxlPort) linkXfer(eng *Engine, srv *byteServer, dir cxl.Direction, read
 	// The transfer's flits sit in the retry buffer from first transmission
 	// until the cumulative ack returns, one link round trip after arrival.
 	flits := flitsOf(size)
-	eng.at(start, evOcc, p.retryOcc, int32(flits), 0)
+	eng.obsAt(start, evOcc, p.retryOcc, int32(flits), 0)
 
 	// A Nak rewinds the sender to the lost flit, retransmitting the
 	// flits in flight behind it — on average half the retry window.
@@ -443,7 +462,7 @@ func (p *cxlPort) linkXfer(eng *Engine, srv *byteServer, dir cxl.Direction, read
 		// this transfer riding at its tail.
 		nakBack := start + 2*p.cfg.FlexBusLat
 		reStart := srv.acquire(nakBack, replayBytes+size)
-		eng.at(start+p.cfg.FlexBusLat, evCXLCRC, p, 0, uint64(replayBytes+size))
+		eng.obsAt(start+p.cfg.FlexBusLat, evCXLCRC, p, 0, uint64(replayBytes+size))
 		prev := start
 		start = reStart + Cycles(replayBytes*srv.perByte)
 		if rec != nil {
@@ -451,7 +470,7 @@ func (p *cxlPort) linkXfer(eng *Engine, srv *byteServer, dir cxl.Direction, read
 		}
 	}
 	ack := start + 2*p.cfg.FlexBusLat
-	eng.at(ack, evOcc, p.retryOcc, int32(-flits), 0)
+	eng.obsAt(ack, evOcc, p.retryOcc, int32(-flits), 0)
 	return start
 }
 
@@ -487,7 +506,7 @@ func (p *cxlPort) notePoison(eng *Engine, t Cycles) {
 		if p.plan.ViralReset > 0 {
 			p.viralUntil = t + Cycles(p.plan.ViralReset)
 		}
-		eng.at(t, evBankInc, p.devBank, int32(pmu.CXLDevViralEntries), 0)
+		eng.obsAt(t, evBankInc, p.devBank, int32(pmu.CXLDevViralEntries), 0)
 	}
 }
 
@@ -498,7 +517,7 @@ func (p *cxlPort) noteRemoval(eng *Engine, t Cycles) {
 		return
 	}
 	p.removalSeen = true
-	eng.at(t, evBankInc, p.m2pBank, int32(pmu.M2PDevRemoved), 0)
+	eng.obsAt(t, evBankInc, p.m2pBank, int32(pmu.M2PDevRemoved), 0)
 }
 
 // fastFail completes an access to an isolated device at the root port: a
@@ -506,10 +525,10 @@ func (p *cxlPort) noteRemoval(eng *Engine, t Cycles) {
 // touching the link or the (dark) device bank.
 func (p *cxlPort) fastFail(eng *Engine, arrival Cycles) Cycles {
 	done := arrival + p.cfg.M2PLat + removedFastFailLat
-	eng.at(arrival, evCXLArrive, p, 0, 0)
-	eng.at(done, evOcc, p.ingress, -1, 0)
-	eng.at(done, evBankInc, p.m2pBank, int32(pmu.M2PFastFails), 0)
-	eng.at(done, evBankInc, p.m2pBank, int32(pmu.M2PErrCompletions), 0)
+	eng.obsAt(arrival, evCXLArrive, p, 0, 0)
+	eng.obsAt(done, evOcc, p.ingress, -1, 0)
+	eng.obsAt(done, evBankInc, p.m2pBank, int32(pmu.M2PFastFails), 0)
+	eng.obsAt(done, evBankInc, p.m2pBank, int32(pmu.M2PErrCompletions), 0)
 	p.noteRemoval(eng, done)
 	return done
 }
@@ -520,7 +539,7 @@ func (p *cxlPort) ctrlDelay(eng *Engine, t Cycles) Cycles {
 	lat := p.cfg.CXLCtrlLat
 	if p.plan.TimeoutAt(uint64(t)) {
 		lat += Cycles(p.plan.Penalty())
-		eng.at(t, evBankInc, p.devBank, int32(pmu.CXLDevTimeouts), 0)
+		eng.obsAt(t, evBankInc, p.devBank, int32(pmu.CXLDevTimeouts), 0)
 	}
 	return lat
 }
@@ -532,7 +551,7 @@ func (p *cxlPort) mediaAcquire(eng *Engine, t Cycles) Cycles {
 	if p.plan.ThrottledAt(uint64(start)) {
 		start = p.media.acquire(start)
 		slot := uint64(p.media.service + 0.5)
-		eng.at(start, evBankAdd, p.devBank, int32(pmu.CXLDevThrottled), slot)
+		eng.obsAt(start, evBankAdd, p.devBank, int32(pmu.CXLDevThrottled), slot)
 	}
 	return start
 }
@@ -545,9 +564,9 @@ func (p *cxlPort) readRemoved(eng *Engine, arrival, txStart, devArrive Cycles) C
 	p.packReq.commit(devArrive) // the packing-buffer entry dies with the device
 	discover := devArrive + Cycles(p.plan.RemovalPenalty())
 	done := discover + p.cfg.M2PLat
-	eng.at(arrival, evCXLArrive, p, 0, 0)
-	eng.at(txStart, evOcc, p.ingress, -1, 0)
-	eng.at(done, evBankInc, p.m2pBank, int32(pmu.M2PErrCompletions), 0)
+	eng.obsAt(arrival, evCXLArrive, p, 0, 0)
+	eng.obsAt(txStart, evOcc, p.ingress, -1, 0)
+	eng.obsAt(done, evBankInc, p.m2pBank, int32(pmu.M2PErrCompletions), 0)
 	p.noteRemoval(eng, discover)
 	return done
 }
@@ -580,12 +599,12 @@ func (p *cxlPort) read(eng *Engine, arrival Cycles, la uint64) Cycles {
 		// Viral containment: every read completes at normal media timing
 		// but returns data flagged poisoned — an error completion, not a
 		// correction pass, because the device no longer trusts its media.
-		eng.at(data, evBankInc, p.devBank, int32(pmu.CXLDevErrCompletions), 0)
+		eng.obsAt(data, evBankInc, p.devBank, int32(pmu.CXLDevErrCompletions), 0)
 	case p.plan.Poisoned(la):
 		// Poisoned media: the device's internal correction pass re-reads
 		// before returning data flagged poisoned.
 		data += p.cfg.CXLMediaLat
-		eng.at(data, evBankInc, p.devBank, int32(pmu.CXLDevPoisonRd), 0)
+		eng.obsAt(data, evBankInc, p.devBank, int32(pmu.CXLDevPoisonRd), 0)
 		p.notePoison(eng, data)
 	}
 	p.devRPQ.commit(data)
@@ -607,12 +626,12 @@ func (p *cxlPort) read(eng *Engine, arrival Cycles, la uint64) Cycles {
 		rec.Span(obs.StageCXLRet, data, done)
 	}
 
-	eng.at(arrival, evCXLArrive, p, 0, 0)
-	eng.at(txStart, evOcc, p.ingress, -1, 0)
-	eng.at(devArrive, evCXLReadDev, p, 0, 0)
-	eng.at(rpqAdmit, evCXLReadRPQ, p, 0, 0)
-	eng.at(data, evCXLReadData, p, 0, 0)
-	eng.at(hostArrive, evBankInc, p.m2pBank, int32(pmu.M2PTxInsertsBL), 0)
+	eng.obsAt(arrival, evCXLArrive, p, 0, 0)
+	eng.obsAt(txStart, evOcc, p.ingress, -1, 0)
+	eng.obsAt(devArrive, evCXLReadDev, p, 0, 0)
+	eng.obsAt(rpqAdmit, evCXLReadRPQ, p, 0, 0)
+	eng.obsAt(data, evCXLReadData, p, 0, 0)
+	eng.obsAt(hostArrive, evBankInc, p.m2pBank, int32(pmu.M2PTxInsertsBL), 0)
 	return done
 }
 
@@ -633,9 +652,9 @@ func (p *cxlPort) write(eng *Engine, arrival Cycles) (admitted, drained Cycles) 
 		p.packData.commit(devArrive)
 		discover := devArrive + Cycles(p.plan.RemovalPenalty())
 		done := discover + p.cfg.M2PLat
-		eng.at(arrival, evCXLArrive, p, 0, 0)
-		eng.at(txStart, evOcc, p.ingress, -1, 0)
-		eng.at(done, evBankInc, p.m2pBank, int32(pmu.M2PErrCompletions), 0)
+		eng.obsAt(arrival, evCXLArrive, p, 0, 0)
+		eng.obsAt(txStart, evOcc, p.ingress, -1, 0)
+		eng.obsAt(done, evBankInc, p.m2pBank, int32(pmu.M2PErrCompletions), 0)
 		p.noteRemoval(eng, discover)
 		return ready, done
 	}
@@ -651,12 +670,12 @@ func (p *cxlPort) write(eng *Engine, arrival Cycles) (admitted, drained Cycles) 
 	rxStart := p.linkXfer(eng, &p.linkRx, cxl.DirS2M, mediaStart, cxl.BytesPerMessage(cxl.Cmp)) // NDR
 	ackArrive := rxStart + p.cfg.FlexBusLat
 
-	eng.at(arrival, evCXLArrive, p, 0, 0)
-	eng.at(txStart, evOcc, p.ingress, -1, 0)
-	eng.at(devArrive, evCXLWriteDev, p, 0, 0)
-	eng.at(wpqAdmit, evCXLWriteWPQ, p, 0, 0)
-	eng.at(done, evCXLWriteDone, p, 0, 0)
-	eng.at(ackArrive, evBankInc, p.m2pBank, int32(pmu.M2PTxInsertsAK), 0)
+	eng.obsAt(arrival, evCXLArrive, p, 0, 0)
+	eng.obsAt(txStart, evOcc, p.ingress, -1, 0)
+	eng.obsAt(devArrive, evCXLWriteDev, p, 0, 0)
+	eng.obsAt(wpqAdmit, evCXLWriteWPQ, p, 0, 0)
+	eng.obsAt(done, evCXLWriteDone, p, 0, 0)
+	eng.obsAt(ackArrive, evBankInc, p.m2pBank, int32(pmu.M2PTxInsertsAK), 0)
 	return ready, done
 }
 

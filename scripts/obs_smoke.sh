@@ -30,9 +30,18 @@ code=$(curl -s -o /tmp/obs_smoke_metrics -w '%{http_code}' "$url/metrics")
 [ "$code" = 200 ] || fail "/metrics returned $code"
 grep -q '^pf_' /tmp/obs_smoke_metrics || fail "/metrics has no pf_ series (empty registry)"
 
+# The run-ahead fast path must be live: inline steps exported and non-zero
+# (a zero here means every op went through the event engine).
+inline=$(sed -n 's/^pf_engine_inline_steps \([0-9][0-9]*\)$/\1/p' /tmp/obs_smoke_metrics)
+[ -n "$inline" ] || fail "/metrics lacks pf_engine_inline_steps"
+[ "$inline" -gt 0 ] || fail "pf_engine_inline_steps is 0 (run-ahead fast path inactive)"
+grep -q '^pf_engine_dispatched_events ' /tmp/obs_smoke_metrics || \
+    fail "/metrics lacks pf_engine_dispatched_events"
+
 code=$(curl -s -o /tmp/obs_smoke_status -w '%{http_code}' "$url/status")
 [ "$code" = 200 ] || fail "/status returned $code"
 grep -q '"epochs"' /tmp/obs_smoke_status || fail "/status JSON lacks epoch fields"
+grep -q '"inline_steps"' /tmp/obs_smoke_status || fail "/status JSON lacks engine section"
 
 # Graceful shutdown: SIGTERM drains and exits 0 rather than being killed.
 # Wait for the run to finish first — the signal handler is installed once
