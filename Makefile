@@ -18,12 +18,22 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Benchmark numbers are lane-config experiments: GOMAXPROCS decides how
+# many worker lanes the window scheduler gets under the auto policy, so
+# both bench targets pin it to one explicit, overridable value
+# (`make BENCH_GOMAXPROCS=8 bench-json`).  benchjson parses the run's
+# GOMAXPROCS from the benchmark-name suffixes and records it plus the
+# declared lane policy in the snapshot; benchregress refuses to gate a
+# run against a baseline with a different recorded config.
+BENCH_GOMAXPROCS ?= $(shell nproc)
+BENCH_LANES ?= auto
+
 # Snapshot the simulator/profiler micro-benchmarks (ns/op, allocs/op,
 # derived sim-ops/sec) into BENCH_<date>.json so the perf trajectory is
 # tracked across PRs.
 bench-json:
-	$(GO) test -run '^$$' -bench 'SimLocalStream|SimCXLStream|SimMultiCoreStream|SimThinkHeavyStream|CaptureSnapshot|PFBuilder|PFEstimator|PFAnalyzer|AnalyzeQueues|EpochLoop' \
-		-benchmem -benchtime 200000x . | $(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y%m%d).json
+	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) test -run '^$$' -bench 'SimLocalStream|SimCXLStream|SimMultiCoreStream|SimThinkHeavyStream|CaptureSnapshot|PFBuilder|PFEstimator|PFAnalyzer|AnalyzeQueues|EpochLoop' \
+		-benchmem -benchtime 200000x . | $(GO) run ./cmd/benchjson -lanes $(BENCH_LANES) -o BENCH_$$(date +%Y%m%d).json
 	@echo wrote BENCH_$$(date +%Y%m%d).json
 
 # Gate the profiler hot paths against the committed baseline: fail when
@@ -39,12 +49,18 @@ bench-json:
 # number (~4-5% on the CXL stream), and the multi-core pair adds scheduler
 # noise on top.  An accidentally-enabled tracer costs ~10x, far outside
 # the bound either way.
+# The LanesOff pair additionally bounds the windowed scheduler against the
+# dispatch-only engine in the same run: the window-parallel default may not
+# run more than 8% slower than forcing every core step through the event
+# engine, on any GOMAXPROCS (at 1 the windowed path degenerates to the
+# run-ahead sweep, which already beats dispatch).
 bench-regress:
-	$(GO) test -run '^$$' -bench 'SimCXLStream|SimMultiCoreStream|CaptureSnapshot|EpochLoop' -benchmem -benchtime 200000x -count 3 . \
+	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) test -run '^$$' -bench 'SimCXLStream|SimMultiCoreStream|CaptureSnapshot|EpochLoop' -benchmem -benchtime 200000x -count 3 . \
 		| $(GO) run ./cmd/benchregress \
+		-lanes $(BENCH_LANES) \
 		-watch 'BenchmarkSimCXLStream,BenchmarkSimMultiCoreStream,BenchmarkCaptureSnapshot,BenchmarkEpochLoop' \
 		-pair-tolerance 0.08 \
-		-pairs 'BenchmarkSimCXLStreamTracerOff=BenchmarkSimCXLStream,BenchmarkSimMultiCoreStreamTracerOff=BenchmarkSimMultiCoreStream,BenchmarkEpochLoopTracerOff=BenchmarkEpochLoop'
+		-pairs 'BenchmarkSimCXLStreamTracerOff=BenchmarkSimCXLStream,BenchmarkSimMultiCoreStreamTracerOff=BenchmarkSimMultiCoreStream,BenchmarkEpochLoopTracerOff=BenchmarkEpochLoop,BenchmarkSimMultiCoreStream=BenchmarkSimMultiCoreStreamLanesOff'
 
 # End-to-end check of `pathfinder -serve`: boots the introspection server
 # on a random port and requires live /metrics and /status content.

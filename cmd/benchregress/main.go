@@ -28,6 +28,8 @@ func main() {
 		"comma-separated Variant=Base same-run pairs to gate (e.g. BenchmarkSimCXLStreamTracerOff=BenchmarkSimCXLStream)")
 	pairTolerance := flag.Float64("pair-tolerance", 0.02,
 		"allowed ns/op growth of a pair's variant over its base, same run")
+	lanes := flag.String("lanes", "auto",
+		"lane config the current run used (must match the baseline's recorded lanes)")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -54,6 +56,13 @@ func main() {
 	base, err := benchparse.ReadDoc(basePath)
 	if err != nil {
 		fatal(err)
+	}
+	// A baseline measured under a different GOMAXPROCS or -lanes policy ran
+	// the window scheduler with a different worker-lane count; its ns/op is
+	// a different experiment, and "comparing" it would gate on noise.
+	cur.Lanes = *lanes
+	if err := benchparse.LaneMismatch(base, cur); err != nil {
+		fatal(fmt.Errorf("refusing to compare against %s: %w", basePath, err))
 	}
 
 	names := strings.Split(*watch, ",")

@@ -29,6 +29,8 @@ func main() {
 	quick := flag.Bool("quick", false, "shorter runs (coarser numbers)")
 	parallel := flag.Int("parallel", runtime.NumCPU(),
 		"worker goroutines for independent machine runs (1 = serial)")
+	lanes := flag.Int("lanes", 0,
+		"window lanes per machine: 0 auto-budget (GOMAXPROCS/-parallel), 1 sequential sweep, n>1 capped parallel lanes, -1 engine dispatch only; results are lane-invariant")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file")
 	traceFile := flag.String("trace", "", "write runtime execution trace to file")
@@ -126,6 +128,7 @@ func main() {
 	}()
 
 	experiments.SetParallelism(*parallel)
+	experiments.SetLanes(*lanes)
 
 	cfg := sim.SPR()
 	if *machine == "emr" {

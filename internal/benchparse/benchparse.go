@@ -25,12 +25,19 @@ type Benchmark struct {
 }
 
 // Doc is one benchmark snapshot (the BENCH_<date>.json layout).
+//
+// GoMaxProcs and Lanes pin the lane configuration the run measured:
+// GOMAXPROCS decides how many worker lanes the window scheduler gets under
+// the "auto" policy, so ns/op from different lane configs are different
+// experiments and must never be compared (see LaneMismatch).
 type Doc struct {
 	Date       string      `json:"date"`
 	GoOS       string      `json:"goos,omitempty"`
 	GoArch     string      `json:"goarch,omitempty"`
 	Pkg        string      `json:"pkg,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
+	GoMaxProcs int         `json:"gomaxprocs,omitempty"`
+	Lanes      string      `json:"lanes,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
@@ -63,7 +70,9 @@ func (d *Doc) Best(name string) *Benchmark {
 
 // Parse reads `go test -bench` text output into a Doc.  Header lines
 // (goos/goarch/pkg/cpu) fill the Doc fields; Benchmark result lines are
-// parsed with ParseLine.
+// parsed with ParseLine.  The -N name suffix go test appends (the run's
+// GOMAXPROCS) is recorded into doc.GoMaxProcs; go test omits the suffix
+// entirely when GOMAXPROCS is 1, so any parsed result without one means 1.
 func Parse(in io.Reader) (*Doc, error) {
 	doc := &Doc{}
 	sc := bufio.NewScanner(in)
@@ -82,10 +91,26 @@ func Parse(in io.Reader) (*Doc, error) {
 		case strings.HasPrefix(line, "Benchmark"):
 			if b, ok := ParseLine(line); ok {
 				doc.Benchmarks = append(doc.Benchmarks, b)
+				if p := lineProcs(strings.Fields(line)[0]); p > doc.GoMaxProcs {
+					doc.GoMaxProcs = p
+				}
 			}
 		}
 	}
+	if len(doc.Benchmarks) > 0 && doc.GoMaxProcs == 0 {
+		doc.GoMaxProcs = 1
+	}
 	return doc, sc.Err()
+}
+
+// lineProcs extracts the -GOMAXPROCS suffix from a benchmark name, or 0.
+func lineProcs(name string) int {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 0
 }
 
 // ParseLine parses one result line:
@@ -150,6 +175,23 @@ func LatestBaseline(dir string) (string, error) {
 	}
 	sort.Strings(matches)
 	return matches[len(matches)-1], nil
+}
+
+// LaneMismatch reports why base and cur must not be compared: a different
+// GOMAXPROCS or -lanes configuration changes how many worker lanes the
+// window scheduler runs, which moves ns/op for reasons that are not
+// regressions.  A side that predates the fields (zero/empty) is unknown
+// and allowed through — old baselines age out, they don't brick the gate.
+func LaneMismatch(base, cur *Doc) error {
+	if base.GoMaxProcs != 0 && cur.GoMaxProcs != 0 && base.GoMaxProcs != cur.GoMaxProcs {
+		return fmt.Errorf("benchparse: GOMAXPROCS mismatch: baseline ran with %d, current with %d — rerun with GOMAXPROCS=%d or record a new baseline",
+			base.GoMaxProcs, cur.GoMaxProcs, base.GoMaxProcs)
+	}
+	if base.Lanes != "" && cur.Lanes != "" && base.Lanes != cur.Lanes {
+		return fmt.Errorf("benchparse: lane config mismatch: baseline measured lanes=%s, current lanes=%s — rerun with the baseline's lane config or record a new baseline",
+			base.Lanes, cur.Lanes)
+	}
+	return nil
 }
 
 // Regression is one watched benchmark whose ns/op grew beyond tolerance.

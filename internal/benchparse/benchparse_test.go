@@ -48,6 +48,55 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestParseCapturesGoMaxProcs(t *testing.T) {
+	doc := parseSample(t)
+	if doc.GoMaxProcs != 8 {
+		t.Fatalf("GoMaxProcs = %d, want 8 (from the -8 name suffix)", doc.GoMaxProcs)
+	}
+
+	// go test omits the suffix entirely when GOMAXPROCS is 1.
+	doc, err := Parse(strings.NewReader("BenchmarkSimCXLStream   300000   992.9 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GoMaxProcs != 1 {
+		t.Fatalf("suffixless GoMaxProcs = %d, want 1", doc.GoMaxProcs)
+	}
+
+	// No benchmark lines at all: the run's GOMAXPROCS is unknown, not 1.
+	doc, err = Parse(strings.NewReader("goos: linux\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GoMaxProcs != 0 {
+		t.Fatalf("empty-run GoMaxProcs = %d, want 0", doc.GoMaxProcs)
+	}
+}
+
+func TestLaneMismatch(t *testing.T) {
+	base := &Doc{GoMaxProcs: 8, Lanes: "auto"}
+	cur := &Doc{GoMaxProcs: 8, Lanes: "auto"}
+	if err := LaneMismatch(base, cur); err != nil {
+		t.Fatalf("matching configs refused: %v", err)
+	}
+
+	if err := LaneMismatch(base, &Doc{GoMaxProcs: 1, Lanes: "auto"}); err == nil {
+		t.Fatal("GOMAXPROCS 8 vs 1 accepted")
+	}
+	if err := LaneMismatch(base, &Doc{GoMaxProcs: 8, Lanes: "2"}); err == nil {
+		t.Fatal("lanes auto vs 2 accepted")
+	}
+
+	// Sides that predate the fields are unknown, not mismatched: old
+	// baselines must age out gracefully rather than brick the gate.
+	if err := LaneMismatch(&Doc{}, cur); err != nil {
+		t.Fatalf("legacy baseline refused: %v", err)
+	}
+	if err := LaneMismatch(base, &Doc{}); err != nil {
+		t.Fatalf("unknown current refused: %v", err)
+	}
+}
+
 func TestBestCollapsesRepetitions(t *testing.T) {
 	doc := parseSample(t)
 	noisy, _ := ParseLine("BenchmarkSimCXLStream-8   200000   1250.0 ns/op   53 B/op   1 allocs/op")

@@ -111,23 +111,34 @@ func chaosSpace() (*mem.AddressSpace, mem.Region, mem.Region, error) {
 	return as, local, cxlRegion, nil
 }
 
-// workloadNames is the workload matrix cases cycle through.
-var workloadNames = [...]string{"stream", "chase", "zipf"}
+// workloadNames is the workload matrix cases cycle through.  The
+// "multicore" row drives both cores under parallel window lanes (DESIGN.md
+// §12), so fault plans soak the lane scheduler's bail-out and barrier
+// paths, not just the single-core sweep.
+var workloadNames = [...]string{"stream", "chase", "zipf", "multicore"}
 
 // workloadFor derives the case's workload from its seed.
 func workloadFor(seed uint64) string {
 	return workloadNames[mix64(seed^0x3c6ef372fe94f82a)%uint64(len(workloadNames))]
 }
 
-// buildWorkload constructs the named generator over the CXL region.
-func buildWorkload(name string, r workload.Region, seed uint64) (workload.Generator, error) {
+// buildWorkloads constructs the named case's per-core generators.  Single
+// workload names drive core 0 over the CXL region; the "multicore" row
+// returns one generator per core — a CXL stream racing a mostly-local
+// Zipf — which Run schedules on parallel window lanes.
+func buildWorkloads(name string, local, cxlr workload.Region, seed uint64) ([]workload.Generator, error) {
 	switch name {
 	case "stream":
-		return workload.NewStream(r, 0, 0.2, seed), nil
+		return []workload.Generator{workload.NewStream(cxlr, 0, 0.2, seed)}, nil
 	case "chase":
-		return workload.NewPointerChase(r, 0, seed), nil
+		return []workload.Generator{workload.NewPointerChase(cxlr, 0, seed)}, nil
 	case "zipf":
-		return workload.NewZipf(r, 0.9, 0.8, 4, 0, seed), nil
+		return []workload.Generator{workload.NewZipf(cxlr, 0.9, 0.8, 4, 0, seed)}, nil
+	case "multicore":
+		return []workload.Generator{
+			workload.NewStream(cxlr, 1, 0.2, seed),
+			workload.NewZipf(local, 0.9, 0.3, 4, 1, seed+1),
+		}, nil
 	}
 	return nil, fmt.Errorf("chaos: unknown workload %q", name)
 }
@@ -237,17 +248,26 @@ func Run(c Case, extra []Invariant, charge func(uint64) error) (res *Result, err
 		}
 	}()
 
-	as, _, cxlRegion, err := chaosSpace()
+	as, local, cxlRegion, err := chaosSpace()
 	if err != nil {
 		return res, err
 	}
-	gen, err := buildWorkload(c.Workload, workload.Region{Base: cxlRegion.Base, Size: cxlRegion.Size}, c.Seed)
+	gens, err := buildWorkloads(c.Workload,
+		workload.Region{Base: local.Base, Size: local.Size},
+		workload.Region{Base: cxlRegion.Base, Size: cxlRegion.Size}, c.Seed)
 	if err != nil {
 		return res, err
 	}
 	cfg := chaosConfig(c.Plan)
 	m := sim.New(cfg, as)
-	m.Attach(0, gen)
+	if len(gens) > 1 {
+		// Multi-core rows run on parallel lanes regardless of GOMAXPROCS,
+		// so every soak exercises the window scheduler under faults.
+		m.SetLanes(len(gens))
+	}
+	for i, g := range gens {
+		m.Attach(i, g)
+	}
 
 	chunk := c.Cycles / runChunks
 	if chunk == 0 {

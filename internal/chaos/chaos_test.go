@@ -181,3 +181,41 @@ func TestParseReplaySpec(t *testing.T) {
 		t.Fatalf("healthy spec: seed=%d plan=%q err=%v", seed, plan, err)
 	}
 }
+
+// TestMulticoreRowReplayable: the multicore matrix row — both cores on
+// parallel window lanes — runs under a seeded fault plan, and replaying
+// the same (seed, plan) pair reproduces a byte-identical report.
+func TestMulticoreRowReplayable(t *testing.T) {
+	var seed uint64
+	for s := uint64(1); ; s++ {
+		if workloadFor(s) == "multicore" {
+			seed = s
+			break
+		}
+	}
+	c, err := GenCase(seed, testCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Workload != "multicore" {
+		t.Fatalf("seed %d workload = %q", seed, c.Workload)
+	}
+	res, err := Run(c, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("multicore row violation [%s]: %s", v.Invariant, v.Detail)
+	}
+	var out1, out2 bytes.Buffer
+	if _, err := Replay(&out1, seed, c.Plan.String(), c.Cycles, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(&out2, seed, c.Plan.String(), c.Cycles, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Fatalf("multicore replay output not byte-identical:\n%s\n----\n%s",
+			out1.String(), out2.String())
+	}
+}

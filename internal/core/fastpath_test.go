@@ -95,35 +95,36 @@ func diffDigests(t *testing.T, a, b Digest) {
 	}
 }
 
-func TestFastpathGoldenSingleCoreLocal(t *testing.T) {
-	fastpathGolden(t, 3, 1_000_000,
+// goldenScenarios is the shared scenario table: every engine-equivalence
+// suite — run-ahead fastpath (this file) and the windowed sweep/parallel
+// lane modes (window_test.go) — runs each entry against the dispatch-only
+// baseline and requires byte-identical digests.  The tracer scenario stays
+// a standalone test in both files because it captures tracer statistics.
+var goldenScenarios = []struct {
+	name   string
+	epochs int
+	cyc    sim.Cycles
+	setup  fastpathScenario
+}{
+	{"SingleCoreLocal", 3, 1_000_000,
 		func(t *testing.T, m *sim.Machine, local, _ workload.Region) func() {
 			m.Attach(0, workload.NewStream(local, 2, 0.2, 1))
 			return nil
-		})
-}
-
-func TestFastpathGoldenSingleCoreCXL(t *testing.T) {
-	fastpathGolden(t, 3, 1_000_000,
+		}},
+	{"SingleCoreCXL", 3, 1_000_000,
 		func(t *testing.T, m *sim.Machine, _, cxlReg workload.Region) func() {
 			m.Attach(0, workload.NewStream(cxlReg, 2, 0.2, 2))
 			return nil
-		})
-}
-
-func TestFastpathGoldenMultiCoreMixed(t *testing.T) {
-	fastpathGolden(t, 3, 1_500_000,
+		}},
+	{"MultiCoreMixed", 3, 1_500_000,
 		func(t *testing.T, m *sim.Machine, local, cxlReg workload.Region) func() {
 			m.Attach(0, workload.NewStream(local, 2, 0.2, 1))
 			m.Attach(1, workload.NewStream(cxlReg, 2, 0.3, 2))
 			m.Attach(2, workload.NewPointerChase(cxlReg, 2, 3))
 			m.Attach(3, workload.NewStream(local, 0, 0, 4))
 			return nil
-		})
-}
-
-func TestFastpathGoldenFaultPlan(t *testing.T) {
-	fastpathGolden(t, 3, 1_500_000,
+		}},
+	{"FaultPlan", 3, 1_500_000,
 		func(t *testing.T, m *sim.Machine, local, cxlReg workload.Region) func() {
 			m.SetFaultPlan(0, &cxl.FaultPlan{
 				Seed:    7,
@@ -140,17 +141,51 @@ func TestFastpathGoldenFaultPlan(t *testing.T) {
 			m.Attach(0, workload.NewStream(cxlReg, 2, 0.2, 3))
 			m.Attach(2, workload.NewStream(local, 2, 0.2, 4))
 			return nil
-		})
-}
-
-func TestFastpathGoldenSurpriseRemoval(t *testing.T) {
-	fastpathGolden(t, 3, 800_000,
+		}},
+	{"SurpriseRemoval", 3, 800_000,
 		func(t *testing.T, m *sim.Machine, local, cxlReg workload.Region) func() {
 			m.SetFaultPlan(0, &cxl.FaultPlan{Seed: 1, RemoveAt: 500_000})
 			m.Attach(0, workload.NewStream(cxlReg, 0, 0, 1))
 			m.Attach(1, workload.NewStream(local, 2, 0.2, 2))
 			return nil
-		})
+		}},
+}
+
+// goldenScenario returns the named entry of goldenScenarios.
+func goldenScenario(t *testing.T, name string) (int, sim.Cycles, fastpathScenario) {
+	t.Helper()
+	for _, s := range goldenScenarios {
+		if s.name == name {
+			return s.epochs, s.cyc, s.setup
+		}
+	}
+	t.Fatalf("unknown golden scenario %q", name)
+	return 0, 0, nil
+}
+
+func TestFastpathGoldenSingleCoreLocal(t *testing.T) {
+	e, c, s := goldenScenario(t, "SingleCoreLocal")
+	fastpathGolden(t, e, c, s)
+}
+
+func TestFastpathGoldenSingleCoreCXL(t *testing.T) {
+	e, c, s := goldenScenario(t, "SingleCoreCXL")
+	fastpathGolden(t, e, c, s)
+}
+
+func TestFastpathGoldenMultiCoreMixed(t *testing.T) {
+	e, c, s := goldenScenario(t, "MultiCoreMixed")
+	fastpathGolden(t, e, c, s)
+}
+
+func TestFastpathGoldenFaultPlan(t *testing.T) {
+	e, c, s := goldenScenario(t, "FaultPlan")
+	fastpathGolden(t, e, c, s)
+}
+
+func TestFastpathGoldenSurpriseRemoval(t *testing.T) {
+	e, c, s := goldenScenario(t, "SurpriseRemoval")
+	fastpathGolden(t, e, c, s)
 }
 
 func TestFastpathGoldenTracerAttached(t *testing.T) {

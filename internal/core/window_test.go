@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"pathfinder/internal/obs"
+	"pathfinder/internal/sim"
+	"pathfinder/internal/workload"
+)
+
+// Windowed-scheduler equivalence: the window-parallel execution mode (the
+// sequential per-core sweep at one lane, parallel worker lanes above it)
+// must be invisible to every observable, exactly like the run-ahead fast
+// path it extends.  Every shared golden scenario runs under each lane
+// configuration against the dispatch-only engine and the captured snapshot
+// digests must match byte for byte.
+
+// runWindowMode executes a golden scenario with the given lane setting:
+// -1 forces every core step through the event engine with run-ahead off
+// (the baseline), 1 is the windowed sweep, >=2 enables parallel lanes, and
+// 0 is auto.
+func runWindowMode(t *testing.T, lanes, epochs int, cyc sim.Cycles, setup fastpathScenario) fastpathRun {
+	t.Helper()
+	m, localReg, cxlReg := testRig(t)
+	if lanes < 0 {
+		m.SetRunAhead(false)
+	} else {
+		m.SetLanes(lanes)
+	}
+	cleanup := setup(t, m, region(localReg), region(cxlReg))
+	cap := NewCapturer(m)
+	var out fastpathRun
+	for e := 0; e < epochs; e++ {
+		m.Run(cyc)
+		out.digests = append(out.digests, EncodeDigest(cap.Capture()))
+	}
+	if cleanup != nil {
+		cleanup()
+	}
+	out.now = m.Now()
+	out.inline = m.InlineSteps()
+	return out
+}
+
+// windowLaneConfigs are the lane settings every scenario is verified
+// under: the sequential sweep, two parallel lanes, one lane per core, and
+// auto (GOMAXPROCS-resolved).
+var windowLaneConfigs = []int{1, 2, 4, 0}
+
+func TestWindowGoldenScenarios(t *testing.T) {
+	for _, sc := range goldenScenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			base := runWindowMode(t, -1, sc.epochs, sc.cyc, sc.setup)
+			if base.inline != 0 {
+				t.Fatalf("baseline run reported %d inline steps", base.inline)
+			}
+			for _, lanes := range windowLaneConfigs {
+				t.Run(fmt.Sprintf("lanes=%d", lanes), func(t *testing.T) {
+					got := runWindowMode(t, lanes, sc.epochs, sc.cyc, sc.setup)
+					if got.now != base.now {
+						t.Fatalf("final clock differs: windowed=%d baseline=%d", got.now, base.now)
+					}
+					if got.inline == 0 {
+						t.Fatal("windowed run executed zero inline steps")
+					}
+					for e := range got.digests {
+						if !bytes.Equal(got.digests[e], base.digests[e]) {
+							t.Errorf("epoch %d digest differs from dispatch-only baseline", e)
+							diffDigests(t, got.digests[e], base.digests[e])
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestWindowGoldenTracerEnabled runs the sampling-tracer scenario under
+// parallel lanes.  An enabled tracer mutates per-op sampling state, so the
+// scheduler must fall back to the exact sequential sweep — and the tracer
+// must observe the identical request population.
+func TestWindowGoldenTracerEnabled(t *testing.T) {
+	type stats struct{ committed, dropped uint64 }
+	run := func(lanes int) (fastpathRun, stats) {
+		var st stats
+		out := runWindowMode(t, lanes, 2, 1_000_000,
+			func(t *testing.T, m *sim.Machine, local, cxlReg workload.Region) func() {
+				tr := obs.NewTracer(1<<14, 4)
+				tr.Enable()
+				m.SetTracer(tr)
+				m.Attach(0, workload.NewStream(cxlReg, 2, 0.2, 5))
+				m.Attach(1, workload.NewStream(local, 2, 0.2, 6))
+				return func() { _, st.committed, st.dropped = tr.Stats() }
+			})
+		return out, st
+	}
+	base, baseStats := run(-1)
+	for _, lanes := range windowLaneConfigs {
+		got, gotStats := run(lanes)
+		if got.now != base.now {
+			t.Fatalf("lanes=%d: final clock differs: %d vs %d", lanes, got.now, base.now)
+		}
+		if gotStats != baseStats {
+			t.Fatalf("lanes=%d: tracer stats differ: %+v vs %+v", lanes, gotStats, baseStats)
+		}
+		for e := range got.digests {
+			if !bytes.Equal(got.digests[e], base.digests[e]) {
+				t.Errorf("lanes=%d: epoch %d digest differs", lanes, e)
+				diffDigests(t, got.digests[e], base.digests[e])
+			}
+		}
+	}
+	if baseStats.committed == 0 {
+		t.Fatal("tracer committed no records")
+	}
+}
+
+// TestWindowStepEquivalence drives the same two-core workload through one
+// long Run and through many short slices under parallel lanes: slicing
+// re-clips the window horizon constantly, so this pins the H-boundary
+// handling (a window must never commit work beyond the Run bound).
+func TestWindowStepEquivalence(t *testing.T) {
+	run := func(lanes, slices int, each sim.Cycles) Digest {
+		m, localReg, cxlReg := testRig(t)
+		m.SetLanes(lanes)
+		m.Attach(0, workload.NewStream(region(localReg), 2, 0.2, 9))
+		m.Attach(1, workload.NewStream(region(cxlReg), 2, 0.1, 10))
+		cap := NewCapturer(m)
+		for i := 0; i < slices; i++ {
+			m.Run(each)
+		}
+		return EncodeDigest(cap.Capture())
+	}
+	whole := run(2, 1, 1_200_000)
+	sliced := run(2, 1200, 1_000)
+	if !bytes.Equal(whole, sliced) {
+		t.Fatal("digest differs between one Run and 1200 sliced Runs under lanes=2")
+	}
+	sweep := run(1, 300, 4_000)
+	if !bytes.Equal(whole, sweep) {
+		t.Fatal("digest differs between lanes=2 and the sweep under sliced Runs")
+	}
+}
+
+// TestWindowStatsPopulated checks the scheduler's introspection counters:
+// a multi-core run under parallel lanes must open windows and merge at
+// barriers, and the sweep must not.
+func TestWindowStatsPopulated(t *testing.T) {
+	run := func(lanes int) sim.WindowStats {
+		m, localReg, cxlReg := testRig(t)
+		m.SetLanes(lanes)
+		m.Attach(0, workload.NewStream(region(localReg), 2, 0.2, 1))
+		m.Attach(1, workload.NewStream(region(cxlReg), 2, 0.3, 2))
+		m.Attach(2, workload.NewStream(region(localReg), 2, 0, 3))
+		m.Attach(3, workload.NewStream(region(cxlReg), 2, 0.1, 4))
+		m.Run(500_000)
+		return m.WindowStats()
+	}
+	par := run(2)
+	if par.Windows == 0 {
+		t.Fatal("lanes=2 multi-core run opened no parallel windows")
+	}
+	if par.BarrierMerges != par.Windows {
+		t.Fatalf("barrier merges (%d) != windows (%d)", par.BarrierMerges, par.Windows)
+	}
+	var cycles uint64
+	for _, c := range par.WindowCycles {
+		cycles += c
+	}
+	if cycles != par.Windows {
+		t.Fatalf("window-cycle histogram total %d != windows %d", cycles, par.Windows)
+	}
+	sweep := run(1)
+	if sweep.Windows != 0 {
+		t.Fatalf("sweep run reported %d parallel windows", sweep.Windows)
+	}
+}

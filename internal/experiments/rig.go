@@ -52,8 +52,10 @@ func NewRig(opt RigOptions) *Rig {
 		{ID: 1, Kind: mem.RemoteDRAM, Socket: 1, Capacity: 64 << 30},
 		{ID: 2, Kind: mem.CXLDRAM, Device: 0, Capacity: 64 << 30},
 	})
+	m := sim.New(cfg, as)
+	m.SetLanes(LaneBudget())
 	return &Rig{
-		Machine:    sim.New(cfg, as),
+		Machine:    m,
 		Space:      as,
 		Consts:     core.ConstsFor(cfg),
 		LocalNode:  0,

@@ -108,6 +108,19 @@ const (
 	wheelWords = wheelSlots / 64
 )
 
+// The observer lane gets a much wider wheel than the event engine.  Event
+// delays are bounded by device latencies, but observer completion entries
+// ride the *backlogged* service times of saturated CXL/IMC queues, which
+// run tens of thousands of cycles ahead of the clock under backpressure.
+// Keeping those on the O(1) wheel path instead of the O(log n) far heap is
+// worth the extra slot headers (~1.5 MiB per engine).
+const (
+	obsWheelBits  = 16
+	obsWheelSlots = 1 << obsWheelBits
+	obsWheelMask  = obsWheelSlots - 1
+	obsWheelWords = obsWheelSlots / 64
+)
+
 // Engine is the discrete-event core: a timing wheel for near events and a
 // flat binary min-heap (ordered by when, then seq) for far ones.
 type Engine struct {
@@ -132,6 +145,7 @@ type Engine struct {
 	// already-dispatched prefix entries from live ones mid-dispatch.
 	horizon       Cycles
 	runAhead      bool
+	laneGuard     bool // set while parallel lanes run; engine access panics
 	drainSlot     int
 	drainConsumed int
 
@@ -151,7 +165,7 @@ type Engine struct {
 	// the drain cursor: every entry with when <= obsLast has been applied.
 	//
 	// Because the lane is drained whenever the clock advances, every
-	// pending wheel entry's when lies in (obsLast, obsLast+wheelSlots):
+	// pending wheel entry's when lies in (obsLast, obsLast+obsWheelSlots):
 	// one wheel turn.  A slot therefore holds entries of exactly one
 	// cycle (appended in schedule order), and walking occupied slots
 	// forward from the cursor visits entries in global cycle order — no
@@ -161,7 +175,7 @@ type Engine struct {
 	// only grows as the clock advances), so draining the far heap up to
 	// each slot's cycle before the slot preserves schedule order exactly.
 	obsWheel [][]obsEvent
-	obsOcc   [wheelWords]uint64
+	obsOcc   [obsWheelWords]uint64
 	obsLen   int // wheel-resident entries
 	obsFar   []obsFarEvent
 	obsSeq   uint64
@@ -170,12 +184,22 @@ type Engine struct {
 
 // NewEngine returns an engine at cycle zero.
 func NewEngine() *Engine {
-	return &Engine{
+	e := &Engine{
 		wheel:     make([][]event, wheelSlots),
-		obsWheel:  make([][]obsEvent, wheelSlots),
+		obsWheel:  make([][]obsEvent, obsWheelSlots),
 		runAhead:  true,
 		drainSlot: -1,
 	}
+	// Seed every observer slot with capacity 2 carved from one flat arena.
+	// Lazy growth would spread ~4 allocations per touched slot over the
+	// first wheel turn — construction-time cost leaking into measured
+	// steady state; only slots that ever exceed two same-cycle entries
+	// fall back to the ordinary append-grow path.
+	arena := make([]obsEvent, 2*obsWheelSlots)
+	for i := range e.obsWheel {
+		e.obsWheel[i] = arena[2*i : 2*i : 2*i+2]
+	}
+	return e
 }
 
 // Now returns the current simulated cycle.
@@ -233,8 +257,8 @@ func (e *Engine) obsAt(when Cycles, kind evKind, target any, aux int32, arg uint
 		e.applyObs(&ev)
 		return
 	}
-	if when-e.now < wheelSlots {
-		slot := int(when) & wheelMask
+	if when-e.now < obsWheelSlots {
+		slot := int(when) & obsWheelMask
 		e.obsWheel[slot] = append(e.obsWheel[slot],
 			obsEvent{target: target, when: when, arg: arg, aux: aux, kind: kind})
 		e.obsOcc[slot>>6] |= 1 << uint(slot&63)
@@ -265,13 +289,13 @@ func (e *Engine) drainObs(ts Cycles) {
 		e.obsLast = ts
 		return
 	}
-	// Every pending wheel when is in (obsLast, obsLast+wheelSlots); cap
+	// Every pending wheel when is in (obsLast, obsLast+obsWheelSlots); cap
 	// the scan at one full turn — beyond it there is nothing to find.
 	endC := ts
-	if m := e.obsLast + wheelSlots - 1; endC > m {
+	if m := e.obsLast + obsWheelSlots - 1; endC > m {
 		endC = m
 	}
-	start := int(e.obsLast+1) & wheelMask
+	start := int(e.obsLast+1) & obsWheelMask
 	n := int(endC - e.obsLast) // slots in the window
 	wi := start >> 6
 	first := start & 63
@@ -301,7 +325,7 @@ func (e *Engine) drainObs(ts Cycles) {
 		n -= span
 		first = 0
 		wi++
-		if wi == wheelWords {
+		if wi == obsWheelWords {
 			wi = 0
 		}
 	}
@@ -368,6 +392,12 @@ func (e *Engine) obsFarPop() obsFarEvent {
 }
 
 func (e *Engine) checkPast(when Cycles) {
+	if e.laneGuard {
+		// Lanes execute only core-private work; anything that reaches the
+		// engine from inside an open parallel window is an op the window
+		// classifier wrongly treated as private.
+		panic("sim: engine touched from a parallel lane (op misclassified as core-private)")
+	}
 	if when < e.now {
 		panic(fmt.Sprintf(
 			"sim: scheduling into the past: when=%d now=%d (%d cycles behind, %d events pending)",
@@ -440,11 +470,13 @@ func (e *Engine) heapPop() event {
 	return ev
 }
 
-// wheelNextWhen returns the earliest wheel-resident cycle, scanning the
+// wheelNext returns the earliest wheel-resident event, scanning the
 // occupancy bitmap forward from now (wrapping once around the horizon).
-func (e *Engine) wheelNextWhen() (Cycles, bool) {
+// Bucket entries are when-nondecreasing and same-cycle entries append in
+// seq order, so the head of the first occupied bucket is the wheel minimum.
+func (e *Engine) wheelNext() (*event, bool) {
 	if e.wheelLen == 0 {
-		return 0, false
+		return nil, false
 	}
 	start := int(e.now) & wheelMask
 	wi := start >> 6
@@ -452,13 +484,21 @@ func (e *Engine) wheelNextWhen() (Cycles, bool) {
 	for i := 0; i <= wheelWords; i++ {
 		if w := e.occupied[wi] & mask; w != 0 {
 			slot := wi<<6 + bits.TrailingZeros64(w)
-			return e.wheel[slot][0].when, true
+			return &e.wheel[slot][0], true
 		}
 		mask = ^uint64(0)
 		wi++
 		if wi == wheelWords {
 			wi = 0
 		}
+	}
+	return nil, false
+}
+
+// wheelNextWhen returns the earliest wheel-resident cycle.
+func (e *Engine) wheelNextWhen() (Cycles, bool) {
+	if ev, ok := e.wheelNext(); ok {
+		return ev.when, true
 	}
 	return 0, false
 }
@@ -474,6 +514,20 @@ func (e *Engine) nextWhen() (Cycles, bool) {
 		when, ok = w, true
 	}
 	return when, ok
+}
+
+// peekNext returns the (when, seq) of the earliest scheduled event across
+// wheel and heap without removing it.  The windowed scheduler compares it
+// against pending core steps to reproduce the engine's exact dispatch
+// order, including same-cycle seq interleavings.
+func (e *Engine) peekNext() (when Cycles, seq uint64, ok bool) {
+	if len(e.heap) > 0 {
+		when, seq, ok = e.heap[0].when, e.heap[0].seq, true
+	}
+	if ev, wok := e.wheelNext(); wok && (!ok || ev.when < when || (ev.when == when && ev.seq < seq)) {
+		when, seq, ok = ev.when, ev.seq, true
+	}
+	return when, seq, ok
 }
 
 // runAt executes every event scheduled for exactly cycle `when`, merging

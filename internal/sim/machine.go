@@ -45,6 +45,14 @@ type Machine struct {
 	// the synchronous extent of one sampled coreStep.
 	tr  *obs.Tracer
 	cur *obs.ReqRec
+
+	// Window-parallel scheduling (see window.go).  lanes selects the mode:
+	// <0 forces every core step through the event engine (the golden-test
+	// baseline), 0 is auto (windowed; parallel lanes iff GOMAXPROCS>1),
+	// 1 is the windowed sequential sweep, >1 caps the parallel lane count.
+	lanes int
+	sched *laneSched
+	wstat WindowStats
 }
 
 // New assembles a machine from cfg over the given address space.
@@ -143,19 +151,31 @@ func (m *Machine) Attach(i int, gen workload.Generator) {
 	wasRunning := c.running
 	c.gen = gen
 	c.running = gen != nil
+	c.opPending = false
 	if c.running && !wasRunning {
-		m.eng.at(m.eng.Now(), evCoreStep, c, 0, 0)
+		if m.windowed() {
+			m.armStep(c, m.eng.Now())
+		} else {
+			m.eng.at(m.eng.Now(), evCoreStep, c, 0, 0)
+		}
 	}
 }
 
 // Detach stops the workload on core i.
 func (m *Machine) Detach(i int) {
-	m.cores[i].gen = nil
-	m.cores[i].running = false
+	c := m.cores[i]
+	c.gen = nil
+	c.running = false
+	c.opPending = false
+	c.stepPending = false
 }
 
 // Run advances the simulation by d cycles.
 func (m *Machine) Run(d Cycles) {
+	if m.windowed() {
+		m.runWindowed(m.eng.Now() + d)
+		return
+	}
 	m.eng.RunUntil(m.eng.Now() + d)
 }
 
@@ -210,50 +230,10 @@ func (m *Machine) Sync() {
 func (m *Machine) coreStep(c *Core, now Cycles) {
 	eng := m.eng
 	for {
-		if !c.running || c.gen == nil {
+		next, sampled, ok := m.stepOne(c, now)
+		if !ok {
 			return
 		}
-		if !c.gen.Next(&c.op) {
-			c.running = false
-			return
-		}
-		op := &c.op
-		t := now + Cycles(op.Think)
-		c.bank.Add(pmu.InstRetiredAny, uint64(op.Think)+1)
-
-		var next Cycles
-		sampled := false
-		switch op.Kind {
-		case workload.Load:
-			if tr := m.tr; tr != nil && tr.Sample() {
-				sampled = true
-				m.cur = tr.Begin(c.id, op.Addr, "DRd")
-				next = m.load(c, op.Addr, t, op.Dep)
-				tr.Commit(m.cur)
-				m.cur = nil
-			} else {
-				next = m.load(c, op.Addr, t, op.Dep)
-			}
-		case workload.Store:
-			if tr := m.tr; tr != nil && tr.Sample() {
-				sampled = true
-				m.cur = tr.Begin(c.id, op.Addr, "DWr")
-				next = m.store(c, op.Addr, t)
-				tr.Commit(m.cur)
-				m.cur = nil
-			} else {
-				next = m.store(c, op.Addr, t)
-			}
-		case workload.Prefetch:
-			m.swPrefetch(c, op.Addr, t)
-			next = t + 1
-		default:
-			next = t + 1
-		}
-		if next <= now {
-			next = now + 1
-		}
-		c.bank.Add(pmu.CPUClkUnhalted, next-now)
 		if eng.runAhead && next <= eng.horizon && !sampled && eng.quietUntil(next) {
 			eng.now = next
 			eng.inlineSteps++
@@ -267,6 +247,59 @@ func (m *Machine) coreStep(c *Core, now Cycles) {
 		eng.at(next, evCoreStep, c, 0, 0)
 		return
 	}
+}
+
+// stepOne executes exactly one workload op on core c at cycle now, returning
+// the core's continuation cycle.  It consumes the classifier's op stash when
+// one is pending (a window bail-out) so no op is ever skipped or repeated.
+// ok is false when the core has stopped (no op was executed); the caller
+// owns rescheduling.
+func (m *Machine) stepOne(c *Core, now Cycles) (next Cycles, sampled, ok bool) {
+	if !c.running || c.gen == nil {
+		return 0, false, false
+	}
+	if c.opPending {
+		c.opPending = false
+	} else if !c.gen.Next(&c.op) {
+		c.running = false
+		return 0, false, false
+	}
+	op := &c.op
+	t := now + Cycles(op.Think)
+	c.bank.Add(pmu.InstRetiredAny, uint64(op.Think)+1)
+
+	switch op.Kind {
+	case workload.Load:
+		if tr := m.tr; tr != nil && tr.Sample() {
+			sampled = true
+			m.cur = tr.Begin(c.id, op.Addr, "DRd")
+			next = m.load(c, op.Addr, t, op.Dep)
+			tr.Commit(m.cur)
+			m.cur = nil
+		} else {
+			next = m.load(c, op.Addr, t, op.Dep)
+		}
+	case workload.Store:
+		if tr := m.tr; tr != nil && tr.Sample() {
+			sampled = true
+			m.cur = tr.Begin(c.id, op.Addr, "DWr")
+			next = m.store(c, op.Addr, t)
+			tr.Commit(m.cur)
+			m.cur = nil
+		} else {
+			next = m.store(c, op.Addr, t)
+		}
+	case workload.Prefetch:
+		m.swPrefetch(c, op.Addr, t)
+		next = t + 1
+	default:
+		next = t + 1
+	}
+	if next <= now {
+		next = now + 1
+	}
+	c.bank.Add(pmu.CPUClkUnhalted, next-now)
+	return next, sampled, true
 }
 
 // load executes a demand load issued at t, returning when the core may
@@ -1114,17 +1147,69 @@ func (m *Machine) DeviceIsolated(dev int) bool {
 // attached workload has run dry and all in-flight events drained.  The
 // profiler watchdog uses it to distinguish a finished workload from a
 // stalled epoch.
-func (m *Machine) Idle() bool { return m.eng.Pending() == 0 }
+func (m *Machine) Idle() bool {
+	return m.eng.Pending() == 0 && m.pendingSteps() == 0
+}
 
-// PendingEvents reports the current event-engine depth (wheel + heap) —
-// the pf_engine_events_pending gauge.
-func (m *Machine) PendingEvents() int { return m.eng.Pending() }
+// PendingEvents reports the current scheduled-work depth (engine wheel +
+// heap, plus mirrored core steps in windowed mode) — the
+// pf_engine_events_pending gauge.
+func (m *Machine) PendingEvents() int { return m.eng.Pending() + m.pendingSteps() }
+
+// pendingSteps counts core steps armed in the windowed scheduler's mirror.
+func (m *Machine) pendingSteps() int {
+	n := 0
+	for _, c := range m.cores {
+		if c.stepPending {
+			n++
+		}
+	}
+	return n
+}
 
 // SetRunAhead enables or disables the core-stepping run-ahead fast path
 // (on by default).  Forcing it off makes every op round-trip through the
 // event engine; the golden digest suite runs both ways to prove the PMU
-// output is byte-identical.
-func (m *Machine) SetRunAhead(on bool) { m.eng.runAhead = on }
+// output is byte-identical.  Disabling run-ahead also forces the windowed
+// scheduler off (every op dispatches as an engine event).
+func (m *Machine) SetRunAhead(on bool) {
+	m.eng.runAhead = on
+	if !on && m.lanes >= 0 {
+		m.SetLanes(-1)
+	}
+}
+
+// SetLanes selects the core-step scheduling mode.  n < 0 forces every core
+// step through the event engine (the PR-6 behavior and the golden-test
+// baseline).  n == 0, the default, is auto: the windowed scheduler runs
+// core steps off a per-core mirror, using parallel worker lanes when
+// GOMAXPROCS > 1 and the sequential per-core sweep otherwise.  n == 1 pins
+// the windowed sequential sweep; n > 1 caps the parallel lane count at n
+// (and at the core count).  Call between Run slices; switching mid-run is
+// supported but re-sequences pending steps against already-scheduled
+// events.
+func (m *Machine) SetLanes(n int) {
+	if n == m.lanes {
+		return
+	}
+	was, is := m.lanes >= 0, n >= 0
+	m.lanes = n
+	if was == is {
+		return
+	}
+	if is {
+		m.absorbCoreEvents()
+	} else {
+		m.flushStepMirror()
+	}
+}
+
+// Lanes returns the configured lane mode (see SetLanes).
+func (m *Machine) Lanes() int { return m.lanes }
+
+// windowed reports whether core steps run off the mirror (windowed modes)
+// rather than as engine events.
+func (m *Machine) windowed() bool { return m.lanes >= 0 }
 
 // InlineSteps reports how many workload ops the run-ahead fast path has
 // executed inline, without an event-engine round-trip — the

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"pathfinder/internal/mem"
+	"pathfinder/internal/obs"
+	"pathfinder/internal/workload"
+)
+
+// White-box tests for the windowed scheduler (DESIGN.md §12): the preview
+// classifier's purity, window-boundary edge cases against live engine
+// events, mid-run lane-mode transitions, and the tracer bail-out.
+
+// windowRig builds a 4-core machine with one local and one CXL region.
+func windowRig(t *testing.T) (*Machine, workload.Region, workload.Region) {
+	t.Helper()
+	as := testSpace(t)
+	local, err := as.Alloc(8<<20, mem.Fixed(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cxlr, err := as.Alloc(8<<20, mem.Fixed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(smallConfig(), as)
+	return m, workload.Region{Base: local.Base, Size: local.Size},
+		workload.Region{Base: cxlr.Base, Size: cxlr.Size}
+}
+
+// bankSums returns every PMU counter of every bank, concatenated — a
+// cheap in-package digest for mode-equivalence checks.
+func bankSums(m *Machine) []uint64 {
+	var out []uint64
+	for _, b := range m.Banks() {
+		out = append(out, b.Values()...)
+	}
+	return out
+}
+
+func sameSums(t *testing.T, tag string, a, b []uint64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: digest lengths differ: %d vs %d", tag, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: counter %d differs: %d vs %d", tag, i, a[i], b[i])
+		}
+	}
+}
+
+// TestWindowPreviewMatchesTrain drives the prefetcher over pseudorandom
+// demand streams and checks, at every single access, that preview returns
+// exactly the candidates train then produces, and that preview left the
+// prefetcher state untouched.  This purity is what lets the window
+// classifier prove "training here issues nothing" without observable
+// side effects.
+func TestWindowPreviewMatchesTrain(t *testing.T) {
+	p := newPrefetcher(2, 16, 2)
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	// Mix of strided walks (several pages, varying strides incl. negative)
+	// and random jumps, so streams allocate, train, saturate, and collide.
+	line := uint64(1 << 20)
+	var pv, tr []uint64
+	for i := 0; i < 20000; i++ {
+		switch next() % 8 {
+		case 0: // jump to a random page
+			line = (next() % (1 << 18)) * 7
+		case 1: // stride change within the page
+			line += next()%5 - 2
+		default: // keep walking
+			stride := int64(next()%4) - 1
+			line = uint64(int64(line) + stride)
+		}
+		la := line << mem.LineShift
+		saved := *p
+		pv = p.preview(la, pv[:0])
+		if *p != saved {
+			t.Fatalf("access %d: preview mutated prefetcher state", i)
+		}
+		tr = p.train(la, tr[:0])
+		if fmt.Sprint(pv) != fmt.Sprint(tr) {
+			t.Fatalf("access %d (la=%#x): preview=%v train=%v", i, la, pv, tr)
+		}
+	}
+}
+
+// TestWindowExactHBoundary pins uncore/engine interaction exactly on the
+// window horizon: engine callbacks are scheduled on top of the stepping
+// cadence of a multi-core run, so windows constantly close exactly at a
+// live event's cycle.  Fire times and every PMU counter must match the
+// dispatch-only engine.
+func TestWindowExactHBoundary(t *testing.T) {
+	run := func(lanes int) ([]Cycles, []uint64) {
+		m, local, cxlr := windowRig(t)
+		if lanes < 0 {
+			m.SetRunAhead(false)
+		} else {
+			m.SetLanes(lanes)
+		}
+		m.Attach(0, workload.NewStream(local, 2, 0.2, 1))
+		m.Attach(1, workload.NewStream(cxlr, 2, 0.3, 2))
+		m.Attach(2, workload.NewStream(local, 1, 0, 3))
+		m.Attach(3, workload.NewStream(cxlr, 3, 0.1, 4))
+		var fired []Cycles
+		// A dense comb of engine events: primes stress same-cycle ties with
+		// core steps, the +1 cadence lands exactly on step continuations.
+		for c := Cycles(1); c < 50_000; c += 97 {
+			m.eng.Schedule(c, func(now Cycles) { fired = append(fired, now) })
+			m.eng.Schedule(c+1, func(now Cycles) { fired = append(fired, now) })
+		}
+		m.Run(60_000)
+		return fired, bankSums(m)
+	}
+	baseFired, baseSums := run(-1)
+	for _, lanes := range []int{1, 2, 4} {
+		fired, sums := run(lanes)
+		if fmt.Sprint(fired) != fmt.Sprint(baseFired) {
+			t.Fatalf("lanes=%d: engine event fire times diverge from dispatch-only run", lanes)
+		}
+		sameSums(t, fmt.Sprintf("lanes=%d", lanes), sums, baseSums)
+	}
+}
+
+// TestWindowLaneTransitions switches scheduling modes mid-run — windowed
+// parallel, engine dispatch, sweep, auto — and requires the final counters
+// to match a run that never left engine mode.  This pins the
+// absorbCoreEvents/flushStepMirror handoff in both directions.
+func TestWindowLaneTransitions(t *testing.T) {
+	drive := func(m *Machine, local, cxlr workload.Region) {
+		m.Attach(0, workload.NewStream(local, 2, 0.2, 5))
+		m.Attach(1, workload.NewStream(cxlr, 2, 0.1, 6))
+		m.Attach(2, workload.NewPointerChase(cxlr, 2, 7))
+		m.Attach(3, workload.NewStream(local, 0, 0.5, 8))
+	}
+	base, blocal, bcxl := windowRig(t)
+	base.SetRunAhead(false)
+	drive(base, blocal, bcxl)
+	base.Run(400_000)
+
+	m, local, cxlr := windowRig(t)
+	m.SetLanes(2)
+	drive(m, local, cxlr)
+	for i, lanes := range []int{2, -1, 1, -1, 0, 4, -1, 2} {
+		if lanes < 0 {
+			m.SetRunAhead(false)
+		} else {
+			m.SetLanes(lanes)
+		}
+		m.Run(50_000)
+		if m.Now() != Cycles((i+1)*50_000) {
+			t.Fatalf("after slice %d: now=%d", i, m.Now())
+		}
+	}
+	if m.Now() != base.Now() {
+		t.Fatalf("final clocks differ: %d vs %d", m.Now(), base.Now())
+	}
+	sameSums(t, "transitions", bankSums(m), bankSums(base))
+}
+
+// TestWindowTracerForcesSweep: an enabled sampling tracer makes op
+// execution order observable, so the parallel scheduler must stop opening
+// windows and fall back to the exact sequential sweep.
+func TestWindowTracerForcesSweep(t *testing.T) {
+	run := func(enable bool) WindowStats {
+		m, local, cxlr := windowRig(t)
+		m.SetLanes(2)
+		tr := obs.NewTracer(1<<12, 4)
+		if enable {
+			tr.Enable()
+		}
+		m.SetTracer(tr)
+		m.Attach(0, workload.NewStream(local, 2, 0.2, 1))
+		m.Attach(1, workload.NewStream(cxlr, 2, 0.2, 2))
+		m.Attach(2, workload.NewStream(local, 2, 0, 3))
+		m.Attach(3, workload.NewStream(cxlr, 2, 0.1, 4))
+		m.Run(300_000)
+		return m.WindowStats()
+	}
+	if ws := run(true); ws.Windows != 0 {
+		t.Fatalf("enabled tracer: %d parallel windows opened (want 0)", ws.Windows)
+	}
+	if ws := run(false); ws.Windows == 0 {
+		t.Fatal("disabled tracer: no parallel windows opened")
+	}
+}
+
+// TestWindowLaneBusyAccounting: after a parallel multi-core run, the
+// scheduler must report busy time for every lane it ran.
+func TestWindowLaneBusyAccounting(t *testing.T) {
+	m, local, cxlr := windowRig(t)
+	m.SetLanes(2)
+	m.Attach(0, workload.NewStream(local, 2, 0.2, 1))
+	m.Attach(1, workload.NewStream(local, 2, 0.1, 2))
+	m.Attach(2, workload.NewStream(cxlr, 2, 0, 3))
+	m.Attach(3, workload.NewStream(local, 2, 0.3, 4))
+	m.Run(500_000)
+	ws := m.WindowStats()
+	if ws.Windows == 0 {
+		t.Skip("no parallel windows opened on this run")
+	}
+	if len(ws.LaneBusyNs) != 2 {
+		t.Fatalf("LaneBusyNs has %d lanes, want 2", len(ws.LaneBusyNs))
+	}
+	for i, ns := range ws.LaneBusyNs {
+		if ns == 0 {
+			t.Errorf("lane %d reports zero busy time over %d windows", i, ws.Windows)
+		}
+	}
+}
