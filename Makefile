@@ -54,13 +54,36 @@ bench-json:
 # run more than 8% slower than forcing every core step through the event
 # engine, on any GOMAXPROCS (at 1 the windowed path degenerates to the
 # run-ahead sweep, which already beats dispatch).
+# The Flight pairs ride the same bench run (benchregress accepts a file, so
+# the output is captured once and gated at three tolerances): the disabled
+# flight recorder is meant to ride along in production, so its off-cost is
+# bounded at 2% — one nil check plus an inlined atomic load per completion.
+# The enabled recorder (FlightOn vs FlightOff, same run) files a packed
+# record through the per-core ring, quantile sketch, and histogram on every
+# completion (~18% on the pure CXL stream, the worst case: every op
+# completes); 25% bounds it without gating on noise.
 bench-regress:
+	@tmp=$$(mktemp); trap 'rm -f '"$$tmp" EXIT; \
 	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) test -run '^$$' -bench 'SimCXLStream|SimMultiCoreStream|CaptureSnapshot|EpochLoop' -benchmem -benchtime 200000x -count 3 . \
-		| $(GO) run ./cmd/benchregress \
+		| tee "$$tmp" && \
+	$(GO) run ./cmd/benchregress \
 		-lanes $(BENCH_LANES) \
 		-watch 'BenchmarkSimCXLStream,BenchmarkSimMultiCoreStream,BenchmarkCaptureSnapshot,BenchmarkEpochLoop' \
 		-pair-tolerance 0.08 \
-		-pairs 'BenchmarkSimCXLStreamTracerOff=BenchmarkSimCXLStream,BenchmarkSimMultiCoreStreamTracerOff=BenchmarkSimMultiCoreStream,BenchmarkEpochLoopTracerOff=BenchmarkEpochLoop,BenchmarkSimMultiCoreStream=BenchmarkSimMultiCoreStreamLanesOff'
+		-pairs 'BenchmarkSimCXLStreamTracerOff=BenchmarkSimCXLStream,BenchmarkSimMultiCoreStreamTracerOff=BenchmarkSimMultiCoreStream,BenchmarkEpochLoopTracerOff=BenchmarkEpochLoop,BenchmarkSimMultiCoreStream=BenchmarkSimMultiCoreStreamLanesOff' \
+		"$$tmp" && \
+	$(GO) run ./cmd/benchregress \
+		-lanes $(BENCH_LANES) \
+		-watch 'BenchmarkSimCXLStream' \
+		-pair-tolerance 0.02 \
+		-pairs 'BenchmarkSimCXLStreamFlightOff=BenchmarkSimCXLStream,BenchmarkSimMultiCoreStreamFlightOff=BenchmarkSimMultiCoreStream' \
+		"$$tmp" && \
+	$(GO) run ./cmd/benchregress \
+		-lanes $(BENCH_LANES) \
+		-watch 'BenchmarkSimCXLStream' \
+		-pair-tolerance 0.25 \
+		-pairs 'BenchmarkSimCXLStreamFlightOn=BenchmarkSimCXLStreamFlightOff' \
+		"$$tmp"
 
 # End-to-end check of `pathfinder -serve`: boots the introspection server
 # on a random port and requires live /metrics and /status content.

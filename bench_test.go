@@ -444,6 +444,75 @@ func BenchmarkEpochLoopTracerOff(b *testing.B) {
 	}
 }
 
+// --- Flight-recorder overhead (always-on must be near-free) --------------------
+
+// BenchmarkSimCXLStreamFlightOff is BenchmarkSimCXLStream with a flight
+// recorder attached but disabled: the completion hook costs one nil check
+// plus an inlined atomic load.  `make bench-regress` gates this against its
+// recorder-free twin from the same run at ≤2% — the flight recorder is
+// meant to ride along in production, so its off-cost bound is tighter than
+// the tracer's.
+func BenchmarkSimCXLStreamFlightOff(b *testing.B) {
+	m, r := benchRig(b, 1)
+	m.SetFlight(obs.NewFlight(m.Cores(), 4096, 512)) // attached, never enabled
+	g := workload.NewStream(r, 2, 0.2, 1)
+	g.Reuse = 4
+	m.Attach(0, workload.NewLimit(g, uint64(b.N)))
+	b.ResetTimer()
+	for m.Core(0).Running() {
+		m.Run(1_000_000)
+	}
+}
+
+// BenchmarkSimMultiCoreStreamFlightOff is BenchmarkSimMultiCoreStream with
+// a disabled flight recorder attached, gated as a same-run pair at ≤2%.
+func BenchmarkSimMultiCoreStreamFlightOff(b *testing.B) {
+	m, r := benchRig(b, 0)
+	m.SetFlight(obs.NewFlight(m.Cores(), 4096, 512)) // attached, never enabled
+	rc, err := m.AddressSpace().Alloc(64<<20, mem.Fixed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cxlReg := workload.Region{Base: rc.Base, Size: rc.Size}
+	g := workload.NewStream(r, 2, 0.2, 1)
+	g.Reuse = 4
+	m.Attach(0, workload.NewLimit(g, uint64(b.N)))
+	for c := 1; c < 4; c++ {
+		reg := r
+		if c >= 2 {
+			reg = cxlReg
+		}
+		gc := workload.NewStream(reg, 2, 0.2, uint64(c+10))
+		gc.Reuse = 4
+		m.Attach(c, gc)
+	}
+	b.ResetTimer()
+	for m.Core(0).Running() {
+		m.Run(1_000_000)
+	}
+}
+
+// BenchmarkSimCXLStreamFlightOn is BenchmarkSimCXLStream with the recorder
+// enabled: every completion files a packed record through the per-core
+// ring, the quantile sketch, and the histogram.  Gated against the
+// FlightOff twin in the same run at 25% — the measured cost is ~18% on
+// this stream (the worst case: every op completes a record), and the
+// bound catches an accidental allocation or lock-contention regression
+// without gating on scheduler noise.
+func BenchmarkSimCXLStreamFlightOn(b *testing.B) {
+	m, r := benchRig(b, 1)
+	fl := obs.NewFlight(m.Cores(), 4096, 512)
+	fl.Enable()
+	m.SetFlight(fl)
+	g := workload.NewStream(r, 2, 0.2, 1)
+	g.Reuse = 4
+	m.Attach(0, workload.NewLimit(g, uint64(b.N)))
+	b.ResetTimer()
+	for m.Core(0).Running() {
+		m.Run(1_000_000)
+	}
+}
+
 // --- Ablations of DESIGN.md's called-out choices ------------------------------
 
 // BenchmarkAblationPrefetch quantifies the hardware prefetchers' latency

@@ -156,6 +156,9 @@ func main() {
 	serve := flag.String("serve", "", "serve /metrics, /status, /trace, /debug/pprof on this address (e.g. :6060); keeps serving after the run")
 	traceSample := flag.Int("trace-sample", 0, "trace one request in N through the request path (0 = tracing off)")
 	traceBuf := flag.Int("trace-buf", 4096, "request-path trace ring capacity in records")
+	flightRing := flag.Int("flight", 4096, "flight-recorder per-core ring capacity in records (0 = recorder off)")
+	flightTail := flag.Int("flight-tail", 512, "flight-recorder tail-store capacity in promoted records")
+	flightDump := flag.String("flight-dump", "pathfinder-flight-bundle.json", "postmortem bundle path written on SIGQUIT or a profiler watchdog trip")
 	flag.Parse()
 
 	if *listEvents {
@@ -219,6 +222,16 @@ func main() {
 		m.SetTracer(tr)
 	}
 
+	// The flight recorder is on by default: always-on tail capture is the
+	// point, and the off-path cost with it attached is a couple of loads.
+	var fl *obs.Flight
+	if *flightRing > 0 {
+		fl = obs.NewFlight(m.Cores(), *flightRing, *flightTail)
+		fl.Enable()
+		m.SetFlight(fl)
+		fl.RegisterMetrics(obs.Default)
+	}
+
 	var runs []core.AppRun
 	for i, spec := range strings.Split(*appsFlag, ",") {
 		parts := strings.SplitN(strings.TrimSpace(spec), ":", 2)
@@ -258,6 +271,44 @@ func main() {
 		m.SetAccessHook(func(_ int, la uint64, _ bool) { mgr.ObserveAccess(la) })
 	}
 
+	// status is declared ahead of the profiler so the flight-dump closure
+	// (fired from the watchdog and the SIGQUIT handler) can embed /status.
+	var status atomic.Value
+	statusFn := func() any { return status.Load() }
+
+	faultPlanStr := ""
+	if cfg.Faults != nil {
+		faultPlanStr = cfg.Faults.String()
+	}
+	var flightDumpFn func(trigger string) error
+	if fl != nil {
+		flightDumpFn = func(trigger string) error {
+			err := obs.WriteBundleFile(*flightDump, obs.BundleOpts{
+				Trigger:   trigger,
+				Flight:    fl,
+				Metrics:   obs.Default,
+				Status:    statusFn,
+				FaultPlan: faultPlanStr,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "pathfinder: flight bundle (%s) written to %s\n", trigger, *flightDump)
+			return nil
+		}
+		// SIGQUIT dumps a postmortem bundle and keeps running — the live
+		// equivalent of hitting /flight/dump, usable without -serve.
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			for range quit {
+				if err := flightDumpFn("sigquit"); err != nil {
+					fmt.Fprintf(os.Stderr, "pathfinder: flight dump: %v\n", err)
+				}
+			}
+		}()
+	}
+
 	p, err := core.NewProfiler(core.Spec{
 		Machine:     m,
 		Apps:        runs,
@@ -265,12 +316,13 @@ func main() {
 		Epochs:      *epochs,
 		Mode:        core.ModeContinuous,
 		Metrics:     obs.Default,
+		Flight:      fl,
+		FlightDump:  flightDumpFn,
 	})
 	if err != nil {
 		fatalf("%v", err)
 	}
 
-	var status atomic.Value
 	setStatus := func(state string, epoch, truncated int, note string, last *core.EpochResult) {
 		st := runStatus{
 			Machine:     *machine,
@@ -311,7 +363,8 @@ func main() {
 
 	var srv *obs.Server
 	if *serve != "" {
-		srv = obs.NewServer(obs.Default, tr, func() any { return status.Load() }, cfg.GHz)
+		srv = obs.NewServer(obs.Default, tr, statusFn, cfg.GHz)
+		srv.SetFlight(fl, faultPlanStr)
 		addr, err := srv.Start(*serve)
 		if err != nil {
 			fatalf("-serve %s: %v", *serve, err)

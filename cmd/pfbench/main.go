@@ -39,6 +39,8 @@ func main() {
 	soakCycles := flag.Uint64("soak-cycles", 0, "simulated cycles per soak case (0 = default)")
 	soakBudget := flag.Uint64("soak-budget", 0, "per-case supervision budget in simulated cycles (0 = unlimited)")
 	replay := flag.String("replay", "", "replay a chaos finding from its printed 'seed,plan' pair")
+	flightDump := flag.String("flight-dump", "pfbench-flight-bundle.json",
+		"where -replay writes the violation's flight-recorder postmortem bundle ('' = skip)")
 	flag.Parse()
 
 	if *replay != "" {
@@ -51,6 +53,15 @@ func main() {
 			fatalf("pfbench: replay: %v", err)
 		}
 		if len(res.Violations) > 0 {
+			// Every chaos case runs with the flight recorder attached, so a
+			// violating replay already carries its postmortem bundle.
+			if *flightDump != "" && len(res.Bundle) > 0 {
+				if err := os.WriteFile(*flightDump, res.Bundle, 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "pfbench: flight bundle: %v\n", err)
+				} else {
+					fmt.Printf("flight bundle written to %s\n", *flightDump)
+				}
+			}
 			os.Exit(1)
 		}
 		return

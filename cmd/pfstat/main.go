@@ -7,6 +7,10 @@
 //
 //	pfstat -e 'core0/mem_load_retired.l1_miss/,cha*/unc_cha_tor_inserts.ia_drd.miss_cxl/' \
 //	       -app LBM:cxl -kcycles 4000 -interval-kcycles 500
+//
+// With -bundle it instead summarizes a flight-recorder postmortem bundle:
+// promotion counts, thresholds, and how the promoted tail's per-stage
+// residency compares against the whole recorded population.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"strings"
 
 	"pathfinder/internal/mem"
+	"pathfinder/internal/obs"
 	"pathfinder/internal/perf"
 	"pathfinder/internal/report"
 	"pathfinder/internal/sim"
@@ -35,7 +40,13 @@ func main() {
 	interval := flag.Uint64("interval-kcycles", 0, "print deltas every N kilocycles (0 = totals only)")
 	wsMB := flag.Uint64("ws-mb", 64, "working-set size in MiB")
 	machine := flag.String("machine", "spr", "machine model: spr or emr")
+	bundlePath := flag.String("bundle", "", "summarize this flight-recorder bundle instead of running")
 	flag.Parse()
+
+	if *bundlePath != "" {
+		summarizeBundle(*bundlePath)
+		return
+	}
 
 	cfg := sim.SPR()
 	if *machine == "emr" {
@@ -119,4 +130,111 @@ func main() {
 		t.AddRow(row...)
 	}
 	fmt.Print(t)
+}
+
+// tailStageAgg accumulates the promoted tail's per-stage cycles using the
+// same segmentation the recorder applies to the whole population, so the
+// two means are directly comparable.
+type tailStageAgg struct {
+	n                         uint64
+	total, core, l2, cha, dev uint64
+}
+
+func (a *tailStageAgg) add(r *obs.FlightRec) {
+	lat := r.Latency()
+	a.n++
+	a.total += lat
+	l2 := uint64(r.L2Start)
+	tor := uint64(r.TOREnter)
+	mem := uint64(r.MemEnter)
+	if l2 == 0 {
+		a.core += lat
+	} else {
+		a.core += l2
+	}
+	if tor > l2 && l2 > 0 {
+		a.l2 += tor - l2
+	}
+	if mem > tor && tor > 0 {
+		a.cha += mem - tor
+	}
+	if mem > 0 && lat > mem {
+		a.dev += lat - mem
+	}
+}
+
+// summarizeBundle prints the postmortem digest of a dumped flight bundle:
+// what triggered it, how much the recorder saw, where the promotion
+// thresholds sat, and how the promoted tail's stage residency skews
+// against the full recorded population (the "why is the tail slow" view).
+func summarizeBundle(path string) {
+	b, err := obs.ReadBundleFile(path)
+	if err != nil {
+		fatalf("reading %s: %v", path, err)
+	}
+	fl := &b.Flight
+
+	t := &report.Table{Title: fmt.Sprintf("flight bundle %s", path),
+		Cols: []string{"property", "value"}}
+	t.AddRow("trigger", b.Trigger)
+	t.AddRow("epoch", fmt.Sprint(b.Epoch))
+	t.AddRow("cores", fmt.Sprint(fl.Cores))
+	t.AddRow("records filed", fmt.Sprint(fl.Records))
+	t.AddRow("promoted to tail", fmt.Sprint(fl.Promoted))
+	t.AddRow("tail retained", fmt.Sprintf("%d (cap %d)", len(fl.Tail), fl.TailCap))
+	if b.FaultPlan != "" {
+		t.AddRow("fault plan", b.FaultPlan)
+	}
+	fmt.Print(t)
+	fmt.Println()
+
+	// Split the retained tail by class with the recorder's own segmentation.
+	var tails [2]tailStageAgg
+	for i := range fl.Tail {
+		tails[fl.Tail[i].Class&1].add(&fl.Tail[i].FlightRec)
+	}
+
+	for _, cs := range fl.Classes {
+		if cs.Records == 0 {
+			continue
+		}
+		var ta *tailStageAgg
+		for c := range tails {
+			if obs.FlightClassName(uint8(c)) == cs.Name {
+				ta = &tails[c]
+			}
+		}
+		ct := &report.Table{
+			Title: fmt.Sprintf("%s: %d records, %d promoted, threshold %s cyc",
+				cs.Name, cs.Records, cs.Promoted, report.Num(cs.Threshold)),
+			Cols: []string{"stage", "all mean cyc", "tail mean cyc", "tail/all"},
+		}
+		addStage := func(name string, all, tail uint64, tailN uint64) {
+			allMean := float64(all) / float64(cs.Records)
+			row := []string{name, report.Num(allMean), "n/a", "n/a"}
+			if tailN > 0 {
+				tailMean := float64(tail) / float64(tailN)
+				row[2] = report.Num(tailMean)
+				if allMean > 0 {
+					row[3] = fmt.Sprintf("%.1fx", tailMean/allMean)
+				}
+			}
+			ct.AddRow(row...)
+		}
+		var tn, tt, tc, tl, th, td uint64
+		if ta != nil {
+			tn, tt, tc, tl, th, td = ta.n, ta.total, ta.core, ta.l2, ta.cha, ta.dev
+		}
+		addStage("end-to-end", cs.TotalCycles, tt, tn)
+		addStage("core (pre-L2)", cs.CoreCycles, tc, tn)
+		addStage("L2", cs.L2Cycles, tl, tn)
+		addStage("CHA/mesh", cs.CHACycles, th, tn)
+		addStage("device", cs.DevCycles, td, tn)
+		fmt.Print(ct)
+		fmt.Println()
+	}
+
+	if len(b.Aux) > 0 {
+		fmt.Printf("aux: %s\n", b.Aux)
+	}
 }

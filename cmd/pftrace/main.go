@@ -9,6 +9,7 @@
 //	pftrace info   -i fots.trc
 //	pftrace replay -i fots.trc -node cxl
 //	pftrace spans  -node cxl -o waterfall.json   # open in Perfetto
+//	pftrace bundle -i flight-bundle.json -o tail.json   # promoted tail as Perfetto spans
 package main
 
 import (
@@ -32,7 +33,7 @@ func fatalf(format string, args ...any) {
 
 func main() {
 	if len(os.Args) < 2 {
-		fatalf("usage: pftrace record|info|replay|spans [flags]")
+		fatalf("usage: pftrace record|info|replay|spans|bundle [flags]")
 	}
 	switch os.Args[1] {
 	case "record":
@@ -43,6 +44,8 @@ func main() {
 		replay(os.Args[2:])
 	case "spans":
 		spans(os.Args[2:])
+	case "bundle":
+		bundle(os.Args[2:])
 	default:
 		fatalf("unknown subcommand %q", os.Args[1])
 	}
@@ -330,6 +333,76 @@ func spans(args []string) {
 		}
 		fmt.Printf("wrote %d records to %s — open at https://ui.perfetto.dev\n", len(recs), *out)
 	}
+}
+
+// bundle renders a flight-recorder postmortem bundle's promoted tail
+// records as Perfetto spans: one track per (core, request) with the
+// issue->done envelope and the L2/CHA/device segments the packed record's
+// stage deltas allow.  The device segment is labeled with the serving
+// backend (IMC for DRAM, FlexBus for CXL).
+func bundle(args []string) {
+	fs := flag.NewFlagSet("bundle", flag.ExitOnError)
+	in := fs.String("i", "pathfinder-flight-bundle.json", "postmortem bundle file")
+	out := fs.String("o", "flight-tail.json", "Chrome trace_event JSON output (open in Perfetto)")
+	ghz := fs.Float64("ghz", 2.0, "core clock in GHz for cycle->time conversion")
+	_ = fs.Parse(args)
+
+	b, err := obs.ReadBundleFile(*in)
+	if err != nil {
+		fatalf("reading %s: %v", *in, err)
+	}
+	tail := b.Flight.Tail
+	if len(tail) == 0 {
+		fatalf("%s: bundle (trigger %q) has no promoted tail records", *in, b.Trigger)
+	}
+
+	recs := make([]obs.ReqRec, 0, len(tail))
+	for i := range tail {
+		t := &tail[i]
+		loc := sim.ServeLoc(t.Loc)
+		r := obs.ReqRec{
+			ID:    uint64(t.Seq),
+			Core:  int32(t.Core),
+			Addr:  t.Addr,
+			Class: obs.FlightClassName(t.Class),
+			Loc:   loc.String(),
+		}
+		r.Span(obs.StageReq, t.Issue, t.Done)
+		// Stage deltas are cycle offsets from issue; zero means the request
+		// never reached that stage, so only the segments that exist render.
+		l2 := t.Issue + uint64(t.L2Start)
+		tor := t.Issue + uint64(t.TOREnter)
+		memEnter := t.Issue + uint64(t.MemEnter)
+		if t.L2Start > 0 && t.TOREnter > t.L2Start {
+			r.Span(obs.StageL2, l2, tor)
+		}
+		if t.TOREnter > 0 && t.MemEnter > t.TOREnter {
+			r.Span(obs.StageCHA, tor, memEnter)
+		}
+		if t.MemEnter > 0 && t.Done > memEnter {
+			st := obs.StageIMC
+			if loc == sim.SrvCXL {
+				st = obs.StageCXLLink
+			}
+			r.Span(st, memEnter, t.Done)
+		}
+		recs = append(recs, r)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	werr := obs.WriteChromeTrace(f, recs, *ghz)
+	cerr := f.Close()
+	if werr != nil {
+		fatalf("writing %s: %v", *out, werr)
+	}
+	if cerr != nil {
+		fatalf("closing %s: %v", *out, cerr)
+	}
+	fmt.Printf("bundle %s (trigger %q, epoch %d): wrote %d promoted spans to %s — open at https://ui.perfetto.dev\n",
+		*in, b.Trigger, b.Epoch, len(recs), *out)
 }
 
 func maxf(a, b float64) float64 {

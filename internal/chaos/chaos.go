@@ -12,12 +12,14 @@
 package chaos
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 
 	"pathfinder/internal/core"
 	"pathfinder/internal/cxl"
 	"pathfinder/internal/mem"
+	"pathfinder/internal/obs"
 	"pathfinder/internal/sim"
 	"pathfinder/internal/workload"
 )
@@ -47,6 +49,12 @@ type Violation struct {
 type Result struct {
 	Violations []Violation
 	Digest     core.Digest
+
+	// Bundle is the flight-recorder postmortem (obs.Bundle JSON) dumped
+	// automatically when the case tripped an invariant; nil on a clean run.
+	// Its aux section carries the case's AnalyzeQueues estimates so the
+	// promoted tail spans can be cross-checked offline.
+	Bundle []byte
 }
 
 // Violates reports whether the result tripped the named invariant.
@@ -260,6 +268,12 @@ func Run(c Case, extra []Invariant, charge func(uint64) error) (res *Result, err
 	}
 	cfg := chaosConfig(c.Plan)
 	m := sim.New(cfg, as)
+	// Every case runs with the flight recorder attached and enabled: when
+	// an invariant trips, the tail-latency evidence is already captured and
+	// ships with the result as a postmortem bundle.
+	fl := obs.NewFlight(cfg.Cores, flightRingCap, flightTailCap)
+	fl.Enable()
+	m.SetFlight(fl)
 	if len(gens) > 1 {
 		// Multi-core rows run on parallel lanes regardless of GOMAXPROCS,
 		// so every soak exercises the window scheduler under faults.
@@ -268,6 +282,11 @@ func Run(c Case, extra []Invariant, charge func(uint64) error) (res *Result, err
 	for i, g := range gens {
 		m.Attach(i, g)
 	}
+	// Baseline the capturer before the run: Capture() returns the delta
+	// since construction, so building it afterwards would hand the
+	// invariant monitors an all-zero snapshot with an empty cycle window —
+	// every counter-based check would pass vacuously.
+	cap := core.NewCapturer(m)
 
 	chunk := c.Cycles / runChunks
 	if chunk == 0 {
@@ -289,7 +308,6 @@ func Run(c Case, extra []Invariant, charge func(uint64) error) (res *Result, err
 	}
 	m.Sync()
 
-	cap := core.NewCapturer(m)
 	snap := cap.Capture()
 	defer snap.Release()
 
@@ -301,7 +319,47 @@ func Run(c Case, extra []Invariant, charge func(uint64) error) (res *Result, err
 		}
 	}
 	res.Digest = core.EncodeDigest(snap)
+	if len(res.Violations) > 0 {
+		res.Bundle = violationBundle(c, fl, probe, snap.Cycles())
+	}
 	return res, nil
+}
+
+// Flight-recorder sizing for chaos rigs: cases are short, so modest rings
+// and a tail store deep enough to hold the whole pathology window.
+const (
+	flightRingCap = 1024
+	flightTailCap = 256
+)
+
+// violationBundle assembles the postmortem for a tripped case.  The aux
+// section carries the DRd-path AnalyzeQueues estimates and the run length,
+// making the bundle self-sufficient for residency cross-checks.  Bundling
+// is best-effort: a marshaling failure returns nil rather than masking the
+// violation itself.
+func violationBundle(c Case, fl *obs.Flight, probe *Probe, clocks float64) []byte {
+	aux := map[string]any{
+		"clocks": clocks,
+		"queues": map[string]float64{
+			"drd_flexbus_mc": probe.Queues.Q[core.PathDRd][core.CompFlexBusMC],
+			"drd_cxl_dimm":   probe.Queues.Q[core.PathDRd][core.CompCXLDIMM],
+		},
+	}
+	plan := ""
+	if c.Plan != nil {
+		plan = c.Plan.String()
+	}
+	var buf bytes.Buffer
+	err := obs.DumpBundle(&buf, obs.BundleOpts{
+		Trigger:   "chaos-violation",
+		Flight:    fl,
+		FaultPlan: plan,
+		Aux:       aux,
+	})
+	if err != nil {
+		return nil
+	}
+	return buf.Bytes()
 }
 
 // finite reports whether v is a usable number.

@@ -2,10 +2,15 @@ package chaos
 
 import (
 	"bytes"
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 
+	"pathfinder/internal/core"
 	"pathfinder/internal/cxl"
+	"pathfinder/internal/obs"
+	"pathfinder/internal/sim"
 )
 
 const testCycles = 250_000
@@ -145,6 +150,130 @@ func TestSoakReportPrintsSeedAndPlan(t *testing.T) {
 		if _, err := cxl.ParseFaultPlan(f.Shrunk.Plan.String()); err != nil {
 			t.Fatalf("shrunk plan %q unparseable: %v", f.Shrunk.Plan.String(), err)
 		}
+	}
+}
+
+// TestViolationBundleResidencyCrossCheck: a tripped case ships a parseable
+// postmortem bundle, and the flight recorder's device-segment evidence
+// agrees with the analyzer estimates carried in the bundle's aux section.
+//
+// The cross-check is Little's law over the whole run.  The recorder's
+// device segment for a CXL-served demand load spans memEnter→done:
+// M2PCIe ingress, link transit both ways, controller, device RPQ through
+// media, and the final mesh hop back to the CHA.  The analyzer's
+// Q[DRd][FlexBus+MC] + Q[DRd][CXL DIMM] price almost the same span, with
+// two known structural offsets:
+//
+//   - the analyzer's constant LinkTransit (2·FlexBus + Ctrl + 2·M2P)
+//     re-prices the controller and one M2P leg that the measured
+//     packing-buffer and ingress occupancy integrals already contain, and
+//   - the mesh hop returning data to the CHA is booked under CompCHA,
+//     not the device components.
+//
+// So the recorder-side occupancy L_flight = Σ devResidency / clocks must
+// equal Q_flex + Q_dimm + λ·(Mesh − Ctrl − M2P), with λ the CXL
+// demand-load rate.  A fault-free pointer chase keeps the comparison
+// tight: one outstanding load, no prefetch training, no dirty victims
+// extending completions.
+func TestViolationBundleResidencyCrossCheck(t *testing.T) {
+	plan := &cxl.FaultPlan{Seed: 9}
+	c := Case{Seed: 9, Plan: plan, Workload: "chase", Cycles: DefaultCycles}
+	trip := Invariant{Name: "forced", Check: func(*Probe) string { return "harvest a bundle" }}
+	res, err := Run(c, []Invariant{trip}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violates("forced") {
+		t.Fatalf("forced invariant did not trip: %+v", res.Violations)
+	}
+	if res.Bundle == nil {
+		t.Fatal("violating case produced no bundle")
+	}
+
+	b, err := obs.ReadBundle(bytes.NewReader(res.Bundle))
+	if err != nil {
+		t.Fatalf("bundle does not parse: %v", err)
+	}
+	if b.Trigger != "chaos-violation" {
+		t.Fatalf("trigger = %q", b.Trigger)
+	}
+	if b.FaultPlan != plan.String() {
+		t.Fatalf("bundle plan %q, want %q", b.FaultPlan, plan.String())
+	}
+	if !b.Flight.Enabled || b.Flight.Records == 0 || len(b.Flight.Tail) == 0 {
+		t.Fatalf("flight section empty: records=%d tail=%d", b.Flight.Records, len(b.Flight.Tail))
+	}
+
+	var aux struct {
+		Clocks float64            `json:"clocks"`
+		Queues map[string]float64 `json:"queues"`
+	}
+	if err := json.Unmarshal(b.Aux, &aux); err != nil {
+		t.Fatalf("aux does not parse: %v", err)
+	}
+	if aux.Clocks == 0 {
+		t.Fatal("aux carries no run length")
+	}
+
+	loads := b.Flight.Classes[obs.FlightLoad]
+	cxlIdx := int(sim.SrvCXL)
+	n := float64(loads.ByLoc[cxlIdx])
+	if n == 0 {
+		t.Fatal("no CXL-served demand loads recorded")
+	}
+	lFlight := float64(loads.DevByLoc[cxlIdx]) / aux.Clocks
+	cfg := chaosConfig(plan)
+	k := core.ConstsFor(cfg)
+	correction := k.Mesh - float64(cfg.CXLCtrlLat+cfg.M2PLat)
+	lambda := n / aux.Clocks
+	lAnalyzer := aux.Queues["drd_flexbus_mc"] + aux.Queues["drd_cxl_dimm"] + lambda*correction
+	if lAnalyzer == 0 {
+		t.Fatal("analyzer estimates in aux are zero")
+	}
+	if rel := math.Abs(lFlight-lAnalyzer) / lAnalyzer; rel > 0.10 {
+		t.Fatalf("device occupancy mismatch: flight %.4f vs analyzer %.4f (%.1f%% off)",
+			lFlight, lAnalyzer, 100*rel)
+	}
+
+	// The promoted spans individually tell the same story: each tail
+	// record's device residency matches the analyzer-implied per-request
+	// wait W = (Q_flex+Q_dimm)/λ + correction.  The chase workload has a
+	// near-constant request latency, so even the promoted tail (by
+	// construction the slowest requests) stays within the same 10%.
+	wAnalyzer := (aux.Queues["drd_flexbus_mc"]+aux.Queues["drd_cxl_dimm"])/lambda + correction
+	checked := 0
+	for _, tr := range b.Flight.Tail {
+		if int(tr.Loc) != cxlIdx || tr.Class != obs.FlightLoad {
+			continue
+		}
+		checked++
+		devRes := float64(tr.Latency() - uint64(tr.MemEnter))
+		if rel := math.Abs(devRes-wAnalyzer) / wAnalyzer; rel > 0.10 {
+			t.Fatalf("promoted span seq=%d device residency %.0f vs analyzer wait %.0f (%.1f%% off)",
+				tr.Seq, devRes, wAnalyzer, 100*rel)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no promoted CXL load spans to cross-check")
+	}
+}
+
+// TestCleanRunShipsNoBundle: bundles are violation postmortems, not a tax
+// on healthy cases.
+func TestCleanRunShipsNoBundle(t *testing.T) {
+	c, err := GenCase(100, testCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("seed 100 tripped: %+v", res.Violations)
+	}
+	if res.Bundle != nil {
+		t.Fatal("clean run carried a bundle")
 	}
 }
 

@@ -217,6 +217,41 @@ func TestFastpathGoldenTracerAttached(t *testing.T) {
 	}
 }
 
+// TestFastpathGoldenFlightAttached: the always-on flight recorder files a
+// record for every completed request, so unlike the sampling tracer it is
+// active on the inline fast path itself.  Digests must stay byte-identical
+// with it enabled, and the recorder must see the identical request
+// population in both engine modes.
+func TestFastpathGoldenFlightAttached(t *testing.T) {
+	var stats [2]struct {
+		records, promoted uint64
+	}
+	i := 0
+	fastpathGolden(t, 2, 1_000_000,
+		func(t *testing.T, m *sim.Machine, local, cxlReg workload.Region) func() {
+			fl := obs.NewFlight(m.Cores(), 2048, 128)
+			fl.Enable()
+			m.SetFlight(fl)
+			m.Attach(0, workload.NewStream(cxlReg, 2, 0.2, 5))
+			m.Attach(1, workload.NewStream(local, 2, 0.2, 6))
+			slot := &stats[i]
+			i++
+			return func() {
+				slot.records = fl.RecordsTotal()
+				slot.promoted = fl.Promoted()
+			}
+		})
+	if stats[0] != stats[1] {
+		t.Fatalf("flight stats differ: fast=%+v dispatch=%+v", stats[0], stats[1])
+	}
+	if stats[0].records == 0 {
+		t.Fatal("flight recorder filed no records")
+	}
+	if stats[0].promoted == 0 {
+		t.Fatal("no promotions over a mixed local/CXL run; threshold pipeline dead")
+	}
+}
+
 // TestFastpathStepEquivalence drives the same workload via one big
 // RunUntil (run-ahead eligible) and via repeated short Run slices (which
 // constantly re-clips the horizon), requiring identical digests.  This

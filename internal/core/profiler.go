@@ -52,6 +52,18 @@ type Spec struct {
 	// All publishing happens at epoch-sync boundaries from the profiler's
 	// own goroutine, so a concurrent scrape only ever reads atomics.
 	Metrics *obs.Registry
+
+	// Flight, when non-nil, is stamped with the running epoch ordinal
+	// (1-based) before each epoch, so promoted tail records carry the
+	// profiler context they happened under.
+	Flight *obs.Flight
+
+	// FlightDump, when set, is fired with a trigger name when an epoch
+	// trips the watchdog — the run is misbehaving, so the flight
+	// recorder's tail is dumped as a postmortem bundle while the evidence
+	// is fresh.  A dump failure is reported in the epoch Note, never as a
+	// run error.
+	FlightDump func(trigger string) error
 }
 
 // EpochResult bundles one epoch's snapshot with the per-application
@@ -87,6 +99,8 @@ type Profiler struct {
 	plans map[string]*Plan
 
 	met *profMetrics // nil when Spec.Metrics is nil
+
+	epoch uint64 // epochs started, 1-based; stamped into the flight recorder
 }
 
 // profMetrics holds the epoch loop's registry handles.  Counters are
@@ -374,7 +388,18 @@ func (p *Profiler) publish(snap *Snapshot, truncated bool, note string, ran sim.
 
 // Step runs one scheduling epoch and returns its analyzed result.
 func (p *Profiler) Step() (*EpochResult, error) {
+	p.epoch++
+	if p.spec.Flight != nil {
+		p.spec.Flight.SetEpoch(p.epoch)
+	}
 	truncated, note, ran := p.runEpoch()
+	if truncated && p.spec.FlightDump != nil {
+		if err := p.spec.FlightDump("watchdog"); err != nil {
+			note += fmt.Sprintf("; flight bundle dump failed: %v", err)
+		} else {
+			note += "; flight bundle dumped (watchdog)"
+		}
+	}
 	snap := p.cap.Capture()
 	p.publish(snap, truncated, note, ran)
 	snap.Truncated = truncated

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
 
+	"pathfinder/internal/obs"
 	"pathfinder/internal/workload"
 )
 
@@ -72,6 +74,77 @@ func TestWatchdogIdleStopsEarly(t *testing.T) {
 	}
 	if win := res.Snapshot.End - res.Snapshot.Start; win >= 200_000_000 {
 		t.Fatalf("idle epoch ran the full %d-cycle window", win)
+	}
+}
+
+// TestWatchdogTripDumpsFlightBundle: a watchdog truncation is exactly the
+// moment the flight recorder's evidence matters, so the profiler fires the
+// FlightDump hook and stamps the outcome into the epoch note.  The epoch
+// ordinal must already be stamped on the recorder when the dump runs.
+func TestWatchdogTripDumpsFlightBundle(t *testing.T) {
+	m, _, cxlr := testRig(t)
+	fl := obs.NewFlight(m.Cores(), 256, 32)
+	fl.Enable()
+	m.SetFlight(fl)
+	var triggers []string
+	var epochAtDump uint64
+	p, err := NewProfiler(Spec{
+		Machine:     m,
+		Apps:        []AppRun{{Label: "chase", Core: 0, Gen: workload.NewPointerChase(region(cxlr), 0, 7)}},
+		EpochCycles: 50_000_000,
+		Epochs:      1,
+		Watchdog:    time.Nanosecond,
+		Flight:      fl,
+		FlightDump: func(trigger string) error {
+			triggers = append(triggers, trigger)
+			epochAtDump = fl.Epoch()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatalf("nanosecond watchdog did not truncate (note=%q)", res.Note)
+	}
+	if len(triggers) != 1 || triggers[0] != "watchdog" {
+		t.Fatalf("dump triggers = %v, want one watchdog trip", triggers)
+	}
+	if epochAtDump != 1 {
+		t.Fatalf("recorder epoch at dump = %d, want 1 (stamped before the epoch ran)", epochAtDump)
+	}
+	if !strings.Contains(res.Note, "flight bundle dumped") {
+		t.Fatalf("note = %q, want flight-dump notice", res.Note)
+	}
+}
+
+// A failing dump must degrade to a note, never a run error.
+func TestWatchdogFlightDumpFailureIsNonFatal(t *testing.T) {
+	m, _, cxlr := testRig(t)
+	p, err := NewProfiler(Spec{
+		Machine:     m,
+		Apps:        []AppRun{{Label: "chase", Core: 0, Gen: workload.NewPointerChase(region(cxlr), 0, 7)}},
+		EpochCycles: 50_000_000,
+		Epochs:      1,
+		Watchdog:    time.Nanosecond,
+		FlightDump:  func(string) error { return errors.New("disk full") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Step()
+	if err != nil {
+		t.Fatalf("dump failure escalated to a run error: %v", err)
+	}
+	if !res.Truncated {
+		t.Fatalf("watchdog did not truncate (note=%q)", res.Note)
+	}
+	if !strings.Contains(res.Note, "flight bundle dump failed") || !strings.Contains(res.Note, "disk full") {
+		t.Fatalf("note = %q, want dump-failure notice", res.Note)
 	}
 }
 

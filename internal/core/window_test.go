@@ -117,6 +117,56 @@ func TestWindowGoldenTracerEnabled(t *testing.T) {
 	}
 }
 
+// TestWindowGoldenFlightEnabled runs an always-on flight recorder under
+// every lane configuration.  Unlike the tracer, the recorder must NOT
+// force the sequential sweep — lanes defer shared promotion work to the
+// window barrier instead — and the PMU digests must stay byte-identical
+// with the dispatch-only baseline.  The recorder sees the same request
+// population in every mode; promotion decisions may legitimately differ
+// across lane configs (the quantile sketch is order-dependent), but never
+// the digests.
+func TestWindowGoldenFlightEnabled(t *testing.T) {
+	run := func(lanes int) (fastpathRun, uint64, sim.WindowStats) {
+		var records uint64
+		var ws sim.WindowStats
+		out := runWindowMode(t, lanes, 2, 1_000_000,
+			func(t *testing.T, m *sim.Machine, local, cxlReg workload.Region) func() {
+				fl := obs.NewFlight(m.Cores(), 2048, 128)
+				fl.Enable()
+				m.SetFlight(fl)
+				m.Attach(0, workload.NewStream(cxlReg, 2, 0.2, 5))
+				m.Attach(1, workload.NewStream(local, 2, 0.2, 6))
+				return func() {
+					records = fl.RecordsTotal()
+					ws = m.WindowStats()
+				}
+			})
+		return out, records, ws
+	}
+	base, baseRecords, _ := run(-1)
+	if baseRecords == 0 {
+		t.Fatal("flight recorder filed no records")
+	}
+	for _, lanes := range []int{1, 2} {
+		got, records, ws := run(lanes)
+		if got.now != base.now {
+			t.Fatalf("lanes=%d: final clock differs: %d vs %d", lanes, got.now, base.now)
+		}
+		if records != baseRecords {
+			t.Fatalf("lanes=%d: flight saw %d records, baseline %d", lanes, records, baseRecords)
+		}
+		if lanes >= 2 && ws.Windows == 0 {
+			t.Fatalf("lanes=%d: flight recorder suppressed parallel windows", lanes)
+		}
+		for e := range got.digests {
+			if !bytes.Equal(got.digests[e], base.digests[e]) {
+				t.Errorf("lanes=%d: epoch %d digest differs with flight enabled", lanes, e)
+				diffDigests(t, got.digests[e], base.digests[e])
+			}
+		}
+	}
+}
+
 // TestWindowStepEquivalence drives the same two-core workload through one
 // long Run and through many short slices under parallel lanes: slicing
 // re-clips the window horizon constantly, so this pins the H-boundary

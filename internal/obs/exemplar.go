@@ -1,0 +1,72 @@
+package obs
+
+import "sync"
+
+// Exemplar pins the most recent promoted request that landed in one
+// histogram bucket: the promotion sequence number and completion cycle are
+// enough to find the exact record in a flight bundle's tail store.
+// Prometheus text 0.0.4 has no exemplar syntax, so exemplars travel on the
+// /flight JSON document and in bundles instead of on /metrics.
+type Exemplar struct {
+	Bucket int     `json:"bucket"` // index into the bounds; len(bounds) = overflow
+	Seq    uint32  `json:"seq"`    // promotion sequence of the pinned request
+	Cycle  uint64  `json:"cycle"`  // completion cycle of the pinned request
+	Value  float64 `json:"value"`  // the observed value that was pinned
+	Count  uint64  `json:"count"`  // promotions that have hit this bucket
+}
+
+// ExemplarSet holds one exemplar slot per histogram bucket (the bounds
+// plus the overflow bucket).  Updates are rare — one per promotion, not
+// one per observation — so a plain mutex is fine.
+type ExemplarSet struct {
+	mu     sync.Mutex
+	bounds []float64
+	slots  []Exemplar
+}
+
+// NewExemplarSet builds a set over the same bucket bounds as the
+// histogram it annotates.
+func NewExemplarSet(bounds []float64) *ExemplarSet {
+	return &ExemplarSet{
+		bounds: append([]float64(nil), bounds...),
+		slots:  make([]Exemplar, len(bounds)+1),
+	}
+}
+
+// Bounds returns the bucket upper bounds (the overflow bucket is implied).
+func (s *ExemplarSet) Bounds() []float64 {
+	return append([]float64(nil), s.bounds...)
+}
+
+// Mark pins (seq, cycle) as the exemplar of the bucket v falls into,
+// replacing any previous exemplar there.
+func (s *ExemplarSet) Mark(v float64, seq uint32, cycle uint64) {
+	b := len(s.bounds)
+	for i, ub := range s.bounds {
+		if v <= ub {
+			b = i
+			break
+		}
+	}
+	s.mu.Lock()
+	sl := &s.slots[b]
+	sl.Bucket = b
+	sl.Seq = seq
+	sl.Cycle = cycle
+	sl.Value = v
+	sl.Count++
+	s.mu.Unlock()
+}
+
+// Snapshot returns the populated exemplar slots in bucket order.
+func (s *ExemplarSet) Snapshot() []Exemplar {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Exemplar, 0, len(s.slots))
+	for _, sl := range s.slots {
+		if sl.Count > 0 {
+			out = append(out, sl)
+		}
+	}
+	return out
+}

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -56,6 +58,100 @@ func TestHistogram(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestHistogramBucketInvariants is the table-driven le-label contract for
+// WritePrometheus: buckets render in ascending le order, counts are
+// cumulative and nondecreasing, the explicit +Inf bucket is always present,
+// and it equals _count.
+func TestHistogramBucketInvariants(t *testing.T) {
+	cases := []struct {
+		name    string
+		bounds  []float64
+		samples []float64
+	}{
+		{"empty", []float64{1, 10, 100}, nil},
+		{"all_underflow", []float64{10, 100}, []float64{1, 2, 3}},
+		{"all_overflow", []float64{10, 100}, []float64{1000, 2000}},
+		{"on_boundaries", []float64{10, 100, 1000}, []float64{10, 100, 1000}},
+		{"spread", []float64{8, 64, 512, 4096}, []float64{1, 9, 70, 600, 5000, 5000, 100000}},
+		{"single_bucket", []float64{50}, []float64{25, 75}},
+		{"unsorted_bounds", []float64{100, 1, 10}, []float64{0.5, 5, 50, 500}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			h := r.Histogram("pf_inv_cycles", "invariant probe", tc.bounds)
+			for _, v := range tc.samples {
+				h.Observe(v)
+			}
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Fatal(err)
+			}
+
+			var les []string
+			var cums []uint64
+			var count uint64
+			haveCount := false
+			for _, line := range strings.Split(sb.String(), "\n") {
+				if strings.HasPrefix(line, "pf_inv_cycles_bucket{le=") {
+					var le string
+					var n uint64
+					if _, err := fmt.Sscanf(line, "pf_inv_cycles_bucket{le=%q} %d", &le, &n); err != nil {
+						t.Fatalf("unparseable bucket line %q: %v", line, err)
+					}
+					les = append(les, le)
+					cums = append(cums, n)
+				}
+				if strings.HasPrefix(line, "pf_inv_cycles_count ") {
+					if _, err := fmt.Sscanf(line, "pf_inv_cycles_count %d", &count); err != nil {
+						t.Fatalf("unparseable count line %q: %v", line, err)
+					}
+					haveCount = true
+				}
+			}
+
+			if want := len(tc.bounds) + 1; len(les) != want {
+				t.Fatalf("rendered %d buckets, want %d (bounds + explicit +Inf)", len(les), want)
+			}
+			if les[len(les)-1] != "+Inf" {
+				t.Fatalf("last bucket le = %q, want +Inf", les[len(les)-1])
+			}
+			for i := 0; i+1 < len(les)-1; i++ {
+				a, errA := strconv.ParseFloat(les[i], 64)
+				b, errB := strconv.ParseFloat(les[i+1], 64)
+				if errA != nil || errB != nil {
+					t.Fatalf("non-numeric finite le labels %q, %q", les[i], les[i+1])
+				}
+				if a >= b {
+					t.Fatalf("le labels not ascending: %q then %q", les[i], les[i+1])
+				}
+			}
+			for i := 1; i < len(cums); i++ {
+				if cums[i] < cums[i-1] {
+					t.Fatalf("cumulative counts decrease at bucket %d: %v", i, cums)
+				}
+			}
+			if !haveCount {
+				t.Fatal("no _count series rendered")
+			}
+			if inf := cums[len(cums)-1]; inf != count || inf != uint64(len(tc.samples)) {
+				t.Fatalf("+Inf bucket %d, _count %d, observations %d — all must match",
+					inf, count, len(tc.samples))
+			}
+			// Per-bucket counts recovered from the cumulative rendering must
+			// match the histogram's own non-cumulative view.
+			raw := h.BucketCounts()
+			prev := uint64(0)
+			for i, c := range cums {
+				if got := c - prev; got != raw[i] {
+					t.Fatalf("bucket %d: rendered delta %d, BucketCounts %d", i, got, raw[i])
+				}
+				prev = c
+			}
+		})
 	}
 }
 

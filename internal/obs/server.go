@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -20,6 +21,8 @@ type StatusFunc func() any
 //	/metrics      Prometheus text exposition of a Registry
 //	/status       JSON snapshot from the StatusFunc
 //	/trace        request-path spans as Chrome trace_event JSON (Perfetto)
+//	/flight       flight-recorder snapshot (tail store, thresholds, exemplars)
+//	/flight/dump  a full postmortem bundle, assembled on demand
 //	/debug/pprof  the standard Go profiling handlers
 //
 // Everything is stdlib; there are no external dependencies.
@@ -29,8 +32,13 @@ type Server struct {
 	status StatusFunc
 	ghz    float64
 
-	http *http.Server
-	addr net.Addr
+	flight *Flight
+	plan   string // canonical FaultPlan string for bundles, "" = healthy
+
+	mu     sync.Mutex
+	closed bool
+	http   *http.Server
+	addr   net.Addr
 }
 
 // NewServer builds a server over the given registry, tracer, and status
@@ -43,12 +51,22 @@ func NewServer(reg *Registry, tracer *Tracer, status StatusFunc, ghz float64) *S
 	return &Server{reg: reg, tracer: tracer, status: status, ghz: ghz}
 }
 
+// SetFlight attaches a flight recorder (and the fault-plan string bundles
+// should carry) so /flight and /flight/dump serve content.  Call before
+// Start.
+func (s *Server) SetFlight(f *Flight, faultPlan string) {
+	s.flight = f
+	s.plan = faultPlan
+}
+
 // Handler returns the introspection mux (useful for tests and embedding).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/flight", s.handleFlight)
+	mux.HandleFunc("/flight/dump", s.handleFlightDump)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -59,7 +77,7 @@ func (s *Server) Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "pathfinder introspection: /metrics /status /trace /debug/pprof/\n")
+		fmt.Fprint(w, "pathfinder introspection: /metrics /status /trace /flight /flight/dump /debug/pprof/\n")
 	})
 	return mux
 }
@@ -71,42 +89,64 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	s.mu.Lock()
 	s.addr = ln.Addr()
-	s.http = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	s.http = srv
+	s.closed = false
+	s.mu.Unlock()
 	go func() {
 		// ErrServerClosed after Close is the clean shutdown path; any other
 		// serve error leaves the endpoints dark but must not kill the run.
-		_ = s.http.Serve(ln)
+		_ = srv.Serve(ln)
 	}()
-	return s.addr, nil
+	return ln.Addr(), nil
 }
 
 // Addr returns the bound address after Start.
 func (s *Server) Addr() net.Addr { return s.addr }
 
-// Close stops the server immediately, dropping in-flight requests.
-func (s *Server) Close() error {
-	if s.http == nil {
+// stop claims the one-shot teardown: it returns the server to tear down
+// exactly once, and nil on every later call.  Close and Shutdown both go
+// through it, so Close-after-Shutdown, Shutdown-after-Close, and doubled
+// calls are all idempotent no-ops instead of racing on the listener.
+func (s *Server) stop() *http.Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.http == nil || s.closed {
 		return nil
 	}
-	return s.http.Close()
+	s.closed = true
+	return s.http
+}
+
+// Close stops the server immediately, dropping in-flight requests.  It is
+// idempotent, including after a Shutdown.
+func (s *Server) Close() error {
+	srv := s.stop()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
 }
 
 // Shutdown stops accepting new connections and waits up to timeout for
 // in-flight requests (a /metrics scrape, a /trace dump) to finish before
 // forcing the remaining connections closed.  It returns nil on a clean
-// drain and the context error when the timeout forced the close.
+// drain and the context error when the timeout forced the close.  Repeat
+// calls (and a Close that follows) are no-ops.
 func (s *Server) Shutdown(timeout time.Duration) error {
-	if s.http == nil {
+	srv := s.stop()
+	if srv == nil {
 		return nil
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	err := s.http.Shutdown(ctx)
+	err := srv.Shutdown(ctx)
 	if err != nil {
 		// The drain deadline passed with requests still in flight; force
 		// them closed so the caller is never stuck behind a slow scraper.
-		s.http.Close()
+		srv.Close()
 	}
 	return err
 }
@@ -139,4 +179,36 @@ func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition", `attachment; filename="pathfinder-spans.json"`)
 	_ = WriteChromeTrace(w, s.tracer.Records(), s.ghz)
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, _ *http.Request) {
+	if s.flight == nil {
+		http.Error(w, "no flight recorder attached (run with -flight)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(s.flight.Snapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleFlightDump(w http.ResponseWriter, _ *http.Request) {
+	if s.flight == nil {
+		http.Error(w, "no flight recorder attached (run with -flight)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="pathfinder-flight-bundle.json"`)
+	err := DumpBundle(w, BundleOpts{
+		Trigger:   "http",
+		Flight:    s.flight,
+		Metrics:   s.reg,
+		Status:    s.status,
+		FaultPlan: s.plan,
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }

@@ -196,3 +196,88 @@ func TestServerShutdownUnstarted(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression: Close after Shutdown (and doubled Shutdown/Close in any
+// order) must be idempotent no-ops.  The old code let a late Close race
+// the listener Shutdown had already torn down.
+func TestServerTeardownIdempotent(t *testing.T) {
+	s := NewServer(nil, nil, nil, 1)
+	if _, err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(time.Second); err != nil {
+		t.Fatalf("first Shutdown: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close after Shutdown: %v", err)
+	}
+	if err := s.Shutdown(time.Second); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+
+	// Close-first ordering on a fresh listen cycle.
+	if _, err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("restart after teardown: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := s.Shutdown(time.Second); err != nil {
+		t.Fatalf("Shutdown after Close: %v", err)
+	}
+}
+
+func TestServerFlightEndpoints(t *testing.T) {
+	// Without a recorder both endpoints 404.
+	bare := httptest.NewServer(NewServer(NewRegistry(), nil, nil, 1).Handler())
+	defer bare.Close()
+	if code, _ := get(t, bare.URL+"/flight"); code != http.StatusNotFound {
+		t.Fatalf("/flight without recorder = %d, want 404", code)
+	}
+	if code, _ := get(t, bare.URL+"/flight/dump"); code != http.StatusNotFound {
+		t.Fatalf("/flight/dump without recorder = %d, want 404", code)
+	}
+
+	fl := NewFlight(1, 16, 4)
+	fl.Enable()
+	fl.Record(0, flightRec(0, 0, 123))
+	reg := NewRegistry()
+	reg.Counter("pf_epochs_total", "epochs").Add(2)
+	s := NewServer(reg, nil, func() any { return map[string]int{"epoch": 2} }, 1)
+	s.SetFlight(fl, "seed=9,crc=1e-4")
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv.URL+"/flight")
+	if code != http.StatusOK {
+		t.Fatalf("/flight status = %d", code)
+	}
+	var snap FlightSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/flight not a snapshot: %v\n%s", err, body)
+	}
+	if !snap.Enabled || snap.Records != 1 {
+		t.Fatalf("/flight snapshot = %+v", snap)
+	}
+
+	code, body = get(t, srv.URL+"/flight/dump")
+	if code != http.StatusOK {
+		t.Fatalf("/flight/dump status = %d", code)
+	}
+	b, err := ReadBundle(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/flight/dump not a bundle: %v", err)
+	}
+	if b.Trigger != "http" || b.FaultPlan != "seed=9,crc=1e-4" {
+		t.Fatalf("bundle header = trigger %q plan %q", b.Trigger, b.FaultPlan)
+	}
+	if !strings.Contains(b.Metrics, "pf_epochs_total 2") {
+		t.Fatalf("bundle metrics missing counter:\n%s", b.Metrics)
+	}
+	if !strings.Contains(string(b.Status), `"epoch"`) {
+		t.Fatalf("bundle status lost: %s", b.Status)
+	}
+}

@@ -46,6 +46,13 @@ type Machine struct {
 	tr  *obs.Tracer
 	cur *obs.ReqRec
 
+	// fl is the attached flight recorder (nil when detached).  Unlike the
+	// sampled tracer it observes every demand load and store completion,
+	// filing packed records from the functional timing path — inline when
+	// the engine owns the clock, deferred through per-core pending buffers
+	// when window lanes are running (see the barrier in window.go).
+	fl *obs.Flight
+
 	// Window-parallel scheduling (see window.go).  lanes selects the mode:
 	// <0 forces every core step through the event engine (the golden-test
 	// baseline), 0 is auto (windowed; parallel lanes iff GOMAXPROCS>1),
@@ -320,6 +327,9 @@ func (m *Machine) load(c *Core, addr uint64, t Cycles, dep bool) Cycles {
 			rec.SealMem() // trainL1PF below may visit memory devices
 		}
 		m.trainL1PF(c, la, t)
+		if m.fl.Enabled() {
+			m.flightDone(c, obs.FlightLoad, addr, t, t+m.cfg.L1Lat, SrvL1, nil)
+		}
 		return t + 1
 	}
 	c.bank.Inc(pmu.MemLoadL1Miss)
@@ -336,6 +346,11 @@ func (m *Machine) load(c *Core, addr uint64, t Cycles, dep bool) Cycles {
 			rec.SealMem()
 		}
 		m.trainL1PF(c, la, t)
+		if m.fl.Enabled() {
+			// Stage times belong to the merged-into miss, which may predate
+			// this load's issue — record the merge latency alone.
+			m.flightDone(c, obs.FlightLoad, addr, t, e.done, SrvLFB, nil)
+		}
 		if dep {
 			res := accessResult{done: e.done, loc: SrvLFB, times: e.times,
 				missedL2: e.missedL2, missedLLC: e.missedLLC}
@@ -353,6 +368,9 @@ func (m *Machine) load(c *Core, addr uint64, t Cycles, dep bool) Cycles {
 		rec.Loc = res.loc.String()
 	}
 	m.trainL1PF(c, la, t)
+	if m.fl.Enabled() {
+		m.flightDone(c, obs.FlightLoad, addr, t, res.done, res.loc, &res.times)
+	}
 
 	if dep {
 		c.attributeLoadStall(t, res.done, &res)
@@ -985,7 +1003,7 @@ func (m *Machine) store(c *Core, addr uint64, t Cycles) Cycles {
 	drainAt += m.cfg.SBDrainCycles
 	c.sbNextFree = drainAt
 
-	done := m.drainStore(c, la, drainAt)
+	done, loc, times := m.drainStore(c, la, drainAt)
 	// x86-TSO: stores commit to the cache in program order, so one slow
 	// RFO holds every younger store in the buffer behind it.
 	if done < c.sbLastDone {
@@ -1001,12 +1019,18 @@ func (m *Machine) store(c *Core, addr uint64, t Cycles) Cycles {
 	if rec := m.cur; rec != nil {
 		rec.Span(obs.StageReq, t, done)
 	}
+	if m.fl.Enabled() {
+		m.flightDone(c, obs.FlightStore, addr, t, done, loc, &times)
+	}
 	return start + 1
 }
 
 // drainStore commits one store to the L1D at time t, acquiring ownership
-// via RFO when the line is not held in M/E state (§2.2 path #2).
-func (m *Machine) drainStore(c *Core, la uint64, t Cycles) Cycles {
+// via RFO when the line is not held in M/E state (§2.2 path #2).  It
+// returns the commit time, where the ownership was served from, and the
+// RFO's stage times (zero for the M/E fast path, which never leaves the
+// core).
+func (m *Machine) drainStore(c *Core, la uint64, t Cycles) (Cycles, ServeLoc, reqTimes) {
 	if ln := c.l1.Lookup(la); ln != nil {
 		if ln.State == Modified || ln.State == Exclusive {
 			ln.State = Modified
@@ -1014,7 +1038,7 @@ func (m *Machine) drainStore(c *Core, la uint64, t Cycles) Cycles {
 				rec.Loc = SrvL1.String()
 				rec.SealMem()
 			}
-			return t + m.cfg.L1Lat
+			return t + m.cfg.L1Lat, SrvL1, reqTimes{}
 		}
 		// Shared/Forward: upgrade via RFO below.
 	}
@@ -1028,7 +1052,7 @@ func (m *Machine) drainStore(c *Core, la uint64, t Cycles) Cycles {
 	if res.loc == SrvL2 {
 		c.bank.Inc(pmu.MemStoreL2Hit)
 	}
-	return res.done + m.cfg.L1Lat
+	return res.done + m.cfg.L1Lat, res.loc, res.times
 }
 
 // ---------------------------------------------------------------------------
@@ -1228,6 +1252,68 @@ func (m *Machine) SetTracer(tr *obs.Tracer) { m.tr = tr }
 
 // Tracer returns the attached tracer, or nil.
 func (m *Machine) Tracer() *obs.Tracer { return m.tr }
+
+// SetFlight attaches a flight recorder (nil detaches).  The recorder must
+// be sized for at least this machine's core count.  Attached but disabled
+// it costs one inlined atomic check per demand op; enabled it files a
+// packed record per completion without touching engine or PMU state, so
+// simulated timing is unchanged either way.  The machine also installs the
+// engine-depth probe promotions stamp into their context.
+func (m *Machine) SetFlight(f *obs.Flight) {
+	if f != nil && f.Cores() < len(m.cores) {
+		panic(fmt.Sprintf("sim: SetFlight: recorder sized for %d cores, machine has %d",
+			f.Cores(), len(m.cores)))
+	}
+	m.fl = f
+	if f != nil {
+		f.SetPendingProbe(m.PendingEvents)
+	}
+}
+
+// Flight returns the attached flight recorder, or nil.
+func (m *Machine) Flight() *obs.Flight { return m.fl }
+
+// flightDone files one completed demand request with the attached flight
+// recorder.  Callers have already checked m.fl.Enabled().  rt carries the
+// stage times for requests that left the core (nil for cache-served
+// completions).  Inside a parallel window the record is deferred to the
+// core's pending buffer — shared promotion state is only touched at the
+// barrier — so lanes never contend and the schedule stays deterministic.
+func (m *Machine) flightDone(c *Core, class uint8, addr uint64, issue, done Cycles, loc ServeLoc, rt *reqTimes) {
+	r := obs.FlightRec{
+		Addr:  addr,
+		Issue: uint64(issue),
+		Done:  uint64(done),
+		Core:  uint16(c.id),
+		Class: class,
+		Loc:   uint8(loc),
+		LFB:   uint8(len(c.lfb)),
+		SB:    uint8(len(c.sb)),
+	}
+	if rt != nil {
+		r.L2Start = flightDelta(issue, rt.l2Start)
+		r.TOREnter = flightDelta(issue, rt.torEnter)
+		r.MemEnter = flightDelta(issue, rt.memEnter)
+	}
+	if m.eng.laneGuard {
+		m.fl.Defer(c.id, r)
+	} else {
+		m.fl.Record(c.id, r)
+	}
+}
+
+// flightDelta packs a stage timestamp as a cycle delta from issue; 0 means
+// the stage was never reached (or predates the issue, as in an LFB merge).
+func flightDelta(issue, at Cycles) uint32 {
+	if at <= issue {
+		return 0
+	}
+	d := at - issue
+	if d > 1<<32-1 {
+		d = 1<<32 - 1
+	}
+	return uint32(d)
+}
 
 // SetAccessHook installs fn as the memory-access observer: it fires for
 // every request served by a memory device (post-LLC), with the line

@@ -130,6 +130,67 @@ func TestTracerPrefetchDoesNotPolluteDemand(t *testing.T) {
 	}
 }
 
+// The demand-seal guards must hold when the machine is configured for
+// parallel window lanes: an enabled tracer forces the sequential sweep
+// (windows would scramble op order), but the sweep still runs multi-core
+// interleaved stepping with prefetchers training hard — a sampled record
+// on one core stays current while other cores (and its own prefetches)
+// issue device traffic, and none of it may leak into the sealed waterfall.
+func TestTracerDemandSealUnderWindowLanes(t *testing.T) {
+	m, local, cxlr := windowRig(t) // default prefetch degrees: streams train
+	m.SetLanes(2)
+	tr := obs.NewTracer(1<<13, 1)
+	tr.Enable()
+	m.SetTracer(tr)
+	m.Attach(0, workload.NewStream(cxlr, 2, 0.2, 1))
+	m.Attach(1, workload.NewStream(cxlr, 2, 0.1, 2))
+	m.Attach(2, workload.NewStream(local, 2, 0, 3))
+	m.Attach(3, workload.NewStream(cxlr, 2, 0.3, 4))
+	m.Run(300_000)
+	m.Sync()
+
+	if ws := m.WindowStats(); ws.Windows != 0 {
+		t.Fatalf("enabled tracer under SetLanes(2) opened %d parallel windows", ws.Windows)
+	}
+	recs := tr.Records()
+	if len(recs) == 0 {
+		t.Fatal("no records traced")
+	}
+	for i := range recs {
+		r := &recs[i]
+		byStage := stageSpans(r)
+		if len(byStage[obs.StageReq]) > 1 {
+			t.Fatalf("record %d has %d req spans", r.ID, len(byStage[obs.StageReq]))
+		}
+		// One device visit max: extra media/IMC spans could only come from
+		// prefetch or cross-core traffic filed into a stale record.
+		if len(byStage[obs.StageCXLMedia]) > 1 {
+			t.Fatalf("record %d has %d media spans (demand-seal breach)",
+				r.ID, len(byStage[obs.StageCXLMedia]))
+		}
+		if len(byStage[obs.StageIMC]) > 1 {
+			t.Fatalf("record %d has %d IMC spans (demand-seal breach)",
+				r.ID, len(byStage[obs.StageIMC]))
+		}
+		if len(byStage[obs.StageCXLMedia]) > 0 && len(byStage[obs.StageIMC]) > 0 {
+			t.Fatalf("record %d (loc %s) carries both IMC and CXL media spans", r.ID, r.Loc)
+		}
+		if r.Loc == SrvL1.String() || r.Loc == SrvL2.String() || r.Loc == SrvLFB.String() {
+			if len(byStage[obs.StageCXLMedia]) != 0 || len(byStage[obs.StageIMC]) != 0 {
+				t.Fatalf("cache-served record %d carries device spans: %+v", r.ID, r.Spans())
+			}
+		}
+		// Spans nest inside the request envelope.
+		if req, ok := byStage[obs.StageReq]; ok {
+			for _, sp := range r.Spans() {
+				if sp.Start < req[0].Start || sp.End > req[0].End {
+					t.Fatalf("record %d: span %+v escapes request envelope %+v", r.ID, sp, req[0])
+				}
+			}
+		}
+	}
+}
+
 func TestTracerDisabledRecordsNothing(t *testing.T) {
 	as := testSpace(t)
 	r, err := as.Alloc(1<<20, mem.Fixed(2))

@@ -509,6 +509,11 @@ func (m *Machine) tryParallelWindow(minC *Core, bound, eWhen Cycles, eOk bool, l
 	// (cycle, coreID) order, fold op counts, and re-sequence the pending
 	// steps in commit-key order so engine-mode comparability is restored.
 	m.mergeLaneObs(s.parts)
+	if m.fl.Enabled() {
+		// Flight records deferred by lanes run the shared promotion
+		// pipeline here, outside the lane guard, in core order.
+		m.fl.MergeDeferred()
+	}
 	consumed := Cycles(1)
 	var totalOps uint64
 	for _, c := range s.parts {

@@ -7,13 +7,16 @@ set -eu
 
 log=$(mktemp)
 bin=$(mktemp)
-trap 'kill $pid 2>/dev/null || true; rm -f "$log" "$bin"' EXIT
+bundle=$(mktemp)
+trap 'kill $pid 2>/dev/null || true; rm -f "$log" "$bin" "$bundle"' EXIT
 
 # Two apps on parallel lanes (no tracing: an enabled tracer forces the
 # sequential sweep) so the window scheduler demonstrably opens windows.
+# The flight recorder rides along at its default sizing and dumps its
+# postmortem bundle to $bundle on SIGQUIT.
 go build -o "$bin" ./cmd/pathfinder
 "$bin" -serve 127.0.0.1:0 -apps LBM:cxl,MCF:local -lanes 2 -epochs 2 \
-    -epoch-kcycles 200 -report flows >"$log" 2>&1 &
+    -epoch-kcycles 200 -report flows -flight-dump "$bundle" >"$log" 2>&1 &
 pid=$!
 
 # The bound address is printed as "pathfinder: serving on http://HOST:PORT".
@@ -58,6 +61,31 @@ grep -q '"epochs"' /tmp/obs_smoke_status || fail "/status JSON lacks epoch field
 grep -q '"inline_steps"' /tmp/obs_smoke_status || fail "/status JSON lacks engine section"
 grep -q '"barrier_merges"' /tmp/obs_smoke_status || fail "/status JSON lacks window scheduler fields"
 grep -q '"lanes": *2' /tmp/obs_smoke_status || fail "/status does not report the configured lane count"
+
+# The flight recorder must be live: /flight serves its snapshot with real
+# records filed by the run.
+code=$(curl -s -o /tmp/obs_smoke_flight -w '%{http_code}' "$url/flight")
+[ "$code" = 200 ] || fail "/flight returned $code"
+grep -q '"enabled": *true' /tmp/obs_smoke_flight || fail "/flight reports the recorder disabled"
+grep -q '"records"' /tmp/obs_smoke_flight || fail "/flight JSON lacks a records count"
+records=$(sed -n 's/.*"records": *\([0-9][0-9]*\).*/\1/p' /tmp/obs_smoke_flight | head -1)
+[ -n "$records" ] && [ "$records" -gt 0 ] || fail "/flight shows zero records after a run"
+
+# SIGQUIT dumps a postmortem bundle (and keeps the process running): the
+# artifact must appear at -flight-dump and parse as a schema-1 bundle.
+kill -QUIT "$pid"
+for _ in $(seq 1 50); do
+    grep -q '^pathfinder: flight bundle (sigquit) written' "$log" && break
+    kill -0 "$pid" 2>/dev/null || fail "pathfinder died on SIGQUIT"
+    sleep 0.2
+done
+grep -q '^pathfinder: flight bundle (sigquit) written' "$log" || fail "no flight-bundle notice after SIGQUIT"
+kill -0 "$pid" 2>/dev/null || fail "SIGQUIT terminated the process (want dump-and-continue)"
+[ -s "$bundle" ] || fail "SIGQUIT bundle $bundle is missing or empty"
+grep -q '"schema": *1' "$bundle" || fail "bundle lacks the schema marker"
+grep -q '"trigger": *"sigquit"' "$bundle" || fail "bundle trigger is not sigquit"
+grep -q '"flight"' "$bundle" || fail "bundle lacks the flight section"
+grep -q '"tail"' "$bundle" || fail "bundle lacks the promoted tail store"
 
 # Graceful shutdown: SIGTERM drains and exits 0 rather than being killed.
 # Wait for the run to finish first — the signal handler is installed once
