@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz-short bench-json bench-regress obs-smoke soak soak-smoke all
+.PHONY: build test race vet fuzz-short bench-json bench-regress bench-sweep obs-smoke soak soak-smoke all
 
 all: build vet test
 
@@ -62,15 +62,23 @@ bench-json:
 # record through the per-core ring, quantile sketch, and histogram on every
 # completion (~18% on the pure CXL stream, the worst case: every op
 # completes); 25% bounds it without gating on noise.
+# The -max ceilings pin the simulator hot loops at 0 allocs/op and bound
+# their residual B/op.  The residual bytes at 0 allocs/op are amortized
+# one-time buffer growth (observer wheel buckets, pending-list slices)
+# divided by b.N — they shrink as -benchtime grows (34 -> 13 B/op from
+# 200k to 1M iterations on the CXL stream) and are NOT a steady-state
+# leak; the ceilings (~2x measured at 200k) catch a real per-op
+# allocation sneaking in, which would add >=16 B/op at these counts.
 bench-regress:
 	@tmp=$$(mktemp); trap 'rm -f '"$$tmp" EXIT; \
-	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) test -run '^$$' -bench 'SimCXLStream|SimMultiCoreStream|CaptureSnapshot|EpochLoop' -benchmem -benchtime 200000x -count 3 . \
+	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) test -run '^$$' -bench 'SimLocalStream|SimCXLStream|SimMultiCoreStream|CaptureSnapshot|EpochLoop' -benchmem -benchtime 200000x -count 3 . \
 		| tee "$$tmp" && \
 	$(GO) run ./cmd/benchregress \
 		-lanes $(BENCH_LANES) \
 		-watch 'BenchmarkSimCXLStream,BenchmarkSimMultiCoreStream,BenchmarkCaptureSnapshot,BenchmarkEpochLoop' \
 		-pair-tolerance 0.08 \
 		-pairs 'BenchmarkSimCXLStreamTracerOff=BenchmarkSimCXLStream,BenchmarkSimMultiCoreStreamTracerOff=BenchmarkSimMultiCoreStream,BenchmarkEpochLoopTracerOff=BenchmarkEpochLoop,BenchmarkSimMultiCoreStream=BenchmarkSimMultiCoreStreamLanesOff' \
+		-max 'BenchmarkSimLocalStream:allocs/op:0,BenchmarkSimCXLStream:allocs/op:0,BenchmarkSimMultiCoreStream:allocs/op:0,BenchmarkSimLocalStream:B/op:64,BenchmarkSimCXLStream:B/op:64,BenchmarkSimMultiCoreStream:B/op:256' \
 		"$$tmp" && \
 	$(GO) run ./cmd/benchregress \
 		-lanes $(BENCH_LANES) \
@@ -83,6 +91,28 @@ bench-regress:
 		-watch 'BenchmarkSimCXLStream' \
 		-pair-tolerance 0.25 \
 		-pairs 'BenchmarkSimCXLStreamFlightOn=BenchmarkSimCXLStreamFlightOff' \
+		"$$tmp"
+
+# Forked-vs-scratch sweep gate: restoring a warmed checkpoint per config
+# point must cost at most half of re-warming from scratch (measured ~27x
+# faster; the gate demands >=2x so it never trips on noise).  The
+# negative pair tolerance inverts the usual bound into a required
+# speedup: Forked ns/op may not exceed 0.5x Scratch ns/op.  -watch '' —
+# the sweep benchmarks are deliberately absent from the committed
+# baseline (each iteration runs a full 16-point sweep, far too slow for
+# bench-json's fixed iteration counts).  5 iterations amortize the
+# handful of one-time allocations (pool internals, timer) that would
+# otherwise round the forked loop's allocs/op up from zero.
+bench-sweep:
+	@tmp=$$(mktemp); trap 'rm -f '"$$tmp" EXIT; \
+	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) test -run '^$$' -bench 'BenchmarkSweep' -benchmem -benchtime 5x . \
+		| tee "$$tmp" && \
+	$(GO) run ./cmd/benchregress \
+		-lanes $(BENCH_LANES) \
+		-watch '' \
+		-pair-tolerance -0.5 \
+		-pairs 'BenchmarkSweepForked=BenchmarkSweepScratch' \
+		-max 'BenchmarkSweepForked:allocs/op:0' \
 		"$$tmp"
 
 # End-to-end check of `pathfinder -serve`: boots the introspection server
@@ -110,3 +140,4 @@ fuzz-short:
 	$(GO) test ./internal/cxl/ -run '^$$' -fuzz FuzzFlitDecode -fuzztime 10s
 	$(GO) test ./internal/cxl/ -run '^$$' -fuzz FuzzFlit256Feed -fuzztime 10s
 	$(GO) test ./internal/cxl/ -run '^$$' -fuzz FuzzParseFaultPlan -fuzztime 10s
+	$(GO) test ./internal/sim/ -run '^$$' -fuzz FuzzCheckpointRoundTrip -fuzztime 10s

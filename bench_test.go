@@ -513,6 +513,95 @@ func BenchmarkSimCXLStreamFlightOn(b *testing.B) {
 	}
 }
 
+// --- Checkpoint fork vs scratch sweep (E13, `make bench-sweep`) ---------------
+
+// A warm-heavy 16-point sweep: every config point shares a long warm
+// prefix and differs only in a short measured suffix — the shape the
+// copy-on-write checkpoint layer exists for.  Scratch re-simulates the
+// prefix per point; Forked pays it once, checkpoints, and forks.
+const (
+	sweepPoints = 16
+	sweepWarm   = sim.Cycles(2_000_000)
+	sweepSuffix = sim.Cycles(250_000)
+)
+
+// sweepBenchRig builds the 4-core mixed local/CXL machine the sweep pair
+// forks; every generator is workload.Forkable.
+func sweepBenchRig(b *testing.B) *sim.Machine {
+	b.Helper()
+	as := mem.NewAddressSpace(12, []mem.Node{
+		{ID: 0, Kind: mem.LocalDRAM, Capacity: 8 << 30},
+		{ID: 1, Kind: mem.CXLDRAM, Device: 0, Capacity: 8 << 30},
+	})
+	local, err := as.Alloc(32<<20, mem.Fixed(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cxlr, err := as.Alloc(32<<20, mem.Fixed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.SPR()
+	cfg.Cores = 4
+	cfg.LLCSlices = 8
+	cfg.LLCSize = 8 << 20
+	m := sim.New(cfg, as)
+	lr := workload.Region{Base: local.Base, Size: local.Size}
+	cr := workload.Region{Base: cxlr.Base, Size: cxlr.Size}
+	g0 := workload.NewStream(lr, 2, 0.2, 1)
+	g0.Reuse = 4
+	m.Attach(0, g0)
+	g1 := workload.NewStream(cr, 2, 0.2, 2)
+	g1.Reuse = 4
+	m.Attach(1, g1)
+	m.Attach(2, workload.NewGUPS(cr, 1, 0.1, 0.5, 3))
+	m.Attach(3, workload.NewPointerChase(lr, 2, 4))
+	return m
+}
+
+// BenchmarkSweepScratch is the baseline: every point of the 16-point sweep
+// re-simulates the warm prefix before its measured suffix.
+func BenchmarkSweepScratch(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for p := 0; p < sweepPoints; p++ {
+			m := sweepBenchRig(b)
+			m.Run(sweepWarm + sweepSuffix)
+		}
+	}
+}
+
+// BenchmarkSweepForked warms once, checkpoints, and runs the same 16-point
+// sweep by restoring the frozen image into a reused machine per point —
+// the steady-state of experiments.Sweep with a warm cache.  The timed fork
+// loop must stay at 0 allocs/op: RestoreInto copies into the machine's
+// existing buffers.  `make bench-sweep` gates this at ≤0.5x the Scratch
+// twin from the same run (the measured ratio is far lower; the warm/suffix
+// cycle ratio alone is 9x).
+func BenchmarkSweepForked(b *testing.B) {
+	src := sweepBenchRig(b)
+	src.Run(sweepWarm)
+	cp, err := src.Checkpoint()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := cp.Restore()
+	m.Run(sweepSuffix) // grow every reused buffer before the timed region
+	if err := cp.RestoreInto(m); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := 0; p < sweepPoints; p++ {
+			if err := cp.RestoreInto(m); err != nil {
+				b.Fatal(err)
+			}
+			m.Run(sweepSuffix)
+		}
+	}
+}
+
 // --- Ablations of DESIGN.md's called-out choices ------------------------------
 
 // BenchmarkAblationPrefetch quantifies the hardware prefetchers' latency

@@ -28,6 +28,8 @@ func main() {
 		"comma-separated Variant=Base same-run pairs to gate (e.g. BenchmarkSimCXLStreamTracerOff=BenchmarkSimCXLStream)")
 	pairTolerance := flag.Float64("pair-tolerance", 0.02,
 		"allowed ns/op growth of a pair's variant over its base, same run")
+	maxes := flag.String("max", "",
+		"comma-separated absolute metric ceilings (Name:metric:limit, e.g. BenchmarkSimCXLStream:B/op:64)")
 	lanes := flag.String("lanes", "auto",
 		"lane config the current run used (must match the baseline's recorded lanes)")
 	flag.Parse()
@@ -65,9 +67,14 @@ func main() {
 		fatal(fmt.Errorf("refusing to compare against %s: %w", basePath, err))
 	}
 
-	names := strings.Split(*watch, ",")
-	for i := range names {
-		names[i] = strings.TrimSpace(names[i])
+	// -watch '' gates pairs/ceilings only (e.g. `make bench-sweep`, whose
+	// benchmarks are deliberately absent from the committed baseline).
+	var names []string
+	if *watch != "" {
+		names = strings.Split(*watch, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
 	}
 	regs := benchparse.Compare(base, cur, names, *tolerance)
 
@@ -81,11 +88,24 @@ func main() {
 		}
 	}
 
-	if len(regs) == 0 && len(pairRegs) == 0 {
+	var maxRegs []benchparse.Regression
+	var maxList []string
+	if *maxes != "" {
+		maxList = strings.Split(*maxes, ",")
+		maxRegs, err = benchparse.CompareMax(cur, maxList)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if len(regs) == 0 && len(pairRegs) == 0 && len(maxRegs) == 0 {
 		fmt.Printf("benchregress: %d watched benchmarks within %.0f%% of %s",
 			len(names), *tolerance*100, basePath)
 		if len(pairList) > 0 {
 			fmt.Printf("; %d same-run pairs within %.0f%%", len(pairList), *pairTolerance*100)
+		}
+		if len(maxList) > 0 {
+			fmt.Printf("; %d metric ceilings held", len(maxList))
 		}
 		fmt.Println()
 		return
@@ -100,6 +120,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchregress: same-run pair regression (tolerance %.0f%%):\n",
 			*pairTolerance*100)
 		for _, r := range pairRegs {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+	}
+	if len(maxRegs) > 0 {
+		fmt.Fprintln(os.Stderr, "benchregress: pinned metric ceiling exceeded:")
+		for _, r := range maxRegs {
 			fmt.Fprintf(os.Stderr, "  %s\n", r)
 		}
 	}

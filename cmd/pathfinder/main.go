@@ -23,6 +23,7 @@ import (
 
 	"pathfinder/internal/core"
 	"pathfinder/internal/cxl"
+	"pathfinder/internal/experiments"
 	"pathfinder/internal/mem"
 	"pathfinder/internal/mem/tier"
 	"pathfinder/internal/obs"
@@ -67,16 +68,20 @@ func parsePlacement(s string) (mem.Policy, error) {
 // stores a fresh copy per epoch into an atomic.Value, so HTTP reads never
 // race the single-goroutine simulator.
 type runStatus struct {
-	Machine     string      `json:"machine"`
-	State       string      `json:"state"` // "running", "done"
-	Epoch       int         `json:"epoch"`
-	Epochs      int         `json:"epochs"`
-	EpochCycles uint64      `json:"epoch_cycles"`
-	Truncated   int         `json:"epochs_truncated"`
-	Note        string      `json:"last_note,omitempty"`
+	Machine     string       `json:"machine"`
+	State       string       `json:"state"` // "running", "done"
+	Epoch       int          `json:"epoch"`
+	Epochs      int          `json:"epochs"`
+	EpochCycles uint64       `json:"epoch_cycles"`
+	Truncated   int          `json:"epochs_truncated"`
+	Note        string       `json:"last_note,omitempty"`
 	Apps        []statusApp  `json:"apps"`
 	Engine      statusEngine `json:"engine"`
 	Link        *statusLink  `json:"cxl_link,omitempty"`
+
+	// Checkpoints reports the warmed-image cache (experiments.Sweep): soak
+	// and sweep runs watch it to confirm warm-prefix reuse is engaging.
+	Checkpoints experiments.CheckpointCacheStats `json:"checkpoint_cache"`
 }
 
 // statusEngine surfaces the run-ahead fast path's effectiveness: ops the
@@ -336,6 +341,7 @@ func main() {
 		for _, run := range runs {
 			st.Apps = append(st.Apps, statusApp{Label: run.Label, Core: run.Core})
 		}
+		st.Checkpoints = experiments.CheckpointCache()
 		ws := m.WindowStats()
 		st.Engine = statusEngine{
 			InlineSteps:      m.InlineSteps(),

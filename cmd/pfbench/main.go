@@ -24,13 +24,15 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: mlc, fig2, fig3, fig4, emr, table7, fig6, fig78, fig910, fig11, fig12, fig13, overhead, faults, or all")
+		"experiment: mlc, fig2, fig3, fig4, emr, table7, fig6, fig78, fig910, fig11, fig12, fig13, overhead, faults, sweep, or all")
 	machine := flag.String("machine", "spr", "machine model: spr or emr")
 	quick := flag.Bool("quick", false, "shorter runs (coarser numbers)")
 	parallel := flag.Int("parallel", runtime.NumCPU(),
 		"worker goroutines for independent machine runs (1 = serial)")
 	lanes := flag.Int("lanes", 0,
 		"window lanes per machine: 0 auto-budget (GOMAXPROCS/-parallel), 1 sequential sweep, n>1 capped parallel lanes, -1 engine dispatch only; results are lane-invariant")
+	warmCache := flag.Bool("warm-cache", false,
+		"fork warm-shared experiment matrices from cached warmed checkpoints instead of re-warming every point (identical results, much faster warm-heavy sweeps)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file")
 	traceFile := flag.String("trace", "", "write runtime execution trace to file")
@@ -140,6 +142,7 @@ func main() {
 
 	experiments.SetParallelism(*parallel)
 	experiments.SetLanes(*lanes)
+	experiments.SetWarmCache(*warmCache)
 
 	cfg := sim.SPR()
 	if *machine == "emr" {
@@ -243,23 +246,33 @@ func main() {
 			fmt.Fprintf(w, "YCSB throughput drop healthy -> sickest link: %.1f%%\n",
 				r.ThroughputDrop()*100)
 		},
+		"sweep": func(w io.Writer) {
+			fmt.Fprint(w, experiments.RunWarmSweep(cfg, *quick).Table())
+		},
 	}
 
 	order := []string{"mlc", "fig2", "fig3", "fig4", "emr", "table7", "fig6",
 		"fig78", "fig910", "fig11", "fig12", "fig13", "overhead", "baseline", "pool",
-		"faults"}
+		"faults", "sweep"}
 
 	if *exp == "all" {
 		runAll(order, runners, *parallel)
-		return
+	} else {
+		run, ok := runners[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of: %s, all\n",
+				*exp, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		run(os.Stdout)
 	}
-	run, ok := runners[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of: %s, all\n",
-			*exp, strings.Join(order, ", "))
-		os.Exit(2)
+	if *warmCache {
+		// Confirm prefix reuse actually engaged (the same stats ship on
+		// `pathfinder -serve` /status for soak runs).
+		s := experiments.CheckpointCache()
+		fmt.Fprintf(os.Stderr, "pfbench: checkpoint cache: %d images (%d bytes), %d hits, %d misses, %d forks\n",
+			s.Entries, s.Bytes, s.Hits, s.Misses, s.Forks)
 	}
-	run(os.Stdout)
 }
 
 // runAll executes the full suite.  Experiments run concurrently (each

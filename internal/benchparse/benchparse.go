@@ -194,11 +194,13 @@ func LaneMismatch(base, cur *Doc) error {
 	return nil
 }
 
-// Regression is one watched benchmark whose ns/op grew beyond tolerance.
+// Regression is one watched benchmark whose ns/op grew beyond tolerance,
+// or (Metric set) whose absolute metric value exceeded a pinned ceiling.
 type Regression struct {
 	Name            string
 	BaseNS, CurNS   float64
 	Growth          float64 // (cur-base)/base
+	Metric          string  // set by CompareMax: the asserted unit
 	MissingBaseline bool    // watched name absent from the baseline
 	MissingCurrent  bool    // watched name absent from the current run
 }
@@ -209,9 +211,54 @@ func (r Regression) String() string {
 		return fmt.Sprintf("%s: not in baseline (cannot gate)", r.Name)
 	case r.MissingCurrent:
 		return fmt.Sprintf("%s: missing from current run", r.Name)
+	case r.Metric != "":
+		return fmt.Sprintf("%s: %g %s exceeds pinned ceiling %g",
+			r.Name, r.CurNS, r.Metric, r.BaseNS)
 	}
 	return fmt.Sprintf("%s: %.0f ns/op -> %.0f ns/op (%+.1f%%)",
 		r.Name, r.BaseNS, r.CurNS, r.Growth*100)
+}
+
+// CompareMax gates absolute metric ceilings within the current run: each
+// spec is "Name:metric:limit" (e.g. "BenchmarkSimCXLStream:B/op:64") and
+// fails when the benchmark's metric exceeds the limit.  It pins
+// known-amortized costs — a B/op residual that is one-time buffer growth
+// spread over b.N stays documented and bounded instead of silently turning
+// into a real per-op allocation.  Repeated runs are collapsed to the
+// fastest, matching Compare.
+func CompareMax(cur *Doc, specs []string) ([]Regression, error) {
+	var out []Regression
+	for _, s := range specs {
+		s = strings.TrimSpace(s)
+		name, rest, ok := strings.Cut(s, ":")
+		if !ok {
+			return nil, fmt.Errorf("benchparse: bad max spec %q (want Name:metric:limit)", s)
+		}
+		metric, limStr, ok := strings.Cut(rest, ":")
+		if !ok {
+			return nil, fmt.Errorf("benchparse: bad max spec %q (want Name:metric:limit)", s)
+		}
+		limit, err := strconv.ParseFloat(limStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchparse: bad max spec %q: %v", s, err)
+		}
+		b := cur.Best(name)
+		if b == nil {
+			out = append(out, Regression{Name: name + " " + metric, Metric: metric, MissingCurrent: true})
+			continue
+		}
+		v, ok := b.Metrics[metric]
+		if !ok {
+			// A watched metric the run did not report (e.g. -benchmem
+			// missing) must fail loudly, not pass silently.
+			out = append(out, Regression{Name: name + " " + metric, Metric: metric, MissingCurrent: true})
+			continue
+		}
+		if v > limit {
+			out = append(out, Regression{Name: name, Metric: metric, BaseNS: limit, CurNS: v})
+		}
+	}
+	return out, nil
 }
 
 // ComparePairs gates variant benchmarks against their base WITHIN one run:

@@ -185,3 +185,70 @@ func TestComparePairs(t *testing.T) {
 		t.Fatal("malformed pair accepted")
 	}
 }
+
+// TestComparePairsNegativeTolerance: a negative tolerance demands the
+// variant be FASTER than its base by at least that fraction — the shape of
+// the `make bench-sweep` gate, where the forked sweep must run at most
+// half the scratch sweep's ns/op.
+func TestComparePairsNegativeTolerance(t *testing.T) {
+	cur := parseSample(t)
+	v := *cur.Find("BenchmarkSimCXLStream")
+	v.Name = "BenchmarkForked"
+	v.Metrics = map[string]float64{"ns/op": 992.9 * 0.30}
+	cur.Benchmarks = append(cur.Benchmarks, v)
+	pair := []string{"BenchmarkForked=BenchmarkSimCXLStream"}
+
+	// 3.3x faster passes a "must be ≥2x faster" (-0.5) gate.
+	regs, err := ComparePairs(cur, pair, -0.5)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("fast variant flagged: %v %v", regs, err)
+	}
+
+	// Only 1.4x faster fails it.
+	cur.Find("BenchmarkForked").Metrics["ns/op"] = 992.9 * 0.70
+	regs, err = ComparePairs(cur, pair, -0.5)
+	if err != nil || len(regs) != 1 {
+		t.Fatalf("insufficient speedup passed the gate: %v %v", regs, err)
+	}
+}
+
+func TestCompareMax(t *testing.T) {
+	cur := parseSample(t)
+
+	// 43 B/op under a 64 ceiling passes.
+	regs, err := CompareMax(cur, []string{"BenchmarkSimCXLStream:B/op:64"})
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("within-ceiling flagged: %v %v", regs, err)
+	}
+
+	// 43 B/op over a 32 ceiling fails with the asserted unit.
+	regs, err = CompareMax(cur, []string{"BenchmarkSimCXLStream:B/op:32"})
+	if err != nil || len(regs) != 1 || regs[0].Metric != "B/op" || regs[0].CurNS != 43 {
+		t.Fatalf("ceiling breach missed: %v %v", regs, err)
+	}
+
+	// Repetitions collapse to the fastest run, matching Compare.
+	noisy, _ := ParseLine("BenchmarkSimCXLStream-8   200000   900.0 ns/op   20 B/op   1 allocs/op")
+	cur.Benchmarks = append(cur.Benchmarks, noisy)
+	regs, err = CompareMax(cur, []string{"BenchmarkSimCXLStream:B/op:32"})
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("fastest-run collapse failed: %v %v", regs, err)
+	}
+
+	// A missing benchmark or unreported metric fails loudly.
+	regs, err = CompareMax(cur, []string{"BenchmarkNope:B/op:32"})
+	if err != nil || len(regs) != 1 || !regs[0].MissingCurrent {
+		t.Fatalf("missing benchmark: %v %v", regs, err)
+	}
+	regs, err = CompareMax(cur, []string{"BenchmarkSimCXLStream:J/op:32"})
+	if err != nil || len(regs) != 1 || !regs[0].MissingCurrent {
+		t.Fatalf("unreported metric: %v %v", regs, err)
+	}
+
+	// Malformed specs are usage errors.
+	for _, bad := range []string{"NoColons", "Name:B/op", "Name:B/op:abc"} {
+		if _, err := CompareMax(cur, []string{bad}); err == nil {
+			t.Fatalf("malformed spec %q accepted", bad)
+		}
+	}
+}

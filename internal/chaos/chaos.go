@@ -241,13 +241,33 @@ func CaseFor(seed uint64, planStr string, cycles uint64) (Case, error) {
 // a deterministic simulated cycle.
 const runChunks = 8
 
+// forkProbe threads the run-twice replay through a case run: the straight
+// leg checkpoints the machine at its midpoint chunk boundary and records
+// the suffix PMU digest from there to completion; the forked leg restores
+// the image and replays the same suffix.  Byte-identical suffix digests
+// prove both determinism and restore-equivalence on this exact case; skip
+// records why no checkpoint could be taken (the caller then falls back to
+// a full same-seed re-run).
+type forkProbe struct {
+	at       uint64 // simulated cycle the checkpoint was taken at
+	cp       *sim.Checkpoint
+	skip     error
+	straight core.Digest
+	forked   core.Digest
+}
+
 // Run executes one case: build the rig fresh, drive the workload through
 // the fault plan, snapshot every PMU, evaluate the invariant monitors
 // (plus any extras), and digest the counters.  A panic anywhere inside
 // the simulator or analyzer becomes a "panic" violation rather than
 // taking the process down.  charge, when non-nil, is called with the
 // simulated cycles of each chunk and aborts the run when it errors.
-func Run(c Case, extra []Invariant, charge func(uint64) error) (res *Result, err error) {
+func Run(c Case, extra []Invariant, charge func(uint64) error) (*Result, error) {
+	return runCase(c, extra, charge, nil)
+}
+
+// runCase is Run plus the optional mid-run fork probe.
+func runCase(c Case, extra []Invariant, charge func(uint64) error, fp *forkProbe) (res *Result, err error) {
 	res = &Result{}
 	defer func() {
 		if r := recover(); r != nil {
@@ -292,6 +312,7 @@ func Run(c Case, extra []Invariant, charge func(uint64) error) (res *Result, err
 	if chunk == 0 {
 		chunk = c.Cycles
 	}
+	var suffixCap *core.Capturer
 	var done uint64
 	for done < c.Cycles {
 		step := chunk
@@ -305,8 +326,32 @@ func Run(c Case, extra []Invariant, charge func(uint64) error) (res *Result, err
 				return res, err
 			}
 		}
+		// Midpoint checkpoint for the run-twice replay: taken at a chunk
+		// boundary (never inside an open window) with suffix cycles left to
+		// replay.  A machine that cannot be checkpointed records why, and
+		// the caller falls back to a full second run.
+		if fp != nil && fp.cp == nil && fp.skip == nil && done >= c.Cycles/2 {
+			if done == c.Cycles {
+				fp.skip = fmt.Errorf("chaos: case too short to fork (%d cycles)", c.Cycles)
+			} else if cp, cerr := m.Checkpoint(); cerr != nil {
+				fp.skip = cerr
+			} else {
+				fp.at = done
+				fp.cp = cp
+				suffixCap = core.NewCapturer(m)
+			}
+		}
 	}
 	m.Sync()
+
+	if suffixCap != nil {
+		ssnap := suffixCap.Capture()
+		fp.straight = core.EncodeDigest(ssnap)
+		ssnap.Release()
+		if err := runForkedSuffix(fp, c.Cycles, chunk, charge); err != nil {
+			return res, err
+		}
+	}
 
 	snap := cap.Capture()
 	defer snap.Release()
@@ -323,6 +368,35 @@ func Run(c Case, extra []Invariant, charge func(uint64) error) (res *Result, err
 		res.Bundle = violationBundle(c, fl, probe, snap.Cycles())
 	}
 	return res, nil
+}
+
+// runForkedSuffix replays the case suffix on a fork restored from the
+// midpoint checkpoint, filling fp.forked with the suffix PMU digest.  The
+// fork carries the straight leg's lane setting and fault-plan state by
+// construction; the flight recorder is deliberately left detached (it does
+// not influence PMU counters).  Charging mirrors the straight leg's chunk
+// cadence so supervised soaks account the replayed cycles.
+func runForkedSuffix(fp *forkProbe, cycles, chunk uint64, charge func(uint64) error) error {
+	m := fp.cp.Restore()
+	cap := core.NewCapturer(m)
+	for done := fp.at; done < cycles; {
+		step := chunk
+		if rest := cycles - done; rest < step {
+			step = rest
+		}
+		m.Run(sim.Cycles(step))
+		done += step
+		if charge != nil {
+			if err := charge(step); err != nil {
+				return err
+			}
+		}
+	}
+	m.Sync()
+	snap := cap.Capture()
+	fp.forked = core.EncodeDigest(snap)
+	snap.Release()
+	return nil
 }
 
 // Flight-recorder sizing for chaos rigs: cases are short, so modest rings

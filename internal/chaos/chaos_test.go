@@ -54,6 +54,47 @@ func TestSoakClean(t *testing.T) {
 	}
 }
 
+// TestRunTwiceForkEngages: the run-twice replay must actually fork from a
+// midpoint checkpoint on every workload row — including the multicore row
+// under parallel lanes — not silently fall back to a full second run, and
+// the forked suffix digest must match the straight leg byte for byte.
+func TestRunTwiceForkEngages(t *testing.T) {
+	covered := map[string]bool{}
+	for seed := uint64(1); seed < 40 && len(covered) < len(workloadNames); seed++ {
+		c, err := GenCase(seed, testCycles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if covered[c.Workload] {
+			continue
+		}
+		covered[c.Workload] = true
+		fp := &forkProbe{}
+		res, err := runCase(c, nil, nil, fp)
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, c.Workload, err)
+		}
+		if fp.cp == nil {
+			t.Fatalf("seed %d (%s): no midpoint checkpoint taken: %v", seed, c.Workload, fp.skip)
+		}
+		if fp.at == 0 || fp.at >= c.Cycles {
+			t.Fatalf("seed %d (%s): checkpoint at cycle %d of %d", seed, c.Workload, fp.at, c.Cycles)
+		}
+		if len(fp.straight) == 0 || !bytes.Equal(fp.straight, fp.forked) {
+			t.Fatalf("seed %d (%s): forked suffix digest diverged (%d vs %d bytes)",
+				seed, c.Workload, len(fp.straight), len(fp.forked))
+		}
+		for _, v := range res.Violations {
+			t.Errorf("seed %d (%s): unexpected violation [%s]: %s", seed, c.Workload, v.Invariant, v.Detail)
+		}
+	}
+	for _, w := range workloadNames {
+		if !covered[w] {
+			t.Errorf("workload row %q never generated in 40 seeds", w)
+		}
+	}
+}
+
 // TestSoakShrinkAndReplay drives the full failure pipeline with a
 // synthetic invariant that trips whenever M2S CRC noise is enabled: the
 // soak must report the violation with seed and plan, the shrinker must

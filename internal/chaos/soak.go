@@ -72,23 +72,41 @@ func writeFinding(w io.Writer, f *Finding) {
 		f.Shrunk.Seed, f.Shrunk.Plan.String())
 }
 
-// runChecked runs a case twice and folds same-seed divergence — the
-// determinism invariant — into the first run's result.
+// runChecked runs a case with the run-twice replay: the straight leg
+// checkpoints the machine at its midpoint, and the suffix is replayed on a
+// fork of the frozen image — re-simulating only half the case instead of
+// all of it.  Diverging suffix digests trip the replay-divergence
+// invariant (nondeterminism or a restore-equivalence break).  When the
+// case cannot be checkpointed (too short, a pending closure, a
+// non-forkable generator), it falls back to the full same-seed second run
+// compared end to end.
 func runChecked(c Case, extra []Invariant, charge func(uint64) error) (*Result, error) {
-	res, err := Run(c, extra, charge)
+	fp := &forkProbe{}
+	res, err := runCase(c, extra, charge, fp)
 	if err != nil {
 		return res, err
 	}
-	res2, err := Run(c, extra, charge)
-	if err != nil {
-		return res, err
+	if fp.cp == nil {
+		res2, err := Run(c, extra, charge)
+		if err != nil {
+			return res, err
+		}
+		if !bytes.Equal(res.Digest, res2.Digest) {
+			h1, h2 := sha256.Sum256(res.Digest), sha256.Sum256(res2.Digest)
+			res.Violations = append(res.Violations, Violation{
+				Invariant: "replay-divergence",
+				Detail: fmt.Sprintf("same-seed runs produced different PMU digests (%d vs %d bytes, sha %x vs %x)",
+					len(res.Digest), len(res2.Digest), h1[:4], h2[:4]),
+			})
+		}
+		return res, nil
 	}
-	if !bytes.Equal(res.Digest, res2.Digest) {
-		h1, h2 := sha256.Sum256(res.Digest), sha256.Sum256(res2.Digest)
+	if len(fp.straight) > 0 && len(fp.forked) > 0 && !bytes.Equal(fp.straight, fp.forked) {
+		h1, h2 := sha256.Sum256(fp.straight), sha256.Sum256(fp.forked)
 		res.Violations = append(res.Violations, Violation{
 			Invariant: "replay-divergence",
-			Detail: fmt.Sprintf("same-seed runs produced different PMU digests (%d vs %d bytes, sha %x vs %x)",
-				len(res.Digest), len(res2.Digest), h1[:4], h2[:4]),
+			Detail: fmt.Sprintf("forked replay from the cycle-%d checkpoint diverged from the straight run (suffix digests %d vs %d bytes, sha %x vs %x)",
+				fp.at, len(fp.straight), len(fp.forked), h1[:4], h2[:4]),
 		})
 	}
 	return res, nil

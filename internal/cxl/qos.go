@@ -95,6 +95,20 @@ func (t *LoadTracker) Current() DevLoad {
 // Cycles returns the accumulated cycles spent in class d.
 func (t *LoadTracker) Cycles(d DevLoad) uint64 { return t.cycles[d] }
 
+// CopyStateFrom copies src's integration state (occupancy, watermark,
+// per-class cycle totals) into t, for the checkpoint/restore layer in
+// internal/sim.  Both trackers must watch queues of the same capacity, or
+// the class bands would diverge after the copy.
+func (t *LoadTracker) CopyStateFrom(src *LoadTracker) {
+	if t.capacity != src.capacity {
+		panic(fmt.Sprintf("cxl: LoadTracker.CopyStateFrom across capacities %v and %v",
+			t.capacity, src.capacity))
+	}
+	t.occ = src.occ
+	t.last = src.last
+	t.cycles = src.cycles
+}
+
 // Dominant returns the class with the most accumulated cycles.
 func (t *LoadTracker) Dominant() DevLoad {
 	best := LightLoad

@@ -1,0 +1,34 @@
+package mem
+
+import "fmt"
+
+// Clone returns an independent copy of the address space: the page table,
+// per-node residency, and allocation high-water mark are duplicated so the
+// clone can Alloc and MovePage without affecting the original, while the
+// node descriptor table — immutable after NewAddressSpace — is shared by
+// reference.  This is the copy-on-write boundary the checkpoint layer in
+// internal/sim relies on.
+func (as *AddressSpace) Clone() *AddressSpace {
+	return &AddressSpace{
+		pageShift: as.pageShift,
+		nodes:     as.nodes,
+		pages:     append([]NodeID(nil), as.pages...),
+		used:      append([]uint64(nil), as.used...),
+		brk:       as.brk,
+	}
+}
+
+// CopyStateFrom copies src's mutable placement state (page table, per-node
+// residency, high-water mark) into as, reusing as's buffers.  Both spaces
+// must have the same page size and node count; they then share the same
+// immutable node table semantics, so the copy re-positions as exactly where
+// src is.
+func (as *AddressSpace) CopyStateFrom(src *AddressSpace) {
+	if as.pageShift != src.pageShift || len(as.nodes) != len(src.nodes) {
+		panic(fmt.Sprintf("mem: CopyStateFrom across incompatible spaces (pageShift %d/%d, nodes %d/%d)",
+			as.pageShift, src.pageShift, len(as.nodes), len(src.nodes)))
+	}
+	as.pages = append(as.pages[:0], src.pages...)
+	as.used = append(as.used[:0], src.used...)
+	as.brk = src.brk
+}

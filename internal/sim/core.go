@@ -191,12 +191,14 @@ func (c *Core) pruneLFB(now Cycles) {
 }
 
 // allocLFB finds a free LFB slot at or after t, returning the time the
-// slot becomes available and, when a wait occurred, the entry waited on
-// (for stall attribution).  FB-full wait cycles are counted here.
-func (c *Core) allocLFB(t Cycles, cap int) (Cycles, *lfbEntry) {
+// slot becomes available and, when a wait occurred, a copy of the entry
+// waited on (for stall attribution; by value — a returned pointer into
+// c.lfb would force a heap copy per full-buffer wait, the only simulator
+// hot-path allocation).  FB-full wait cycles are counted here.
+func (c *Core) allocLFB(t Cycles, cap int) (Cycles, lfbEntry, bool) {
 	c.pruneLFB(t)
 	if len(c.lfb) < cap {
-		return t, nil
+		return t, lfbEntry{}, false
 	}
 	// Wait for the earliest completion.
 	ei := 0
@@ -219,7 +221,7 @@ func (c *Core) allocLFB(t Cycles, cap int) (Cycles, *lfbEntry) {
 		c.fbFullUntil = w
 	}
 	c.pruneLFB(w)
-	return w, &waited
+	return w, waited, true
 }
 
 // demandLoadsOutstanding reports whether any LFB entry is a demand load —

@@ -44,9 +44,9 @@ const (
 	evBusyBegin               // target *pmu.BusyTracker
 	evBusyEnd
 	evBusyPulse // target *pmu.BusyTracker: Begin(now) + Release(arg)
-	evBankInc // target *pmu.Bank: Inc(Event(aux))
-	evBankAdd // target *pmu.Bank: Add(Event(aux), arg)
-	evServe   // target *Core: retired-load/OCR serve counters, aux=class|loc
+	evBankInc   // target *pmu.Bank: Inc(Event(aux))
+	evBankAdd   // target *pmu.Bank: Add(Event(aux), arg)
+	evServe     // target *Core: retired-load/OCR serve counters, aux=class|loc
 	evTOREnter
 	evTORLeave // target *chaSlice: TOR insert/occupancy edges, aux=class|loc
 	evTORPulse // target *chaSlice: TOR enter at now, leave queued at arg

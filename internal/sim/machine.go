@@ -60,6 +60,11 @@ type Machine struct {
 	lanes int
 	sched *laneSched
 	wstat WindowStats
+
+	// compTable is the reusable component-table scratch for checkpoint
+	// restore (see checkpoint.go); keeping it on the machine makes
+	// RestoreInto allocation-free in steady state.
+	compTable []any
 }
 
 // New assembles a machine from cfg over the given address space.
@@ -391,11 +396,11 @@ func (m *Machine) load(c *Core, addr uint64, t Cycles, dep bool) Cycles {
 // demand reads, software prefetches, L1 hardware prefetches, and RFOs —
 // everything that occupies a line-fill-buffer entry.
 func (m *Machine) missPath(c *Core, class ReqClass, la uint64, t Cycles) accessResult {
-	start, waitedOn := c.allocLFB(t, m.cfg.LFBEntries)
+	start, waitedOn, fbWaited := c.allocLFB(t, m.cfg.LFBEntries)
 	if rec := m.demandRec(class); rec != nil && start > t {
 		rec.Span(obs.StageLFB, t, start)
 	}
-	if waitedOn != nil && class == ClassDRd {
+	if fbWaited && class == ClassDRd {
 		blocked := accessResult{done: start, loc: SrvLFB, times: waitedOn.times,
 			missedL2: waitedOn.missedL2, missedLLC: waitedOn.missedLLC}
 		c.attributeLoadStall(t, start, &blocked)

@@ -1,0 +1,310 @@
+package workload
+
+import "fmt"
+
+// Forkable is a Generator whose mutable state can be duplicated, so a
+// warmed workload can continue independently on several simulated machines
+// (the checkpoint/fork layer in internal/sim).  Fork returns a new
+// generator of the same concrete type positioned exactly where the
+// receiver is: both produce byte-identical op streams from this point on.
+// Immutable substrate (CSR graphs, hash tables, recorded traces) is shared
+// by reference — forking costs the mutable state only.
+//
+// Fork returns nil when the generator cannot be forked (a composed
+// generator wrapping a non-Forkable); callers should use the package-level
+// Fork, which turns that into a descriptive error.
+//
+// CopyStateTo copies the receiver's mutable state into dst, reusing dst's
+// existing buffers, and reports whether dst was compatible (same concrete
+// type and composition shape).  It exists so a restore-into-existing-machine
+// path can re-position an already-allocated generator without allocating.
+type Forkable interface {
+	Generator
+	Fork() Generator
+	CopyStateTo(dst Generator) bool
+}
+
+// Fork duplicates g, returning a descriptive error when g (or any
+// generator it wraps) does not implement Forkable.
+func Fork(g Generator) (Generator, error) {
+	if g == nil {
+		return nil, nil
+	}
+	f, ok := g.(Forkable)
+	if !ok {
+		return nil, fmt.Errorf("workload: generator %T is not Forkable", g)
+	}
+	c := f.Fork()
+	if c == nil {
+		return nil, fmt.Errorf("workload: generator %T wraps a non-Forkable generator", g)
+	}
+	return c, nil
+}
+
+// CopyState copies src's mutable state into dst (see Forkable.CopyStateTo),
+// reporting whether dst was compatible.  Both nil counts as success.
+func CopyState(src, dst Generator) bool {
+	if src == nil || dst == nil {
+		return src == nil && dst == nil
+	}
+	f, ok := src.(Forkable)
+	if !ok {
+		return false
+	}
+	return f.CopyStateTo(dst)
+}
+
+// ---------------------------------------------------------------------------
+// Leaf generators: pure value state, so a dereferenced copy forks them.
+// ---------------------------------------------------------------------------
+
+// Fork implements Forkable.
+func (g *Stream) Fork() Generator { c := *g; return &c }
+
+// CopyStateTo implements Forkable.
+func (g *Stream) CopyStateTo(dst Generator) bool {
+	d, ok := dst.(*Stream)
+	if !ok {
+		return false
+	}
+	*d = *g
+	return true
+}
+
+// Fork implements Forkable.
+func (g *Stencil) Fork() Generator { c := *g; return &c }
+
+// CopyStateTo implements Forkable.
+func (g *Stencil) CopyStateTo(dst Generator) bool {
+	d, ok := dst.(*Stencil)
+	if !ok {
+		return false
+	}
+	*d = *g
+	return true
+}
+
+// Fork implements Forkable.
+func (g *PointerChase) Fork() Generator { c := *g; return &c }
+
+// CopyStateTo implements Forkable.
+func (g *PointerChase) CopyStateTo(dst Generator) bool {
+	d, ok := dst.(*PointerChase)
+	if !ok {
+		return false
+	}
+	*d = *g
+	return true
+}
+
+// Fork implements Forkable.
+func (g *GUPS) Fork() Generator { c := *g; return &c }
+
+// CopyStateTo implements Forkable.
+func (g *GUPS) CopyStateTo(dst Generator) bool {
+	d, ok := dst.(*GUPS)
+	if !ok {
+		return false
+	}
+	*d = *g
+	return true
+}
+
+// Fork implements Forkable.
+func (g *Zipf) Fork() Generator { c := *g; return &c }
+
+// CopyStateTo implements Forkable.
+func (g *Zipf) CopyStateTo(dst Generator) bool {
+	d, ok := dst.(*Zipf)
+	if !ok {
+		return false
+	}
+	*d = *g
+	return true
+}
+
+// Fork implements Forkable.
+func (g *Graph) Fork() Generator { c := *g; return &c }
+
+// CopyStateTo implements Forkable.
+func (g *Graph) CopyStateTo(dst Generator) bool {
+	d, ok := dst.(*Graph)
+	if !ok {
+		return false
+	}
+	*d = *g
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Composed generators: fork the wrapped generators, share immutable tables.
+// ---------------------------------------------------------------------------
+
+// Fork implements Forkable.
+func (m *Mix) Fork() Generator {
+	a, err := Fork(m.A)
+	if err != nil {
+		return nil
+	}
+	b, err := Fork(m.B)
+	if err != nil {
+		return nil
+	}
+	c := *m
+	c.A, c.B = a, b
+	return &c
+}
+
+// CopyStateTo implements Forkable.
+func (m *Mix) CopyStateTo(dst Generator) bool {
+	d, ok := dst.(*Mix)
+	if !ok || !CopyState(m.A, d.A) || !CopyState(m.B, d.B) {
+		return false
+	}
+	d.Frac = m.Frac
+	d.acc = m.acc
+	return true
+}
+
+// Fork implements Forkable.
+func (p *Phased) Fork() Generator {
+	c := *p
+	c.Phases = make([]Phase, len(p.Phases))
+	for i, ph := range p.Phases {
+		g, err := Fork(ph.Gen)
+		if err != nil {
+			return nil
+		}
+		c.Phases[i] = Phase{Gen: g, Ops: ph.Ops}
+	}
+	return &c
+}
+
+// CopyStateTo implements Forkable.
+func (p *Phased) CopyStateTo(dst Generator) bool {
+	d, ok := dst.(*Phased)
+	if !ok || len(d.Phases) != len(p.Phases) {
+		return false
+	}
+	for i := range p.Phases {
+		if !CopyState(p.Phases[i].Gen, d.Phases[i].Gen) {
+			return false
+		}
+		d.Phases[i].Ops = p.Phases[i].Ops
+	}
+	d.idx = p.idx
+	d.left = p.left
+	return true
+}
+
+// Fork implements Forkable.
+func (l *Limit) Fork() Generator {
+	g, err := Fork(l.G)
+	if err != nil {
+		return nil
+	}
+	c := *l
+	c.G = g
+	return &c
+}
+
+// CopyStateTo implements Forkable.
+func (l *Limit) CopyStateTo(dst Generator) bool {
+	d, ok := dst.(*Limit)
+	if !ok || !CopyState(l.G, d.G) {
+		return false
+	}
+	d.N = l.N
+	d.done = l.done
+	return true
+}
+
+// Fork implements Forkable.
+func (c *Counting) Fork() Generator {
+	g, err := Fork(c.G)
+	if err != nil {
+		return nil
+	}
+	n := *c
+	n.G = g
+	return &n
+}
+
+// CopyStateTo implements Forkable.
+func (c *Counting) CopyStateTo(dst Generator) bool {
+	d, ok := dst.(*Counting)
+	if !ok || !CopyState(c.G, d.G) {
+		return false
+	}
+	d.Loads, d.Stores, d.Prefetches = c.Loads, c.Stores, c.Prefetches
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Table-backed generators: the substrate (CSR graph, hash table, recorded
+// trace) is immutable after construction and shared; only traversal state
+// is copied.
+// ---------------------------------------------------------------------------
+
+// Fork implements Forkable.  The CSR graph is shared (BFSGen never writes
+// it); the visited set and frontier queue are deep-copied.
+func (b *BFSGen) Fork() Generator {
+	c := *b
+	c.visited = append([]bool(nil), b.visited...)
+	c.queue = append([]int(nil), b.queue...)
+	return &c
+}
+
+// CopyStateTo implements Forkable.
+func (b *BFSGen) CopyStateTo(dst Generator) bool {
+	d, ok := dst.(*BFSGen)
+	if !ok {
+		return false
+	}
+	vis, q := d.visited, d.queue
+	*d = *b
+	d.visited = append(vis[:0], b.visited...)
+	d.queue = append(q[:0], b.queue...)
+	return true
+}
+
+// Fork implements Forkable.  The hash table is shared (KVGen never writes
+// it); the key sampler and pending-op queue are deep-copied.
+func (g *KVGen) Fork() Generator {
+	c := *g
+	if g.zipf != nil {
+		z := *g.zipf
+		c.zipf = &z
+	}
+	c.pending = append([]Op(nil), g.pending...)
+	return &c
+}
+
+// CopyStateTo implements Forkable.
+func (g *KVGen) CopyStateTo(dst Generator) bool {
+	d, ok := dst.(*KVGen)
+	if !ok || (g.zipf == nil) != (d.zipf == nil) {
+		return false
+	}
+	z, pend := d.zipf, d.pending
+	*d = *g
+	if g.zipf != nil {
+		*z = *g.zipf
+		d.zipf = z
+	}
+	d.pending = append(pend[:0], g.pending...)
+	return true
+}
+
+// Fork implements Forkable.  The decoded op slice is shared.
+func (r *Replay) Fork() Generator { c := *r; return &c }
+
+// CopyStateTo implements Forkable.
+func (r *Replay) CopyStateTo(dst Generator) bool {
+	d, ok := dst.(*Replay)
+	if !ok {
+		return false
+	}
+	*d = *r
+	return true
+}
